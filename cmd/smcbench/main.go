@@ -1,0 +1,132 @@
+// Command smcbench regenerates the paper's evaluation figures (§7).
+//
+// Usage:
+//
+//	smcbench -fig all            # every figure
+//	smcbench -fig 11 -sf 0.05    # one figure at a larger scale factor
+//	smcbench -fig 6,7,linq       # a subset
+//
+// Figures: 6 (reclamation threshold), 7 (allocation throughput),
+// 8 (refresh streams), 9 (GC timeouts), 10 (enumeration), 11 (TPC-H vs
+// managed), 12 (direct/columnar), 13 (vs column store), linq (LINQ vs
+// compiled). Beyond-paper extensions: ext (TPC-H Q7–Q10 across all
+// engines), ablation (design-choice ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation or 'all'")
+		sf   = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed = flag.Uint64("seed", 42, "generator seed")
+		reps = flag.Int("reps", 3, "repetitions per measurement (median)")
+		heap = flag.Bool("heap-backend", false, "force the portable off-heap backend")
+	)
+	flag.Parse()
+
+	opts := bench.Options{SF: *sf, Seed: *seed, Reps: *reps, HeapBackend: *heap}
+	want := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "smcbench: figure %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("smcbench: sf=%v seed=%d reps=%d\n", *sf, *seed, *reps)
+	if want["6"] {
+		r, err := bench.Figure6(opts)
+		if err != nil {
+			fail("6", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["7"] {
+		r, err := bench.Figure7(opts)
+		if err != nil {
+			fail("7", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["8"] {
+		r, err := bench.Figure8(opts)
+		if err != nil {
+			fail("8", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["9"] {
+		r, err := bench.Figure9(opts)
+		if err != nil {
+			fail("9", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["10"] {
+		r, err := bench.Figure10(opts)
+		if err != nil {
+			fail("10", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["11"] {
+		r, err := bench.Figure11(opts)
+		if err != nil {
+			fail("11", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["12"] {
+		r, err := bench.Figure12(opts)
+		if err != nil {
+			fail("12", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["13"] {
+		r, err := bench.Figure13(opts)
+		if err != nil {
+			fail("13", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["linq"] {
+		r, err := bench.FigureLinq(opts)
+		if err != nil {
+			fail("linq", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["ext"] {
+		r, err := bench.FigureExt(opts)
+		if err != nil {
+			fail("ext", err)
+		}
+		r.Render().Render(os.Stdout)
+	}
+	if want["ablation"] {
+		r, err := bench.FigureAblation(opts)
+		if err != nil {
+			fail("ablation", err)
+		}
+		for _, tbl := range r.Render() {
+			tbl.Render(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a Go reproduction of "Self-managed collections:
+// Off-heap memory management for scalable query-dominated collections"
+// (Nagel, Bierman, Dragojević, Viglas — EDBT 2017).
+//
+// The public surface lives in internal/core (the self-managed collection
+// type) with the supporting subsystems in internal/mem (type-safe manual
+// memory management with compaction and overflow rescue), internal/epoch
+// (epoch-based reclamation), internal/offheap (GC-invisible memory),
+// internal/region (query-intermediate regions) and internal/schema
+// (tabular layouts). See README.md for the architecture overview,
+// DESIGN.md for the paper-to-code map and EXPERIMENTS.md for the
+// reproduced evaluation.
+package repro

@@ -1,0 +1,74 @@
+// Quickstart: the §2 example — a self-managed Person collection whose
+// objects live off-heap, owned by the collection, with references that
+// become null on removal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// Person is a tabular type: fixed-size fields and strings only. Strings
+// are owned by the object (paper §2): the collection reclaims their
+// storage with the object's memory slot.
+type Person struct {
+	Name string
+	Age  int32
+}
+
+func main() {
+	// The runtime owns the off-heap memory manager, epoch machinery and
+	// compactor shared by all collections.
+	rt, err := core.NewRuntime(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Every goroutine interacts through its own session (the paper's
+	// thread-local allocation and critical-section state).
+	s := rt.MustSession()
+	defer s.Close()
+
+	persons := core.MustCollection[Person](rt, "persons", core.RowIndirect)
+
+	// Add allocates the object inside the collection's private memory
+	// blocks and returns a reference — the §2 code example verbatim.
+	adam, err := persons.Add(s, &Person{Name: "Adam", Age: 27})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 9999; i++ {
+		persons.MustAdd(s, &Person{Name: fmt.Sprintf("Person#%04d", i), Age: int32(18 + i%60)})
+	}
+	fmt.Printf("collection holds %d persons in %d KiB off-heap\n",
+		persons.Len(), persons.MemoryBytes()/1024)
+
+	// Dereference: Get copies the object out.
+	p, err := persons.Get(s, adam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adam = %+v\n", p)
+
+	// Enumerate in memory order (bag semantics) — this is the access
+	// pattern SMCs are optimized for.
+	var adults int
+	persons.ForEach(s, func(_ core.Ref[Person], p *Person) bool {
+		if p.Age >= 30 {
+			adults++
+		}
+		return true
+	})
+	fmt.Printf("persons aged 30+: %d\n", adults)
+
+	// Remove frees the object; all references become null (§2).
+	if err := persons.Remove(s, adam); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := persons.Get(s, adam); err == core.ErrNullReference {
+		fmt.Println("after Remove, adam's reference is null — as specified")
+	}
+}

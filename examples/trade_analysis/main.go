@@ -1,0 +1,111 @@
+// Trade analysis: the extended query set (TPC-H Q7–Q10) over
+// self-managed collections with direct pointers (§6), demonstrating the
+// join-heaviest workloads of the suite — international trade volumes,
+// market shares, product-line profits and returned-item reports — plus
+// the operational machinery around them: the background compactor (§5)
+// and the incarnation-overflow scanner (§3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func main() {
+	rt, err := core.NewRuntime(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+
+	// Background threads: the §5 compactor and the §3.1 overflow scanner.
+	stopCompactor := rt.StartCompactor(50 * time.Millisecond)
+	defer stopCompactor()
+	stopScanner := rt.StartOverflowScanner(time.Second)
+	defer stopScanner()
+
+	fmt.Println("generating TPC-H data and loading collections (direct-pointer layout)...")
+	data := tpch.Generate(0.02, 42)
+	db, err := tpch.LoadSMC(rt, s, data, core.RowDirect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d lineitems, %d orders, %d customers off-heap\n\n",
+		db.Lineitems.Len(), db.Orders.Len(), db.Customers.Len())
+
+	q := tpch.NewSMCQueries(db)
+	p := tpch.DefaultParams()
+
+	// Q7 — volume shipping between two trading nations.
+	t0 := time.Now()
+	q7 := q.Q7(s, p)
+	fmt.Printf("Q7 (%s <-> %s trade volume), %v:\n", p.Q7Nation1, p.Q7Nation2, time.Since(t0).Round(time.Microsecond))
+	for _, r := range q7 {
+		fmt.Printf("  %-10s -> %-10s %d  %12s\n", r.SuppNation, r.CustNation, r.Year, r.Revenue)
+	}
+
+	// Q8 — national market share inside a region.
+	t0 = time.Now()
+	q8 := q.Q8(s, p)
+	fmt.Printf("\nQ8 (%s market share in %s for %q), %v:\n",
+		p.Q8Nation, p.Q8Region, p.Q8Type, time.Since(t0).Round(time.Microsecond))
+	for _, r := range q8 {
+		fmt.Printf("  %d  share %s\n", r.Year, r.MktShare)
+	}
+
+	// Q9 — product-line profit by nation and year.
+	t0 = time.Now()
+	q9 := q.Q9(s, p)
+	fmt.Printf("\nQ9 (profit on %q parts), %v: %d nation-year groups; first rows:\n",
+		p.Q9Color, time.Since(t0).Round(time.Microsecond), len(q9))
+	for i, r := range q9 {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-12s %d  %14s\n", r.Nation, r.Year, r.SumProfit)
+	}
+
+	// Q10 — top returned-item customers for one quarter.
+	t0 = time.Now()
+	q10 := q.Q10(s, p)
+	fmt.Printf("\nQ10 (returned items, quarter from %s), %v: top %d customers\n",
+		p.Q10Date, time.Since(t0).Round(time.Microsecond), len(q10))
+	for i, r := range q10 {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-22s %-12s %12s\n", r.Name, r.Nation, r.Revenue)
+	}
+
+	// Refresh churn: delete a slice of lineitems, let the compactor pack
+	// the blocks, and re-run a query — results shrink consistently.
+	fmt.Println("\nchurning: removing ~20% of lineitems, then re-running Q10...")
+	var victims []core.Ref[tpch.SLineitem]
+	db.Lineitems.ForEach(s, func(r core.Ref[tpch.SLineitem], l *tpch.SLineitem) bool {
+		if l.OrderKey%5 == 0 {
+			victims = append(victims, r)
+		}
+		return true
+	})
+	for _, v := range victims {
+		if err := db.Lineitems.Remove(s, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := rt.CompactNow(); err != nil {
+		log.Fatal(err)
+	}
+	q10b := q.Q10(s, p)
+	fmt.Printf("after churn+compaction: %d lineitems remain; Q10 still returns %d rows\n",
+		db.Lineitems.Len(), len(q10b))
+
+	st := rt.Manager().Stats()
+	fmt.Printf("\nmanager stats: %d allocs, %d frees, %d compactions, %d objects moved\n",
+		st.Allocs.Load(), st.Frees.Load(), st.Compactions.Load(), st.ObjectsMoved.Load())
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/tpch"
+)
+
+// QueryTimes holds per-query evaluation times for one engine.
+type QueryTimes [6]time.Duration
+
+// Figure11Result compares compiled queries across engines (Fig. 11).
+type Figure11Result struct {
+	List, Dict, SMCSafe, SMCUnsafe QueryTimes
+}
+
+// Figure11 reproduces "TPC-H Queries 1 to 6" (Fig. 11): compiled queries
+// over List, ConcurrentDictionary, SMC with safe access ("SMC (C#)") and
+// SMC with direct pointer access ("SMC (unsafe C#)"), reported relative
+// to List.
+func Figure11(o Options) (*Figure11Result, error) {
+	o = o.WithDefaults()
+	env, err := newQueryEnv(o)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	p := tpch.DefaultParams()
+	res := &Figure11Result{}
+
+	res.List = QueryTimes{
+		median(o.Reps, func() { sinkAny = tpch.ListQ1(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ2(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ3(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ4(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ5(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ6(env.mdb, p) }),
+	}
+	res.Dict = QueryTimes{
+		median(o.Reps, func() { sinkAny = tpch.DictQ1(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ2(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ3(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ4(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ5(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ6(env.ddb, p) }),
+	}
+	db, s := env.smcIndirect, env.sIndirect
+	res.SMCSafe = QueryTimes{
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ1(db, s, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ2(db, s, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ3(db, s, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ4(db, s, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ5(db, s, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ6(db, s, p) }),
+	}
+	q := env.qIndirect
+	res.SMCUnsafe = QueryTimes{
+		median(o.Reps, func() { sinkAny = q.Q1(s, p) }),
+		median(o.Reps, func() { sinkAny = q.Q2(s, p) }),
+		median(o.Reps, func() { sinkAny = q.Q3(s, p) }),
+		median(o.Reps, func() { sinkAny = q.Q4(s, p) }),
+		median(o.Reps, func() { sinkAny = q.Q5(s, p) }),
+		median(o.Reps, func() { sinkAny = q.Q6(s, p) }),
+	}
+	return res, nil
+}
+
+// Render emits Figure 11 (relative to List = 100).
+func (r *Figure11Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 11 — TPC-H Q1..Q6, evaluation time relative to List (=100); ms absolute in parens",
+		Columns: []string{"series", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6"},
+	}
+	row := func(name string, qt QueryTimes) {
+		cells := []string{name}
+		for i := 0; i < 6; i++ {
+			cells = append(cells, fmt.Sprintf("%s (%s)", rel(r.List[i], qt[i]), ms(qt[i])))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("list", r.List)
+	row("concurrent-dictionary", r.Dict)
+	row("smc (safe)", r.SMCSafe)
+	row("smc (unsafe)", r.SMCUnsafe)
+	return t
+}
+
+// Figure12Result compares SMC layout variants (Fig. 12).
+type Figure12Result struct {
+	SMCUnsafe, SMCDirect, SMCColumnar QueryTimes
+}
+
+// Figure12 reproduces "Direct pointer and columnar storage" (Fig. 12):
+// the unsafe indirect SMC is the 100% baseline; direct pointers (§6)
+// help the join queries, columnar storage (§4.1) helps the scans.
+func Figure12(o Options) (*Figure12Result, error) {
+	o = o.WithDefaults()
+	env, err := newQueryEnv(o)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	p := tpch.DefaultParams()
+	res := &Figure12Result{}
+
+	runAll := func(q *tpch.SMCQueries, s sessionT) QueryTimes {
+		return QueryTimes{
+			median(o.Reps, func() { sinkAny = q.Q1(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q2(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q3(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q4(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q5(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q6(s, p) }),
+		}
+	}
+	res.SMCUnsafe = runAll(env.qIndirect, env.sIndirect)
+	res.SMCDirect = runAll(env.qDirect, env.sDirect)
+	res.SMCColumnar = runAll(env.qColumnar, env.sColumnar)
+	return res, nil
+}
+
+// Render emits Figure 12 (relative to SMC unsafe = 100).
+func (r *Figure12Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 12 — SMC variants, evaluation time relative to SMC unsafe (=100); ms absolute in parens",
+		Columns: []string{"series", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6"},
+	}
+	row := func(name string, qt QueryTimes) {
+		cells := []string{name}
+		for i := 0; i < 6; i++ {
+			cells = append(cells, fmt.Sprintf("%s (%s)", rel(r.SMCUnsafe[i], qt[i]), ms(qt[i])))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("smc", r.SMCUnsafe)
+	row("smc (direct)", r.SMCDirect)
+	row("smc (columnar)", r.SMCColumnar)
+	return t
+}
+
+// Figure13Result compares SMCs against the column-store RDBMS stand-in.
+type Figure13Result struct {
+	ColStore, SMCDirect, SMCColumnar QueryTimes
+}
+
+// Figure13 reproduces "Comparison to SQL Server on a TPC-H-like
+// workload" (Fig. 13): the column store with clustered date indexes wins
+// where index pruning bites; SMCs win the join-heavy queries through
+// reference joins.
+func Figure13(o Options) (*Figure13Result, error) {
+	o = o.WithDefaults()
+	env, err := newQueryEnv(o)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	cs := colstore.Load(env.data)
+	p := tpch.DefaultParams()
+	res := &Figure13Result{}
+
+	res.ColStore = QueryTimes{
+		median(o.Reps, func() { sinkAny = cs.Q1(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q2(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q3(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q4(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q5(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q6(p) }),
+	}
+	runAll := func(q *tpch.SMCQueries, s sessionT) QueryTimes {
+		return QueryTimes{
+			median(o.Reps, func() { sinkAny = q.Q1(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q2(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q3(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q4(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q5(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q6(s, p) }),
+		}
+	}
+	res.SMCDirect = runAll(env.qDirect, env.sDirect)
+	res.SMCColumnar = runAll(env.qColumnar, env.sColumnar)
+	return res, nil
+}
+
+// Render emits Figure 13 (relative to the column store = 100).
+func (r *Figure13Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 13 — vs column-store RDBMS stand-in, relative to column store (=100); ms absolute in parens",
+		Columns: []string{"series", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6"},
+	}
+	row := func(name string, qt QueryTimes) {
+		cells := []string{name}
+		for i := 0; i < 6; i++ {
+			cells = append(cells, fmt.Sprintf("%s (%s)", rel(r.ColStore[i], qt[i]), ms(qt[i])))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("column store", r.ColStore)
+	row("smc (direct)", r.SMCDirect)
+	row("smc (columnar)", r.SMCColumnar)
+	return t
+}
+
+// FigureLinqResult compares LINQ with compiled queries (§7 in-text).
+type FigureLinqResult struct {
+	Compiled, Linq QueryTimes
+}
+
+// FigureLinq measures the in-text claim that evaluating the queries with
+// LINQ instead of compiled code costs 40–400% more time.
+func FigureLinq(o Options) (*FigureLinqResult, error) {
+	o = o.WithDefaults()
+	data := tpch.Generate(o.SF, o.Seed)
+	mdb := tpch.LoadManaged(data)
+	p := tpch.DefaultParams()
+	res := &FigureLinqResult{}
+	res.Compiled = QueryTimes{
+		median(o.Reps, func() { sinkAny = tpch.ListQ1(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ2(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ3(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ4(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ5(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ6(mdb, p) }),
+	}
+	res.Linq = QueryTimes{
+		median(o.Reps, func() { sinkAny = tpch.LinqQ1(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.LinqQ2(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.LinqQ3(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.LinqQ4(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.LinqQ5(mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.LinqQ6(mdb, p) }),
+	}
+	return res, nil
+}
+
+// Render emits the LINQ-vs-compiled table.
+func (r *FigureLinqResult) Render() *Table {
+	t := &Table{
+		Title:   "§7 in-text — LINQ vs compiled queries over List, relative to compiled (=100)",
+		Columns: []string{"series", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6"},
+		Notes:   []string{"paper reports LINQ 140..500 (i.e., 40%..400% slower)"},
+	}
+	row := func(name string, qt QueryTimes) {
+		cells := []string{name}
+		for i := 0; i < 6; i++ {
+			cells = append(cells, fmt.Sprintf("%s (%s)", rel(r.Compiled[i], qt[i]), ms(qt[i])))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("compiled", r.Compiled)
+	row("linq", r.Linq)
+	return t
+}

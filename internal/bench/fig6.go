@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/mem"
+	"repro/internal/tpch"
+)
+
+// sinkDec defeats dead-code elimination in measurement loops.
+var sinkDec decimal.Dec128
+
+// Figure6Point is one threshold setting's normalized measurements.
+type Figure6Point struct {
+	ThresholdPct int
+	OpsPerSec    float64 // allocation/removal throughput
+	QueryMs      float64 // enumeration-query time
+	MemoryBytes  int64
+}
+
+// Figure6Result is the full sweep.
+type Figure6Result struct {
+	Points []Figure6Point
+}
+
+// Figure6 reproduces "Sensitivity to relocation threshold" (Fig. 6): the
+// reclamation-threshold knob is swept while a lineitem SMC undergoes
+// insert/remove churn; reported are memory-operation throughput, query
+// time and total memory, normalized to each series' maximum in Render.
+func Figure6(o Options) (*Figure6Result, error) {
+	o = o.WithDefaults()
+	data := tpch.Generate(o.SF, o.Seed)
+	res := &Figure6Result{}
+
+	for _, pct := range []int{1, 2, 5, 10, 20, 30, 50, 75, 95} {
+		rt, err := core.NewRuntime(core.Options{
+			ReclaimThreshold: float64(pct) / 100,
+			HeapBackend:      o.HeapBackend,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s, err := rt.NewSession()
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		coll, err := core.NewCollection[tpch.SLineitem](rt, "lineitem", core.RowIndirect)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		// Initial population (lineitems only; refs nil).
+		refs := make([]core.Ref[tpch.SLineitem], 0, len(data.Lineitems))
+		for i := range data.Lineitems {
+			l := rowToSLineitem(&data.Lineitems[i])
+			r, err := coll.Add(s, &l)
+			if err != nil {
+				rt.Close()
+				return nil, err
+			}
+			refs = append(refs, r)
+		}
+
+		// Churn: remove/insert 30% of the population in batches, letting
+		// epochs advance so limbo slots ripen at the configured rate.
+		batch := len(refs) / 10
+		if batch == 0 {
+			batch = 1
+		}
+		ops := 0
+		t0 := time.Now()
+		for round := 0; round < 3; round++ {
+			lo := round * batch
+			for i := lo; i < lo+batch && i < len(refs); i++ {
+				if err := coll.Remove(s, refs[i]); err != nil {
+					rt.Close()
+					return nil, err
+				}
+				ops++
+			}
+			rt.Manager().TryAdvanceEpoch()
+			rt.Manager().TryAdvanceEpoch()
+			for i := lo; i < lo+batch && i < len(refs); i++ {
+				l := rowToSLineitem(&data.Lineitems[i])
+				r, err := coll.Add(s, &l)
+				if err != nil {
+					rt.Close()
+					return nil, err
+				}
+				refs[i] = r
+				ops++
+			}
+		}
+		churn := time.Since(t0)
+
+		// Query: enumerate summing quantity (Q6-flavoured scan) — the
+		// limbo fraction determines slot-directory branch behaviour.
+		qtyF := coll.Schema().MustField("Quantity")
+		q := median(o.Reps, func() {
+			var total decimal.Dec128
+			coll.Context().ForEachValid(s.Mem(), func(b *mem.Block, slot int) bool {
+				decimal.AddAssign(&total, (*decimal.Dec128)(b.FieldPtr(slot, qtyF)))
+				return true
+			})
+			sinkDec = total
+		})
+
+		res.Points = append(res.Points, Figure6Point{
+			ThresholdPct: pct,
+			OpsPerSec:    float64(ops) / churn.Seconds(),
+			QueryMs:      float64(q.Microseconds()) / 1000,
+			MemoryBytes:  coll.MemoryBytes(),
+		})
+		s.Close()
+		rt.Close()
+	}
+	return res, nil
+}
+
+// Render normalizes each series to its maximum, as in the paper's plot.
+func (r *Figure6Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 6 — varying the reclamation threshold (normalized to max)",
+		Columns: []string{"threshold%", "alloc/removal perf", "query perf", "total memory"},
+		Notes: []string{
+			"alloc/removal perf = ops/s normalized (higher is better), as in the paper",
+			"query perf = 1/time normalized (higher is better)",
+			"memory = bytes normalized (lower is better)",
+		},
+	}
+	var maxOps, maxQ float64
+	var maxMem int64
+	for _, p := range r.Points {
+		if p.OpsPerSec > maxOps {
+			maxOps = p.OpsPerSec
+		}
+		if 1/p.QueryMs > maxQ {
+			maxQ = 1 / p.QueryMs
+		}
+		if p.MemoryBytes > maxMem {
+			maxMem = p.MemoryBytes
+		}
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.ThresholdPct),
+			fmt.Sprintf("%.3f", p.OpsPerSec/maxOps),
+			fmt.Sprintf("%.3f", (1/p.QueryMs)/maxQ),
+			fmt.Sprintf("%.3f", float64(p.MemoryBytes)/float64(maxMem)),
+		})
+	}
+	return t
+}
+
+// rowToSLineitem converts a generated row without reference wiring (the
+// microbenchmarks churn lineitems standalone, as the paper's Figure 6–8
+// workloads do).
+func rowToSLineitem(l *tpch.LineitemRow) tpch.SLineitem {
+	return tpch.SLineitem{
+		OrderKey: l.OrderKey, LineNumber: l.LineNumber,
+		Quantity: l.Quantity, ExtendedPrice: l.ExtendedPrice,
+		Discount: l.Discount, Tax: l.Tax,
+		ReturnFlag: l.ReturnFlag, LineStatus: l.LineStatus,
+		ShipDate: l.ShipDate, CommitDate: l.CommitDate, ReceiptDate: l.ReceiptDate,
+		ShipInstruct: l.ShipInstruct, ShipMode: l.ShipMode, Comment: l.Comment,
+	}
+}

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/managed"
+	"repro/internal/tpch"
+)
+
+// Figure7Result holds allocation throughput per series and thread count.
+type Figure7Result struct {
+	Threads []int
+	// Series name -> per-thread-count millions of allocations per second.
+	Series map[string][]float64
+}
+
+// Figure7 reproduces "Batch allocation throughput" (Fig. 7): allocating
+// lineitem objects into (a) nothing (pure allocation, kept reachable in
+// thread-local slices as in the paper's footnote), (b) a ConcurrentBag,
+// (c) a ConcurrentDictionary, and (d) an SMC. Go has a single concurrent
+// GC mode, so the paper's interactive/batch split collapses into one
+// managed series each (see DESIGN.md substitutions).
+func Figure7(o Options) (*Figure7Result, error) {
+	o = o.WithDefaults()
+	data := tpch.Generate(o.SF, o.Seed)
+	rows := data.Lineitems
+	res := &Figure7Result{Threads: o.Threads, Series: map[string][]float64{}}
+
+	perThread := len(rows)
+	run := func(threads int, fn func(tid int, rows []tpch.LineitemRow)) float64 {
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				fn(tid, rows)
+			}(t)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		return float64(perThread*threads) / el.Seconds() / 1e6
+	}
+
+	for _, th := range o.Threads {
+		// Pure allocation: heap objects kept in a pre-allocated
+		// thread-local slice ("pre-allocated, thread-local arrays
+		// prevent objects from being garbage collected").
+		res.Series["pure-alloc"] = append(res.Series["pure-alloc"], run(th, func(tid int, rows []tpch.LineitemRow) {
+			keep := make([]*tpch.MLineitem, len(rows))
+			for i := range rows {
+				keep[i] = rowToMLineitem(&rows[i])
+			}
+			storeSink(keep)
+		}))
+
+		bag := managed.NewConcurrentBag[tpch.MLineitem]()
+		res.Series["concurrent-bag"] = append(res.Series["concurrent-bag"], run(th, func(tid int, rows []tpch.LineitemRow) {
+			for i := range rows {
+				bag.Add(rowToMLineitem(&rows[i]))
+			}
+		}))
+
+		dict := managed.NewIntDictionary[tpch.MLineitem]()
+		res.Series["concurrent-dictionary"] = append(res.Series["concurrent-dictionary"], run(th, func(tid int, rows []tpch.LineitemRow) {
+			base := int64(tid) << 40
+			for i := range rows {
+				dict.Store(base|int64(i), rowToMLineitem(&rows[i]))
+			}
+		}))
+
+		rt, err := core.NewRuntime(core.Options{HeapBackend: o.HeapBackend})
+		if err != nil {
+			return nil, err
+		}
+		coll, err := core.NewCollection[tpch.SLineitem](rt, "lineitem", core.RowIndirect)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		res.Series["smc"] = append(res.Series["smc"], run(th, func(tid int, rows []tpch.LineitemRow) {
+			s := rt.MustSession()
+			defer s.Close()
+			for i := range rows {
+				l := rowToSLineitem(&rows[i])
+				if _, err := coll.Add(s, &l); err != nil {
+					panic(err)
+				}
+			}
+		}))
+		rt.Close()
+	}
+	return res, nil
+}
+
+var sinkAny any
+
+// storeSink publishes a value from concurrent measurement goroutines
+// (plain sinkAny writes would race).
+var sinkAtomic atomic.Value
+
+func storeSink(v any) { sinkAtomic.Store(v) }
+
+func rowToMLineitem(l *tpch.LineitemRow) *tpch.MLineitem {
+	return &tpch.MLineitem{
+		OrderKey: l.OrderKey, LineNumber: l.LineNumber,
+		Quantity: l.Quantity, ExtendedPrice: l.ExtendedPrice,
+		Discount: l.Discount, Tax: l.Tax,
+		ReturnFlag: l.ReturnFlag, LineStatus: l.LineStatus,
+		ShipDate: l.ShipDate, CommitDate: l.CommitDate, ReceiptDate: l.ReceiptDate,
+		ShipInstruct: l.ShipInstruct, ShipMode: l.ShipMode, Comment: l.Comment,
+	}
+}
+
+// Render emits the Figure 7 table (millions of allocations per second).
+func (r *Figure7Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 7 — batch allocation throughput (million objects/s)",
+		Columns: append([]string{"series"}, threadCols(r.Threads)...),
+		Notes: []string{
+			"paper series 'interactive'/'batch' collapse: Go has one concurrent GC mode",
+		},
+	}
+	for _, name := range []string{"pure-alloc", "concurrent-bag", "concurrent-dictionary", "smc"} {
+		row := []string{name}
+		for _, v := range r.Series[name] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func threadCols(threads []int) []string {
+	out := make([]string, len(threads))
+	for i, t := range threads {
+		out[i] = fmt.Sprintf("%d thread(s)", t)
+	}
+	return out
+}
+
+// Figure8Result holds refresh-stream throughput per series/threads.
+type Figure8Result struct {
+	Threads []int
+	Series  map[string][]float64 // streams per minute
+}
+
+// Figure8 reproduces "Refresh stream throughput" (Fig. 8): each thread
+// alternates two stream types — inserting 0.1% of the initial population,
+// and enumerating the collection removing a 0.1% batch selected by a
+// predicate on orderkey (provided as a hash set, as in the paper).
+func Figure8(o Options) (*Figure8Result, error) {
+	o = o.WithDefaults()
+	data := tpch.Generate(o.SF, o.Seed)
+	res := &Figure8Result{Threads: o.Threads, Series: map[string][]float64{}}
+	n := len(data.Lineitems)
+	batch := n / 1000
+	if batch < 1 {
+		batch = 1
+	}
+	const streamPairs = 4 // insert+remove pairs per thread per run
+
+	// Build the per-run orderkey victim sets up front.
+	victimSets := func(runs int) []map[int64]bool {
+		sets := make([]map[int64]bool, runs)
+		for r := range sets {
+			m := make(map[int64]bool, batch)
+			for i := 0; i < batch; i++ {
+				m[data.Lineitems[(r*batch+i)%n].OrderKey] = true
+			}
+			sets[r] = m
+		}
+		return sets
+	}
+
+	for _, th := range o.Threads {
+		// --- List with a coarse lock (List<T> is not thread-safe). ---
+		{
+			var mu sync.Mutex
+			list := managed.NewList[tpch.MLineitem](n)
+			for i := range data.Lineitems {
+				list.AddPtr(rowToMLineitem(&data.Lineitems[i]))
+			}
+			sets := victimSets(th * streamPairs)
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for t := 0; t < th; t++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for rIdx := 0; rIdx < streamPairs; rIdx++ {
+						// Insert stream.
+						mu.Lock()
+						for i := 0; i < batch; i++ {
+							list.AddPtr(rowToMLineitem(&data.Lineitems[(tid*batch+i)%n]))
+						}
+						mu.Unlock()
+						// Remove stream (single enumeration, hash-set predicate).
+						set := sets[tid*streamPairs+rIdx]
+						left := batch
+						mu.Lock()
+						list.RemoveWhere(func(l *tpch.MLineitem) bool {
+							if left > 0 && set[l.OrderKey] {
+								left--
+								return true
+							}
+							return false
+						})
+						mu.Unlock()
+					}
+				}(t)
+			}
+			wg.Wait()
+			el := time.Since(t0)
+			res.Series["list"] = append(res.Series["list"],
+				float64(2*streamPairs*th)/el.Minutes())
+		}
+
+		// --- ConcurrentDictionary. ---
+		{
+			dict := managed.NewIntDictionary[tpch.MLineitem]()
+			for i := range data.Lineitems {
+				l := &data.Lineitems[i]
+				dict.Store(tpch.LineKey(l.OrderKey, l.LineNumber)<<8, rowToMLineitem(l))
+			}
+			sets := victimSets(th * streamPairs)
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for t := 0; t < th; t++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for rIdx := 0; rIdx < streamPairs; rIdx++ {
+						base := int64(tid)<<48 | int64(rIdx)<<40
+						for i := 0; i < batch; i++ {
+							dict.Store(base|int64(i), rowToMLineitem(&data.Lineitems[(tid*batch+i)%n]))
+						}
+						set := sets[tid*streamPairs+rIdx]
+						left := batch
+						var victims []int64
+						dict.Range(func(k int64, l *tpch.MLineitem) bool {
+							if left > 0 && set[l.OrderKey] {
+								victims = append(victims, k)
+								left--
+							}
+							return left > 0
+						})
+						for _, k := range victims {
+							dict.Delete(k)
+						}
+					}
+				}(t)
+			}
+			wg.Wait()
+			el := time.Since(t0)
+			res.Series["concurrent-dictionary"] = append(res.Series["concurrent-dictionary"],
+				float64(2*streamPairs*th)/el.Minutes())
+		}
+
+		// --- SMC. ---
+		{
+			rt, err := core.NewRuntime(core.Options{HeapBackend: o.HeapBackend})
+			if err != nil {
+				return nil, err
+			}
+			coll, err := core.NewCollection[tpch.SLineitem](rt, "lineitem", core.RowIndirect)
+			if err != nil {
+				rt.Close()
+				return nil, err
+			}
+			ls := rt.MustSession()
+			for i := range data.Lineitems {
+				l := rowToSLineitem(&data.Lineitems[i])
+				if _, err := coll.Add(ls, &l); err != nil {
+					rt.Close()
+					return nil, err
+				}
+			}
+			sets := victimSets(th * streamPairs)
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for t := 0; t < th; t++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					s := rt.MustSession()
+					defer s.Close()
+					for rIdx := 0; rIdx < streamPairs; rIdx++ {
+						for i := 0; i < batch; i++ {
+							l := rowToSLineitem(&data.Lineitems[(tid*batch+i)%n])
+							if _, err := coll.Add(s, &l); err != nil {
+								panic(err)
+							}
+						}
+						set := sets[tid*streamPairs+rIdx]
+						left := batch
+						var victims []core.Ref[tpch.SLineitem]
+						coll.ForEach(s, func(r core.Ref[tpch.SLineitem], l *tpch.SLineitem) bool {
+							if left > 0 && set[l.OrderKey] {
+								victims = append(victims, r)
+								left--
+							}
+							return left > 0
+						})
+						for _, v := range victims {
+							// Concurrent removals may race on shared
+							// victims; nulls are expected then.
+							_ = coll.Remove(s, v)
+						}
+					}
+				}(t)
+			}
+			wg.Wait()
+			el := time.Since(t0)
+			res.Series["smc"] = append(res.Series["smc"],
+				float64(2*streamPairs*th)/el.Minutes())
+			ls.Close()
+			rt.Close()
+		}
+	}
+	return res, nil
+}
+
+// Render emits the Figure 8 table (streams per minute).
+func (r *Figure8Result) Render() *Table {
+	t := &Table{
+		Title:   "Figure 8 — refresh stream throughput (streams/minute)",
+		Columns: append([]string{"series"}, threadCols(r.Threads)...),
+	}
+	for _, name := range []string{"list", "concurrent-dictionary", "smc"} {
+		row := []string{name}
+		for _, v := range r.Series[name] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

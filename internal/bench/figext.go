@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/tpch"
+)
+
+// QueryTimesX holds per-query times for the extended set Q7–Q10.
+type QueryTimesX [4]time.Duration
+
+// FigureExtResult compares every engine on TPC-H Q7–Q10. This experiment
+// extends the paper's Figure 11–13 matrix to the join-heaviest queries of
+// the benchmark's first half — the workload class §6's direct pointers
+// target ("when a query touches an object that contains many references
+// to nested objects").
+type FigureExtResult struct {
+	List, Dict             QueryTimesX
+	SMCSafe, SMCUnsafe     QueryTimesX
+	SMCDirect, SMCColumnar QueryTimesX
+	ColStore               QueryTimesX
+}
+
+// FigureExt measures Q7–Q10 across all engines (beyond-paper extension;
+// the series mirror Figures 11–13 so the same comparisons can be read off
+// one table).
+func FigureExt(o Options) (*FigureExtResult, error) {
+	o = o.WithDefaults()
+	env, err := newQueryEnv(o)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	cs := colstore.Load(env.data)
+	p := tpch.DefaultParams()
+	res := &FigureExtResult{}
+
+	res.List = QueryTimesX{
+		median(o.Reps, func() { sinkAny = tpch.ListQ7(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ8(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ9(env.mdb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.ListQ10(env.mdb, p) }),
+	}
+	res.Dict = QueryTimesX{
+		median(o.Reps, func() { sinkAny = tpch.DictQ7(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ8(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ9(env.ddb, p) }),
+		median(o.Reps, func() { sinkAny = tpch.DictQ10(env.ddb, p) }),
+	}
+	res.SMCSafe = QueryTimesX{
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ7(env.smcIndirect, env.sIndirect, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ8(env.smcIndirect, env.sIndirect, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ9(env.smcIndirect, env.sIndirect, p) }),
+		median(o.Reps, func() { sinkAny = tpch.SMCSafeQ10(env.smcIndirect, env.sIndirect, p) }),
+	}
+	runAll := func(q *tpch.SMCQueries, s sessionT) QueryTimesX {
+		return QueryTimesX{
+			median(o.Reps, func() { sinkAny = q.Q7(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q8(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q9(s, p) }),
+			median(o.Reps, func() { sinkAny = q.Q10(s, p) }),
+		}
+	}
+	res.SMCUnsafe = runAll(env.qIndirect, env.sIndirect)
+	res.SMCDirect = runAll(env.qDirect, env.sDirect)
+	res.SMCColumnar = runAll(env.qColumnar, env.sColumnar)
+	res.ColStore = QueryTimesX{
+		median(o.Reps, func() { sinkAny = cs.Q7(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q8(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q9(p) }),
+		median(o.Reps, func() { sinkAny = cs.Q10(p) }),
+	}
+	return res, nil
+}
+
+// Render emits the extended-queries table (relative to List = 100).
+func (r *FigureExtResult) Render() *Table {
+	t := &Table{
+		Title:   "Extension — TPC-H Q7..Q10 across all engines, relative to List (=100); ms absolute in parens",
+		Columns: []string{"series", "Q7", "Q8", "Q9", "Q10"},
+		Notes: []string{
+			"beyond-paper extension: the Figure 11-13 series on the join-heaviest queries",
+		},
+	}
+	row := func(name string, qt QueryTimesX) {
+		cells := []string{name}
+		for i := 0; i < 4; i++ {
+			cells = append(cells, fmt.Sprintf("%s (%s)", rel(r.List[i], qt[i]), ms(qt[i])))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("list", r.List)
+	row("concurrent-dictionary", r.Dict)
+	row("smc (safe)", r.SMCSafe)
+	row("smc (unsafe)", r.SMCUnsafe)
+	row("smc (direct)", r.SMCDirect)
+	row("smc (columnar)", r.SMCColumnar)
+	row("column store", r.ColStore)
+	return t
+}

@@ -1,0 +1,274 @@
+package colstore
+
+import (
+	"repro/internal/decimal"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// Q1–Q6 executors: single-threaded, column-at-a-time, value-based joins,
+// clustered-index range pruning on the date keys. The shapes mirror how
+// a columnar RDBMS plans these queries, which is what Figure 13 contrasts
+// with the SMC reference joins.
+
+// Q1 seeks the clustered ShipDate index and scans the qualifying prefix.
+func (db *DB) Q1(p tpch.Params) []tpch.Q1Row {
+	cutoff := p.Q1Cutoff()
+	lc := &db.Lineitem
+	// shipdate <= cutoff  ⇔  rows [0, hi) of the clustered order.
+	hi := dateLowerBound(lc.ShipDate, cutoff+1)
+	type acc = struct {
+		sumQty, sumBase, sumDisc, sumCharge decimal.Dec128
+		count                               int64
+	}
+	groups := make(map[int64]*acc, 8)
+	one := decimal.FromInt64(1)
+	for i := 0; i < hi; i++ {
+		k := int64(lc.RetFlag[i])<<8 | int64(lc.LineStatus[i])
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+		}
+		a.sumQty = a.sumQty.Add(lc.Quantity[i])
+		a.sumBase = a.sumBase.Add(lc.ExtPrice[i])
+		a.sumDisc = a.sumDisc.Add(lc.Discount[i])
+		disc := lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i]))
+		a.sumCharge = a.sumCharge.Add(disc.Mul(one.Add(lc.Tax[i])))
+		a.count++
+	}
+	rows := make([]tpch.Q1Row, 0, len(groups))
+	for k, a := range groups {
+		rows = append(rows, tpch.Q1Row{
+			ReturnFlag: int32(k >> 8),
+			LineStatus: int32(k & 0xff),
+			SumQty:     a.sumQty,
+			SumBase:    a.sumBase,
+			SumDisc:    a.sumDisc,
+			SumCharge:  a.sumCharge,
+			AvgQty:     a.sumQty.DivInt64(a.count),
+			AvgPrice:   a.sumBase.DivInt64(a.count),
+			AvgDisc:    a.sumDisc.DivInt64(a.count),
+			Count:      a.count,
+		})
+	}
+	tpch.SortQ1(rows)
+	return rows
+}
+
+// Q2 uses value-based hash joins part→partsupp→supplier→nation.
+func (db *DB) Q2(p tpch.Params) []tpch.Q2Row {
+	// Qualifying parts.
+	partOK := make(map[int64]int32) // key -> part row
+	for i := 0; i < db.Part.N; i++ {
+		if db.Part.Size[i] == p.Q2Size && hasSuffix(db.Part.Type[i], p.Q2Type) {
+			partOK[db.Part.Key[i]] = int32(i)
+		}
+	}
+	// Suppliers in the region.
+	rk := db.regionKeyByName(p.Q2Region)
+	nations := db.nationsInRegion(rk)
+	suppOK := make(map[int64]int32)
+	for i := 0; i < db.Supplier.N; i++ {
+		if _, ok := nations[db.Supplier.NationKey[i]]; ok {
+			suppOK[db.Supplier.Key[i]] = int32(i)
+		}
+	}
+	// Minimum cost per part among qualifying suppliers.
+	minCost := make(map[int64]decimal.Dec128)
+	for i := 0; i < db.PartSupp.N; i++ {
+		pk := db.PartSupp.PartKey[i]
+		if _, ok := partOK[pk]; !ok {
+			continue
+		}
+		if _, ok := suppOK[db.PartSupp.SuppKey[i]]; !ok {
+			continue
+		}
+		cur, ok := minCost[pk]
+		if !ok || db.PartSupp.Cost[i].Less(cur) {
+			minCost[pk] = db.PartSupp.Cost[i]
+		}
+	}
+	var rows []tpch.Q2Row
+	for i := 0; i < db.PartSupp.N; i++ {
+		pk := db.PartSupp.PartKey[i]
+		mc, ok := minCost[pk]
+		if !ok || db.PartSupp.Cost[i] != mc {
+			continue
+		}
+		srow, ok := suppOK[db.PartSupp.SuppKey[i]]
+		if !ok {
+			continue
+		}
+		prow := partOK[pk]
+		rows = append(rows, tpch.Q2Row{
+			AcctBal: db.Supplier.AcctBal[srow],
+			SName:   db.Supplier.Name[srow],
+			NName:   nations[db.Supplier.NationKey[srow]],
+			PartKey: pk,
+			Mfgr:    db.Part.Mfgr[prow],
+			Address: db.Supplier.Address[srow],
+			Phone:   db.Supplier.Phone[srow],
+			Comment: db.Supplier.Comment[srow],
+		})
+	}
+	return tpch.SortQ2(rows)
+}
+
+// Q3 seeks both clustered indexes and hash-joins on integer keys.
+func (db *DB) Q3(p tpch.Params) []tpch.Q3Row {
+	segCode := db.Customer.Segment.Code(p.Q3Segment)
+	if segCode < 0 {
+		return nil
+	}
+	// Customers in segment.
+	custOK := make(map[int64]bool)
+	for i := 0; i < db.Customer.N; i++ {
+		if int(db.Customer.Segment.Codes[i]) == segCode {
+			custOK[db.Customer.Key[i]] = true
+		}
+	}
+	// Orders with o_orderdate < date: clustered prefix.
+	type oinfo struct {
+		date  types.Date
+		sprio int32
+	}
+	ohi := dateLowerBound(db.Orders.OrderDate, p.Q3Date)
+	orderOK := make(map[int64]oinfo)
+	for i := 0; i < ohi; i++ {
+		if custOK[db.Orders.CustKey[i]] {
+			orderOK[db.Orders.Key[i]] = oinfo{date: db.Orders.OrderDate[i], sprio: db.Orders.ShipPrio[i]}
+		}
+	}
+	// Lineitems with l_shipdate > date: clustered suffix.
+	lc := &db.Lineitem
+	llo := dateLowerBound(lc.ShipDate, p.Q3Date+1)
+	one := decimal.FromInt64(1)
+	rev := make(map[int64]decimal.Dec128)
+	for i := llo; i < lc.N; i++ {
+		ok := lc.OrderKey[i]
+		if _, hit := orderOK[ok]; !hit {
+			continue
+		}
+		rev[ok] = rev[ok].Add(lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i])))
+	}
+	rows := make([]tpch.Q3Row, 0, len(rev))
+	for ok, r := range rev {
+		oi := orderOK[ok]
+		rows = append(rows, tpch.Q3Row{OrderKey: ok, Revenue: r, OrderDate: oi.date, ShipPriority: oi.sprio})
+	}
+	return tpch.SortQ3(rows)
+}
+
+// Q4 seeks the ORDERS clustered index for the quarter and semi-joins
+// lineitems by orderkey.
+func (db *DB) Q4(p tpch.Params) []tpch.Q4Row {
+	hi := p.Q4Date.AddMonths(3)
+	olo := dateLowerBound(db.Orders.OrderDate, p.Q4Date)
+	ohi := dateLowerBound(db.Orders.OrderDate, hi)
+	inRange := make(map[int64]bool, ohi-olo)
+	for i := olo; i < ohi; i++ {
+		inRange[db.Orders.Key[i]] = true
+	}
+	late := make(map[int64]bool)
+	lc := &db.Lineitem
+	for i := 0; i < lc.N; i++ {
+		if lc.CommitDate[i] < lc.RecvDate[i] && inRange[lc.OrderKey[i]] {
+			late[lc.OrderKey[i]] = true
+		}
+	}
+	counts := make(map[string]int64)
+	for i := olo; i < ohi; i++ {
+		if late[db.Orders.Key[i]] {
+			counts[db.Orders.Priority.At(i)]++
+		}
+	}
+	rows := make([]tpch.Q4Row, 0, len(counts))
+	for pr, n := range counts {
+		rows = append(rows, tpch.Q4Row{Priority: pr, Count: n})
+	}
+	tpch.SortQ4(rows)
+	return rows
+}
+
+// Q5 seeks the ORDERS clustered index for the year, then hash-joins.
+func (db *DB) Q5(p tpch.Params) []tpch.Q5Row {
+	hi := p.Q5Date.AddYears(1)
+	rk := db.regionKeyByName(p.Q5Region)
+	nations := db.nationsInRegion(rk)
+
+	// Orders in the year, with the customer's nation attached.
+	olo := dateLowerBound(db.Orders.OrderDate, p.Q5Date)
+	ohi := dateLowerBound(db.Orders.OrderDate, hi)
+	orderNation := make(map[int64]int64, ohi-olo)
+	for i := olo; i < ohi; i++ {
+		crow, ok := db.Customer.keyToRow[db.Orders.CustKey[i]]
+		if !ok {
+			continue
+		}
+		orderNation[db.Orders.Key[i]] = db.Customer.NationKey[crow]
+	}
+	one := decimal.FromInt64(1)
+	rev := make(map[string]decimal.Dec128)
+	lc := &db.Lineitem
+	for i := 0; i < lc.N; i++ {
+		cnk, ok := orderNation[lc.OrderKey[i]]
+		if !ok {
+			continue
+		}
+		srow, ok := db.Supplier.keyToRow[lc.SuppKey[i]]
+		if !ok {
+			continue
+		}
+		snk := db.Supplier.NationKey[srow]
+		name, inRegion := nations[snk]
+		if !inRegion || snk != cnk {
+			continue
+		}
+		rev[name] = rev[name].Add(lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i])))
+	}
+	rows := make([]tpch.Q5Row, 0, len(rev))
+	for n, v := range rev {
+		rows = append(rows, tpch.Q5Row{Nation: n, Revenue: v})
+	}
+	tpch.SortQ5(rows)
+	return rows
+}
+
+// Q6 is a pure clustered-index range scan.
+func (db *DB) Q6(p tpch.Params) decimal.Dec128 {
+	hi := p.Q6Date.AddYears(1)
+	lc := &db.Lineitem
+	lo := dateLowerBound(lc.ShipDate, p.Q6Date)
+	end := dateLowerBound(lc.ShipDate, hi)
+	dlo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
+	dhi := p.Q6Discount.Add(decimal.MustParse("0.01"))
+	var sum decimal.Dec128
+	for i := lo; i < end; i++ {
+		d := lc.Discount[i]
+		if d.Less(dlo) || dhi.Less(d) {
+			continue
+		}
+		if !lc.Quantity[i].Less(p.Q6Quantity) {
+			continue
+		}
+		sum = sum.Add(lc.ExtPrice[i].Mul(d))
+	}
+	return sum
+}
+
+// All runs Q1–Q6.
+func (db *DB) All(p tpch.Params) *tpch.Result {
+	return &tpch.Result{
+		Q1: db.Q1(p),
+		Q2: db.Q2(p),
+		Q3: db.Q3(p),
+		Q4: db.Q4(p),
+		Q5: db.Q5(p),
+		Q6: db.Q6(p),
+	}
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}

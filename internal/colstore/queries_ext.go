@@ -1,0 +1,276 @@
+package colstore
+
+import (
+	"strings"
+
+	"repro/internal/decimal"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// Q7–Q10 executors: the extended query set, planned the way a columnar
+// RDBMS would — dimension filters build key hash sets, the clustered date
+// indexes prune the fact scans where a date predicate allows, and all
+// joins are value-based hash probes.
+
+// q7Window is the Q7/Q8 date window [1995-01-01, 1996-12-31].
+var (
+	q7WindowLo = types.MustDate("1995-01-01")
+	q7WindowHi = types.MustDate("1996-12-31")
+)
+
+// nationNameByKey builds the nation key -> name dimension lookup.
+func (db *DB) nationNameByKey() map[int64]string {
+	out := make(map[int64]string, db.Nation.N)
+	for i := 0; i < db.Nation.N; i++ {
+		out[db.Nation.Key[i]] = db.Nation.Name[i]
+	}
+	return out
+}
+
+// nationKeyByName resolves one nation name to its key, or -1.
+func (db *DB) nationKeyByName(name string) int64 {
+	for i := 0; i < db.Nation.N; i++ {
+		if db.Nation.Name[i] == name {
+			return db.Nation.Key[i]
+		}
+	}
+	return -1
+}
+
+// Q7 seeks the clustered ShipDate index for the two-year window, then
+// hash-joins supplier and order→customer nations.
+func (db *DB) Q7(p tpch.Params) []tpch.Q7Row {
+	nk1 := db.nationKeyByName(p.Q7Nation1)
+	nk2 := db.nationKeyByName(p.Q7Nation2)
+	if nk1 < 0 || nk2 < 0 {
+		return nil
+	}
+	// Customer nation per order key (orders in the window only would
+	// under-count: Q7 filters on ship date, not order date).
+	orderCust := db.Orders.keyToRow
+	lc := &db.Lineitem
+	lo := dateLowerBound(lc.ShipDate, q7WindowLo)
+	hi := dateLowerBound(lc.ShipDate, q7WindowHi+1)
+	one := decimal.FromInt64(1)
+	rev := make(map[int32]decimal.Dec128, 4)
+	for i := lo; i < hi; i++ {
+		srow, ok := db.Supplier.keyToRow[lc.SuppKey[i]]
+		if !ok {
+			continue
+		}
+		snk := db.Supplier.NationKey[srow]
+		var first bool
+		switch snk {
+		case nk1:
+			first = true
+		case nk2:
+			first = false
+		default:
+			continue
+		}
+		orow, ok := orderCust[lc.OrderKey[i]]
+		if !ok {
+			continue
+		}
+		crow, ok := db.Customer.keyToRow[db.Orders.CustKey[orow]]
+		if !ok {
+			continue
+		}
+		cnk := db.Customer.NationKey[crow]
+		if first && cnk != nk2 {
+			continue
+		}
+		if !first && cnk != nk1 {
+			continue
+		}
+		k := int32(lc.ShipDate[i].Year()) << 1
+		if !first {
+			k |= 1
+		}
+		rev[k] = rev[k].Add(lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i])))
+	}
+	rows := make([]tpch.Q7Row, 0, len(rev))
+	for k, v := range rev {
+		sn, cn := p.Q7Nation1, p.Q7Nation2
+		if k&1 == 1 {
+			sn, cn = cn, sn
+		}
+		rows = append(rows, tpch.Q7Row{SuppNation: sn, CustNation: cn, Year: k >> 1, Revenue: v})
+	}
+	tpch.SortQ7(rows)
+	return rows
+}
+
+// Q8 seeks the clustered OrderDate index for the two-year window and
+// hash-joins part, customer-region and supplier-nation dimensions.
+func (db *DB) Q8(p tpch.Params) []tpch.Q8Row {
+	snk := db.nationKeyByName(p.Q8Nation)
+	rk := db.regionKeyByName(p.Q8Region)
+	if snk < 0 || rk < 0 {
+		return nil
+	}
+	regionNations := db.nationsInRegion(rk)
+	// Parts of the exact type.
+	partOK := make(map[int64]bool)
+	for i := 0; i < db.Part.N; i++ {
+		if db.Part.Type[i] == p.Q8Type {
+			partOK[db.Part.Key[i]] = true
+		}
+	}
+	// Orders in the window whose customer is in the region: orderkey ->
+	// order year.
+	olo := dateLowerBound(db.Orders.OrderDate, q7WindowLo)
+	ohi := dateLowerBound(db.Orders.OrderDate, q7WindowHi+1)
+	orderYear := make(map[int64]int32, ohi-olo)
+	for i := olo; i < ohi; i++ {
+		crow, ok := db.Customer.keyToRow[db.Orders.CustKey[i]]
+		if !ok {
+			continue
+		}
+		if _, ok := regionNations[db.Customer.NationKey[crow]]; !ok {
+			continue
+		}
+		orderYear[db.Orders.Key[i]] = int32(db.Orders.OrderDate[i].Year())
+	}
+	one := decimal.FromInt64(1)
+	groups := make(map[int32]*q8Acc, 2)
+	lc := &db.Lineitem
+	for i := 0; i < lc.N; i++ {
+		if !partOK[lc.PartKey[i]] {
+			continue
+		}
+		y, ok := orderYear[lc.OrderKey[i]]
+		if !ok {
+			continue
+		}
+		a := groups[y]
+		if a == nil {
+			a = &q8Acc{}
+			groups[y] = a
+		}
+		vol := lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i]))
+		a.total = a.total.Add(vol)
+		srow, ok := db.Supplier.keyToRow[lc.SuppKey[i]]
+		if ok && db.Supplier.NationKey[srow] == snk {
+			a.nation = a.nation.Add(vol)
+		}
+	}
+	rows := make([]tpch.Q8Row, 0, len(groups))
+	for y, a := range groups {
+		share := decimal.Zero
+		if !a.total.IsZero() {
+			share = a.nation.Div(a.total)
+		}
+		rows = append(rows, tpch.Q8Row{Year: y, MktShare: share})
+	}
+	tpch.SortQ8(rows)
+	return rows
+}
+
+// q8Acc accumulates Q8's per-year volume sums.
+type q8Acc struct {
+	nation, total decimal.Dec128
+}
+
+// Q9 filters parts by name fragment, probes the PARTSUPP join index for
+// costs, and joins orders for the year and suppliers for the nation.
+func (db *DB) Q9(p tpch.Params) []tpch.Q9Row {
+	partOK := make(map[int64]bool)
+	for i := 0; i < db.Part.N; i++ {
+		if strings.Contains(db.Part.Name[i], p.Q9Color) {
+			partOK[db.Part.Key[i]] = true
+		}
+	}
+	nationName := db.nationNameByKey()
+	one := decimal.FromInt64(1)
+	type gk struct {
+		nation string
+		year   int32
+	}
+	profit := make(map[gk]decimal.Dec128)
+	lc := &db.Lineitem
+	for i := 0; i < lc.N; i++ {
+		if !partOK[lc.PartKey[i]] {
+			continue
+		}
+		cost, ok := db.PartSupp.CostOf(lc.PartKey[i], lc.SuppKey[i])
+		if !ok {
+			continue
+		}
+		orow, ok := db.Orders.keyToRow[lc.OrderKey[i]]
+		if !ok {
+			continue
+		}
+		srow, ok := db.Supplier.keyToRow[lc.SuppKey[i]]
+		if !ok {
+			continue
+		}
+		amount := lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i])).Sub(cost.Mul(lc.Quantity[i]))
+		k := gk{
+			nation: nationName[db.Supplier.NationKey[srow]],
+			year:   int32(db.Orders.OrderDate[orow].Year()),
+		}
+		profit[k] = profit[k].Add(amount)
+	}
+	rows := make([]tpch.Q9Row, 0, len(profit))
+	for k, v := range profit {
+		rows = append(rows, tpch.Q9Row{Nation: k.nation, Year: k.year, SumProfit: v})
+	}
+	tpch.SortQ9(rows)
+	return rows
+}
+
+// Q10 seeks the ORDERS clustered index for the quarter, semi-joins
+// returned lineitems and aggregates per customer.
+func (db *DB) Q10(p tpch.Params) []tpch.Q10Row {
+	hi := p.Q10Date.AddMonths(3)
+	olo := dateLowerBound(db.Orders.OrderDate, p.Q10Date)
+	ohi := dateLowerBound(db.Orders.OrderDate, hi)
+	orderCust := make(map[int64]int64, ohi-olo)
+	for i := olo; i < ohi; i++ {
+		orderCust[db.Orders.Key[i]] = db.Orders.CustKey[i]
+	}
+	one := decimal.FromInt64(1)
+	rev := make(map[int64]decimal.Dec128)
+	lc := &db.Lineitem
+	for i := 0; i < lc.N; i++ {
+		if lc.RetFlag[i] != 'R' {
+			continue
+		}
+		ck, ok := orderCust[lc.OrderKey[i]]
+		if !ok {
+			continue
+		}
+		rev[ck] = rev[ck].Add(lc.ExtPrice[i].Mul(one.Sub(lc.Discount[i])))
+	}
+	nationName := db.nationNameByKey()
+	rows := make([]tpch.Q10Row, 0, len(rev))
+	for ck, v := range rev {
+		crow, ok := db.Customer.keyToRow[ck]
+		if !ok {
+			continue
+		}
+		rows = append(rows, tpch.Q10Row{
+			CustKey: ck,
+			Name:    db.Customer.Name[crow],
+			Revenue: v,
+			AcctBal: db.Customer.AcctBal[crow],
+			Nation:  nationName[db.Customer.NationKey[crow]],
+			Address: db.Customer.Address[crow],
+			Phone:   db.Customer.Phone[crow],
+			Comment: db.Customer.Comment[crow],
+		})
+	}
+	return tpch.SortQ10(rows)
+}
+
+// AllX runs Q7–Q10.
+func (db *DB) AllX(p tpch.Params) *tpch.ResultX {
+	return &tpch.ResultX{
+		Q7:  db.Q7(p),
+		Q8:  db.Q8(p),
+		Q9:  db.Q9(p),
+		Q10: db.Q10(p),
+	}
+}

@@ -1,0 +1,208 @@
+// Package core implements self-managed collections (SMCs), the paper's
+// primary contribution: a collection type whose objects live in private
+// off-heap memory excluded from garbage collection, owned by the
+// collection itself (§2, §4).
+//
+// Semantics (§2):
+//
+//   - Objects are created by Add and destroyed by Remove; the collection
+//     determines object lifetime ("object containment is inspired by
+//     database tables").
+//   - After Remove, every reference to the object implicitly becomes
+//     null; dereferencing yields ErrNullReference.
+//   - Enumeration has bag semantics and proceeds in memory order over
+//     the collection's private blocks, which is what gives compiled
+//     queries their locality (§4).
+//   - Element types must be *tabular*: fixed-size fields, strings (owned
+//     by the object) and references to other collections only. The check
+//     runs at collection construction via internal/schema.
+//
+// Three storage layouts mirror the paper: the indirect baseline (§3),
+// direct pointers between collections (§6), and columnar storage (§4.1).
+//
+// The manual memory manager underneath is internal/mem; sessions and
+// critical sections come from internal/epoch via mem.Session.
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/types"
+)
+
+// ErrNullReference is re-exported for callers of Get/Remove/Deref.
+var ErrNullReference = mem.ErrNullReference
+
+// Runtime owns the memory manager shared by a set of collections: the
+// indirection table, epoch machinery, block registry and compactor. It
+// stands in for the paper's modified managed runtime (§2: "our collection
+// types require a deeper integration with the managed runtime").
+type Runtime struct {
+	mgr *mem.Manager
+
+	mu      sync.Mutex
+	colls   []namedColl
+	pending []*refBinding // ref fields awaiting their target collection
+}
+
+type namedColl struct {
+	name string
+	ctx  *mem.Context
+}
+
+// Options configures a Runtime; zero values select the defaults
+// documented on mem.Config.
+type Options struct {
+	// BlockSize is the memory-block size (power of two, default 256 KiB).
+	BlockSize int
+	// ReclaimThreshold is the limbo fraction that queues a block for
+	// reclamation (default 5%, the paper's choice after Figure 6).
+	ReclaimThreshold float64
+	// CompactionThreshold is the occupancy below which blocks join
+	// compaction groups (default 30%, §5.2).
+	CompactionThreshold float64
+	// HeapBackend forces the portable off-heap backend (tests).
+	HeapBackend bool
+}
+
+// NewRuntime creates a runtime.
+func NewRuntime(opts Options) (*Runtime, error) {
+	mgr, err := mem.NewManager(mem.Config{
+		BlockSize:           opts.BlockSize,
+		ReclaimThreshold:    opts.ReclaimThreshold,
+		CompactionThreshold: opts.CompactionThreshold,
+		HeapBackend:         opts.HeapBackend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{mgr: mgr}, nil
+}
+
+// MustRuntime is NewRuntime, panicking on error.
+func MustRuntime(opts Options) *Runtime {
+	rt, err := NewRuntime(opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Manager exposes the underlying memory manager (benchmark harnesses and
+// compiled query code use it for low-level access).
+func (rt *Runtime) Manager() *mem.Manager { return rt.mgr }
+
+// NewSession registers a session. Every goroutine touching collections
+// needs its own session; sessions carry the thread-local allocation state
+// and the epoch critical-section bookkeeping (§3.4–3.5).
+func (rt *Runtime) NewSession() (*Session, error) {
+	ms, err := rt.mgr.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{ms: ms}, nil
+}
+
+// MustSession is NewSession, panicking on error.
+func (rt *Runtime) MustSession() *Session {
+	s, err := rt.NewSession()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CompactNow synchronously runs one compaction pass (§5).
+func (rt *Runtime) CompactNow() (moved int, err error) { return rt.mgr.CompactNow() }
+
+// StartCompactor runs the background compaction thread of §5; the
+// returned function stops it.
+func (rt *Runtime) StartCompactor(interval time.Duration) func() {
+	return rt.mgr.StartCompactor(interval)
+}
+
+// RescueOverflowed synchronously runs one §3.1 overflow rescue scan:
+// stale references to incarnation-exhausted slots are nulled and the
+// slots return to circulation.
+func (rt *Runtime) RescueOverflowed() (mem.RescueStats, error) {
+	return rt.mgr.RescueOverflowed()
+}
+
+// StartOverflowScanner runs the §3.1 background scanner thread; the
+// returned function stops it.
+func (rt *Runtime) StartOverflowScanner(interval time.Duration) func() {
+	return rt.mgr.StartOverflowScanner(interval)
+}
+
+// Close releases all off-heap memory owned by the runtime.
+func (rt *Runtime) Close() error { return rt.mgr.Close() }
+
+// Session wraps a mem.Session. Critical sections (grace periods) group
+// object accesses so their epoch overhead is amortized (§3.4, §4).
+type Session struct {
+	ms *mem.Session
+}
+
+// Enter begins (or nests) a critical section.
+func (s *Session) Enter() { s.ms.Enter() }
+
+// Exit leaves the critical section.
+func (s *Session) Exit() { s.ms.Exit() }
+
+// Refresh re-publishes the session's epoch mid-enumeration.
+func (s *Session) Refresh() { s.ms.Refresh() }
+
+// Close unregisters the session.
+func (s *Session) Close() error { return s.ms.Close() }
+
+// Mem exposes the underlying mem.Session for compiled query code.
+func (s *Session) Mem() *mem.Session { return s.ms }
+
+// Ref is a typed reference to an object in a Collection[T]. Its zero
+// value is the null reference. Refs stay valid across relocations
+// (compaction) and become null when the object is removed.
+type Ref[T any] struct {
+	R types.Ref
+}
+
+// RefTargetType implements types.RefTyped so the schema layer can
+// discover the referent type of Ref fields inside tabular structs.
+func (Ref[T]) RefTargetType() reflect.Type {
+	var zero T
+	return reflect.TypeOf(zero)
+}
+
+// IsNil reports whether the reference is null.
+func (r Ref[T]) IsNil() bool { return r.R.IsNil() }
+
+// Layout selects a collection's storage layout.
+type Layout = mem.Layout
+
+// Storage layout re-exports.
+const (
+	RowIndirect = mem.RowIndirect
+	RowDirect   = mem.RowDirect
+	Columnar    = mem.Columnar
+)
+
+// registerCollection records the collection for diagnostics.
+func (rt *Runtime) registerCollection(name string, ctx *mem.Context) {
+	rt.mu.Lock()
+	rt.colls = append(rt.colls, namedColl{name, ctx})
+	rt.mu.Unlock()
+}
+
+// Dump returns a human-readable summary of all collections.
+func (rt *Runtime) Dump() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := ""
+	for _, c := range rt.colls {
+		out += fmt.Sprintf("%s\n", c.ctx)
+	}
+	return out
+}

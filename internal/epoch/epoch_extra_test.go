@@ -1,0 +1,103 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllAtLeast(t *testing.T) {
+	m := NewManager()
+	a, _ := m.NewSession()
+	b, _ := m.NewSession()
+	defer a.Close()
+	defer b.Close()
+
+	if !m.AllAtLeast(0, nil) {
+		t.Fatal("no sessions in critical: AllAtLeast(0) must hold")
+	}
+	a.Enter()
+	// a is at epoch 0; requiring epoch 1 must fail.
+	if m.AllAtLeast(1, nil) {
+		t.Fatal("session at 0 satisfied AllAtLeast(1)")
+	}
+	// ... unless a is the excepted session.
+	if !m.AllAtLeast(1, a) {
+		t.Fatal("except-session not honoured")
+	}
+	// b idle: does not block.
+	if !m.AllAtLeast(0, nil) {
+		t.Fatal("AllAtLeast(0) with session at 0 must hold")
+	}
+	a.Exit()
+}
+
+func TestSessionIDStable(t *testing.T) {
+	m := NewManager()
+	s, _ := m.NewSession()
+	id := s.ID()
+	if id < 0 || id >= MaxSessions {
+		t.Fatalf("ID = %d out of range", id)
+	}
+	s.Close()
+	// The slot recycles to a new session.
+	s2, _ := m.NewSession()
+	defer s2.Close()
+	if s2.ID() != id {
+		t.Fatalf("slot not recycled: got %d, want %d", s2.ID(), id)
+	}
+}
+
+// TestSessionSlotReuseUnderConcurrency churns session registration from
+// many goroutines while another advances the epoch; slot accounting must
+// stay consistent.
+func TestSessionSlotReuseUnderConcurrency(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s, err := m.NewSession()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Enter()
+				_ = s.Epoch()
+				s.Exit()
+				if err := s.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.TryAdvance()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if n := m.Sessions(); n != 0 {
+		t.Fatalf("sessions leaked: %d", n)
+	}
+}
+
+func TestDoubleCloseFails(t *testing.T) {
+	m := NewManager()
+	s, _ := m.NewSession()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("double close should fail")
+	}
+}

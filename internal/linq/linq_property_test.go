@@ -1,0 +1,185 @@
+package linq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests: every operator chain must agree with a straightforward
+// loop-based reference implementation on random inputs.
+
+func TestWhereSelectMatchesLoop(t *testing.T) {
+	f := func(xs []int32) bool {
+		pred := func(v int32) bool { return v%3 == 0 }
+		proj := func(v int32) int64 { return int64(v) * 2 }
+		got := ToSlice(Select(Where(FromSlice(xs), pred), proj))
+		var want []int64
+		for _, v := range xs {
+			if pred(v) {
+				want = append(want, proj(v))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByPartitions(t *testing.T) {
+	f := func(xs []int16) bool {
+		key := func(v int16) int16 { return v % 7 }
+		groups := ToSlice(GroupBy(FromSlice(xs), key))
+		// Union of groups = input (as multiset), and each group is pure.
+		total := 0
+		seen := map[int16]bool{}
+		for _, g := range groups {
+			if seen[g.Key] {
+				return false // duplicate key group
+			}
+			seen[g.Key] = true
+			for _, v := range g.Items {
+				if key(v) != g.Key {
+					return false
+				}
+				total++
+			}
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinMatchesNestedLoops(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		lk := func(v uint8) uint8 { return v % 5 }
+		rk := func(v uint8) uint8 { return v % 5 }
+		got := ToSlice(Join(FromSlice(ls), FromSlice(rs), lk, rk))
+		var want []JoinPair[uint8, uint8]
+		for _, l := range ls {
+			for _, r := range rs {
+				if lk(l) == rk(r) {
+					want = append(want, JoinPair[uint8, uint8]{l, r})
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		// Join emits left-order, right-insertion-order: exact match.
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderByIsStableSort(t *testing.T) {
+	type rec struct {
+		K int8
+		I int // original index
+	}
+	f := func(keys []int8) bool {
+		recs := make([]rec, len(keys))
+		for i, k := range keys {
+			recs[i] = rec{K: k, I: i}
+		}
+		got := ToSlice(OrderBy(FromSlice(recs), func(a, b rec) bool { return a.K < b.K }))
+		want := append([]rec(nil), recs...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].K < want[j].K })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeAndCountProperties(t *testing.T) {
+	f := func(xs []int32, nRaw uint8) bool {
+		n := int(nRaw % 40)
+		got := ToSlice(Take(FromSlice(xs), n))
+		want := min(n, len(xs))
+		if len(got) != want {
+			return false
+		}
+		return Count(FromSlice(xs)) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectManyFlattens(t *testing.T) {
+	f := func(xs []uint8) bool {
+		// Each element expands to v%4 copies of itself.
+		got := ToSlice(SelectMany(FromSlice(xs), func(v uint8) Enumerable[uint8] {
+			out := make([]uint8, v%4)
+			for i := range out {
+				out[i] = v
+			}
+			return FromSlice(out)
+		}))
+		var want []uint8
+		for _, v := range xs {
+			for i := 0; i < int(v%4); i++ {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazinessReExecution(t *testing.T) {
+	// An Enumerable is re-executable: two drains see the same elements,
+	// and operators do not run until drained.
+	calls := 0
+	q := Select(FromSlice([]int{1, 2, 3}), func(v int) int {
+		calls++
+		return v * 10
+	})
+	if calls != 0 {
+		t.Fatal("Select ran eagerly")
+	}
+	a := ToSlice(q)
+	b := ToSlice(q)
+	if calls != 6 {
+		t.Fatalf("selector calls = %d, want 6 (two drains)", calls)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("re-execution differs")
+		}
+	}
+}

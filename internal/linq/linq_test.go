@@ -1,0 +1,136 @@
+package linq
+
+import (
+	"testing"
+)
+
+func nums(n int) Enumerable[int] {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return FromSlice(s)
+}
+
+func TestWhereSelect(t *testing.T) {
+	q := Select(Where(nums(10), func(x int) bool { return x%2 == 0 }), func(x int) int { return x * x })
+	got := ToSlice(q)
+	want := []int{0, 4, 16, 36, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Lazily re-executable: a second drain yields the same results.
+	if len(ToSlice(q)) != 5 {
+		t.Fatal("second enumeration differs")
+	}
+}
+
+func TestSelectMany(t *testing.T) {
+	q := SelectMany(nums(3), func(x int) Enumerable[int] {
+		return FromSlice([]int{x * 10, x*10 + 1})
+	})
+	got := ToSlice(q)
+	want := []int{0, 1, 10, 11, 20, 21}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	q := GroupBy(nums(10), func(x int) int { return x % 3 })
+	groups := ToSlice(q)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Groups appear in first-seen key order.
+	if groups[0].Key != 0 || groups[1].Key != 1 || groups[2].Key != 2 {
+		t.Fatalf("key order: %v %v %v", groups[0].Key, groups[1].Key, groups[2].Key)
+	}
+	if len(groups[0].Items) != 4 || len(groups[1].Items) != 3 {
+		t.Fatalf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	type ord struct{ id, cust int }
+	type cust struct {
+		id   int
+		name string
+	}
+	orders := FromSlice([]ord{{1, 10}, {2, 20}, {3, 10}, {4, 99}})
+	custs := FromSlice([]cust{{10, "a"}, {20, "b"}})
+	q := Join(orders, custs,
+		func(o ord) int { return o.cust },
+		func(c cust) int { return c.id })
+	pairs := ToSlice(q)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].Left.id != 1 || pairs[0].Right.name != "a" {
+		t.Fatalf("pair0 = %+v", pairs[0])
+	}
+	// Order 4 has no customer: inner join drops it.
+	for _, p := range pairs {
+		if p.Left.id == 4 {
+			t.Fatal("unmatched row leaked through inner join")
+		}
+	}
+}
+
+func TestOrderByTake(t *testing.T) {
+	src := FromSlice([]int{5, 3, 9, 1, 7})
+	got := ToSlice(Take(OrderBy(src, func(a, b int) bool { return b < a }), 3))
+	want := []int{9, 7, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSinks(t *testing.T) {
+	if Count(nums(7)) != 7 {
+		t.Fatal("Count")
+	}
+	if SumInt64(nums(5), func(x int) int64 { return int64(x) }) != 10 {
+		t.Fatal("SumInt64")
+	}
+	if SumFloat64(nums(5), func(x int) float64 { return float64(x) }) != 10 {
+		t.Fatal("SumFloat64")
+	}
+	if got := Aggregate(nums(4), 1, func(a, x int) int { return a * (x + 1) }); got != 24 {
+		t.Fatalf("Aggregate = %d", got)
+	}
+	if v, ok := First(nums(3)); !ok || v != 0 {
+		t.Fatalf("First = %d,%v", v, ok)
+	}
+	if _, ok := First(nums(0)); ok {
+		t.Fatal("First on empty should miss")
+	}
+	if !Any(nums(5), func(x int) bool { return x == 4 }) {
+		t.Fatal("Any true case")
+	}
+	if Any(nums(5), func(x int) bool { return x > 10 }) {
+		t.Fatal("Any false case")
+	}
+}
+
+func TestEmptySources(t *testing.T) {
+	e := FromSlice([]int(nil))
+	if Count(e) != 0 {
+		t.Fatal("empty count")
+	}
+	if len(ToSlice(Where(e, func(int) bool { return true }))) != 0 {
+		t.Fatal("empty where")
+	}
+	if len(ToSlice(GroupBy(e, func(x int) int { return x }))) != 0 {
+		t.Fatal("empty group")
+	}
+}

@@ -1,0 +1,231 @@
+// Package managed provides the ordinary garbage-collected collection
+// baselines the paper evaluates SMCs against (§7): List<T>,
+// ConcurrentDictionary<TKey,TValue> and ConcurrentBag<T>.
+//
+// List stores pointers to heap objects, like a C# List<T> of reference
+// types: objects are allocated individually on the managed heap, so after
+// churn they end up scattered ("objects may be scattered all over the
+// managed heap", §1), which is exactly the locality penalty Figure 10
+// measures. ConcurrentDictionary is lock-sharded; ConcurrentBag has no
+// specific-element removal, matching the C# API limitation the paper
+// notes ("ConcurrentBag<T> does not allow the removal of specific
+// objects").
+package managed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// List is the C# List<T>-of-reference-types baseline: a dynamic array of
+// pointers to individually heap-allocated objects. It is not thread-safe,
+// matching the original ("most collections in C# are not thread-safe").
+type List[T any] struct {
+	items []*T
+}
+
+// NewList creates an empty list with the given capacity hint.
+func NewList[T any](capacity int) *List[T] {
+	return &List[T]{items: make([]*T, 0, capacity)}
+}
+
+// Add appends a heap-allocated copy of v and returns its pointer (the
+// "reference" the application keeps).
+func (l *List[T]) Add(v *T) *T {
+	obj := new(T)
+	*obj = *v
+	l.items = append(l.items, obj)
+	return obj
+}
+
+// AddPtr appends an existing object pointer.
+func (l *List[T]) AddPtr(p *T) { l.items = append(l.items, p) }
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return len(l.items) }
+
+// At returns the i-th element.
+func (l *List[T]) At(i int) *T { return l.items[i] }
+
+// Items exposes the backing slice for compiled query code.
+func (l *List[T]) Items() []*T { return l.items }
+
+// RemoveWhere deletes all elements matching pred in one pass, preserving
+// order (the paper's refresh streams remove a predicate-selected batch in
+// a single enumeration).
+func (l *List[T]) RemoveWhere(pred func(*T) bool) int {
+	out := l.items[:0]
+	removed := 0
+	for _, it := range l.items {
+		if pred(it) {
+			removed++
+			continue
+		}
+		out = append(out, it)
+	}
+	// Clear the tail so removed objects become collectable.
+	for i := len(out); i < len(l.items); i++ {
+		l.items[i] = nil
+	}
+	l.items = out
+	return removed
+}
+
+// Clear empties the list.
+func (l *List[T]) Clear() {
+	for i := range l.items {
+		l.items[i] = nil
+	}
+	l.items = l.items[:0]
+}
+
+const shardCount = 64
+
+// ConcurrentDictionary is the thread-safe keyed baseline: a hash map
+// sharded across shardCount lock-protected segments, the standard Go
+// equivalent of C#'s ConcurrentDictionary.
+type ConcurrentDictionary[K comparable, V any] struct {
+	shards [shardCount]dictShard[K, V]
+	length atomic.Int64
+	hash   func(K) uint64
+}
+
+type dictShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]*V
+	_  [40]byte // keep shards off each other's cache lines
+}
+
+// NewConcurrentDictionary creates a dictionary using the given hash
+// function to pick shards.
+func NewConcurrentDictionary[K comparable, V any](hash func(K) uint64) *ConcurrentDictionary[K, V] {
+	d := &ConcurrentDictionary[K, V]{hash: hash}
+	for i := range d.shards {
+		d.shards[i].m = make(map[K]*V)
+	}
+	return d
+}
+
+// NewIntDictionary is a convenience constructor for integer keys.
+func NewIntDictionary[V any]() *ConcurrentDictionary[int64, V] {
+	return NewConcurrentDictionary[int64, V](func(k int64) uint64 {
+		x := uint64(k)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	})
+}
+
+func (d *ConcurrentDictionary[K, V]) shard(k K) *dictShard[K, V] {
+	return &d.shards[d.hash(k)&(shardCount-1)]
+}
+
+// Store inserts or replaces the value for k, returning its pointer.
+func (d *ConcurrentDictionary[K, V]) Store(k K, v *V) *V {
+	obj := new(V)
+	*obj = *v
+	s := d.shard(k)
+	s.mu.Lock()
+	_, existed := s.m[k]
+	s.m[k] = obj
+	s.mu.Unlock()
+	if !existed {
+		d.length.Add(1)
+	}
+	return obj
+}
+
+// Load returns the value for k.
+func (d *ConcurrentDictionary[K, V]) Load(k K) (*V, bool) {
+	s := d.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Delete removes k, reporting whether it was present.
+func (d *ConcurrentDictionary[K, V]) Delete(k K) bool {
+	s := d.shard(k)
+	s.mu.Lock()
+	_, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	if ok {
+		d.length.Add(-1)
+	}
+	return ok
+}
+
+// Len returns the element count.
+func (d *ConcurrentDictionary[K, V]) Len() int { return int(d.length.Load()) }
+
+// Range calls fn for every element, shard by shard under read locks.
+// fn returning false stops the walk.
+func (d *ConcurrentDictionary[K, V]) Range(fn func(K, *V) bool) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// ConcurrentBag is the thread-safe unordered baseline: per-shard slices,
+// append-only plus whole-bag enumeration. Like C#'s ConcurrentBag it does
+// not support removing specific elements.
+type ConcurrentBag[T any] struct {
+	shards [shardCount]bagShard[T]
+	next   atomic.Uint64
+	length atomic.Int64
+}
+
+type bagShard[T any] struct {
+	mu    sync.Mutex
+	items []*T
+	_     [40]byte
+}
+
+// NewConcurrentBag creates an empty bag.
+func NewConcurrentBag[T any]() *ConcurrentBag[T] {
+	return &ConcurrentBag[T]{}
+}
+
+// Add inserts a heap-allocated copy of v.
+func (b *ConcurrentBag[T]) Add(v *T) *T {
+	obj := new(T)
+	*obj = *v
+	i := b.next.Add(1) & (shardCount - 1)
+	s := &b.shards[i]
+	s.mu.Lock()
+	s.items = append(s.items, obj)
+	s.mu.Unlock()
+	b.length.Add(1)
+	return obj
+}
+
+// Len returns the element count.
+func (b *ConcurrentBag[T]) Len() int { return int(b.length.Load()) }
+
+// Range calls fn for every element. fn returning false stops the walk.
+func (b *ConcurrentBag[T]) Range(fn func(*T) bool) {
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		items := s.items
+		s.mu.Unlock()
+		for _, it := range items {
+			if !fn(it) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package managed
+
+import (
+	"sync"
+	"testing"
+)
+
+type item struct {
+	ID  int64
+	Val int32
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList[item](8)
+	p := l.Add(&item{ID: 1, Val: 10})
+	l.Add(&item{ID: 2, Val: 20})
+	l.Add(&item{ID: 3, Val: 30})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.At(0) != p {
+		t.Fatal("At(0) is not the returned pointer")
+	}
+	if l.At(1).ID != 2 {
+		t.Fatalf("At(1) = %+v", l.At(1))
+	}
+	// Mutating through the reference is visible in the list (reference
+	// semantics, like C# objects).
+	p.Val = 99
+	if l.At(0).Val != 99 {
+		t.Fatal("reference mutation not visible")
+	}
+}
+
+func TestListRemoveWhere(t *testing.T) {
+	l := NewList[item](0)
+	for i := int64(0); i < 100; i++ {
+		l.Add(&item{ID: i})
+	}
+	removed := l.RemoveWhere(func(it *item) bool { return it.ID%3 == 0 })
+	if removed != 34 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if l.Len() != 66 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for i := 0; i < l.Len(); i++ {
+		if l.At(i).ID%3 == 0 {
+			t.Fatalf("survivor %d divisible by 3", l.At(i).ID)
+		}
+	}
+	// Order preserved.
+	for i := 1; i < l.Len(); i++ {
+		if l.At(i).ID <= l.At(i-1).ID {
+			t.Fatal("order not preserved")
+		}
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestDictionaryBasics(t *testing.T) {
+	d := NewIntDictionary[item]()
+	d.Store(1, &item{ID: 1, Val: 10})
+	d.Store(2, &item{ID: 2, Val: 20})
+	d.Store(1, &item{ID: 1, Val: 11}) // replace
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	v, ok := d.Load(1)
+	if !ok || v.Val != 11 {
+		t.Fatalf("Load(1) = %+v, %v", v, ok)
+	}
+	if _, ok := d.Load(3); ok {
+		t.Fatal("Load(3) should miss")
+	}
+	if !d.Delete(1) {
+		t.Fatal("Delete(1) failed")
+	}
+	if d.Delete(1) {
+		t.Fatal("double Delete should report false")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len after delete = %d", d.Len())
+	}
+}
+
+func TestDictionaryRange(t *testing.T) {
+	d := NewIntDictionary[item]()
+	for i := int64(0); i < 500; i++ {
+		d.Store(i, &item{ID: i})
+	}
+	var sum int64
+	d.Range(func(k int64, v *item) bool {
+		sum += v.ID
+		return true
+	})
+	if want := int64(499 * 500 / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	// Early stop.
+	n := 0
+	d.Range(func(int64, *item) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewIntDictionary[item]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * 10000
+			for i := int64(0); i < 2000; i++ {
+				d.Store(base+i, &item{ID: base + i})
+			}
+			for i := int64(0); i < 2000; i += 2 {
+				d.Delete(base + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 4*1000 {
+		t.Fatalf("Len = %d, want 4000", d.Len())
+	}
+}
+
+func TestBagBasics(t *testing.T) {
+	b := NewConcurrentBag[item]()
+	for i := int64(0); i < 300; i++ {
+		b.Add(&item{ID: i})
+	}
+	if b.Len() != 300 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	var sum int64
+	b.Range(func(it *item) bool { sum += it.ID; return true })
+	if want := int64(299 * 300 / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	n := 0
+	b.Range(func(*item) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBagConcurrent(t *testing.T) {
+	b := NewConcurrentBag[item]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 5000; i++ {
+				b.Add(&item{ID: int64(w)<<32 | i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != 20000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}

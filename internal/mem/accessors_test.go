@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Accessor and helper coverage: the small exported surface that compiled
+// query code and the harnesses build on.
+
+func TestBlockAndContextAccessors(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	ref := h.add(t, h.s, 1, "x")
+	_ = ref
+
+	if h.ctx.Name() != "test" {
+		t.Fatalf("Name = %q", h.ctx.Name())
+	}
+	if h.ctx.Layout() != RowIndirect {
+		t.Fatalf("Layout = %v", h.ctx.Layout())
+	}
+	if h.ctx.Manager() != h.m {
+		t.Fatal("Manager mismatch")
+	}
+	if !strings.Contains(h.ctx.String(), "test") {
+		t.Fatalf("String = %q", h.ctx.String())
+	}
+	if h.ctx.BlockCapacity() <= 0 {
+		t.Fatal("BlockCapacity not positive")
+	}
+
+	blocks := h.ctx.SnapshotBlocks()
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	b := blocks[0]
+	if b.Context() != h.ctx {
+		t.Fatal("block Context mismatch")
+	}
+	if b.Capacity() <= 0 {
+		t.Fatal("Capacity not positive")
+	}
+	if b.Valid() != 1 || b.Limbo() != 0 {
+		t.Fatalf("Valid/Limbo = %d/%d", b.Valid(), b.Limbo())
+	}
+	if got := h.m.blockByID(b.ID()); got != b {
+		t.Fatal("ID does not resolve through the registry")
+	}
+	if !b.SlotIsValid(0) {
+		t.Fatal("slot 0 should be valid")
+	}
+
+	if h.m.Epoch() == nil {
+		t.Fatal("Epoch nil")
+	}
+	if h.m.OffheapStats() == nil {
+		t.Fatal("OffheapStats nil")
+	}
+	if h.s.EpochSession() == nil {
+		t.Fatal("EpochSession nil")
+	}
+}
+
+func TestOpenCodedDerefHelpers(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	ref := h.add(t, h.s, 42, "y")
+	e := ref.Entry
+
+	if EntryGen(e) != ref.Gen {
+		t.Fatal("EntryGen mismatch")
+	}
+	if EntryIncWord(e) != ref.Inc {
+		t.Fatal("EntryIncWord mismatch (clean word expected)")
+	}
+	p := EntryPayloadRow(e)
+	if p == nil {
+		t.Fatal("EntryPayloadRow nil")
+	}
+	if got := *(*int64)(p); got != 42 {
+		t.Fatalf("payload object = %d", got)
+	}
+}
+
+func TestSlotIncWordAndRefFromDirect(t *testing.T) {
+	h := newHarness(t, RowDirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	ref := h.add(t, h.s, 7, "z")
+
+	h.s.Enter()
+	obj, err := h.ctx.Deref(h.s, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SlotIncWord(obj.Ptr) != ref.Inc {
+		t.Fatal("SlotIncWord mismatch")
+	}
+	addr, inc := DirectWord(ref)
+	if addr == 0 {
+		t.Fatal("DirectWord null for live ref")
+	}
+	back := RefFromDirect(h.ctx, addr, inc)
+	if back.Entry != ref.Entry || back.Inc != ref.Inc || back.Gen != ref.Gen {
+		t.Fatalf("RefFromDirect = %+v, want %+v", back, ref)
+	}
+	if !RefFromDirect(h.ctx, 0, 0).IsNil() {
+		t.Fatal("RefFromDirect(0) should be nil")
+	}
+	h.s.Exit()
+}
+
+func TestColBaseColumnar(t *testing.T) {
+	h := newHarness(t, Columnar, Config{BlockSize: 1 << 13, HeapBackend: true})
+	h.add(t, h.s, 5, "c")
+	blk := h.ctx.SnapshotBlocks()[0]
+	base := blk.ColBase(h.idF)
+	if base == nil {
+		t.Fatal("ColBase nil")
+	}
+	if got := *(*int64)(base); got != 5 {
+		t.Fatalf("column value = %d", got)
+	}
+	if blk.FieldPtr(0, h.idF) != base {
+		t.Fatal("FieldPtr(0) should equal the column base")
+	}
+}
+
+func TestCompactionGroupAccessors(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{
+		BlockSize:        1 << 13,
+		ReclaimThreshold: 0.9,
+		HeapBackend:      true,
+	})
+	churnToLowOccupancy(t, h, 4)
+	groups := h.m.planGroups()
+	if len(groups) == 0 {
+		t.Fatal("no groups planned")
+	}
+	g := groups[0]
+	if len(g.Blocks()) < 2 {
+		t.Fatalf("group blocks = %d", len(g.Blocks()))
+	}
+	if g.Target() == nil {
+		t.Fatal("group target nil")
+	}
+	h.m.abortRun(groups)
+}
+
+func TestObjFromPtrRoundTrip(t *testing.T) {
+	h := newHarness(t, RowDirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	ref := h.add(t, h.s, 11, "w")
+	h.s.Enter()
+	defer h.s.Exit()
+	obj, err := h.ctx.Deref(h.s, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := ObjFromPtr(h.ctx, obj.Ptr)
+	if ro.Blk == nil || ro.Ptr != obj.Ptr {
+		t.Fatalf("ObjFromPtr = %+v", ro)
+	}
+	if got := *(*int64)(ro.Field(h.idF)); got != 11 {
+		t.Fatalf("object through ObjFromPtr = %d", got)
+	}
+	_ = types.Ref{} // keep the types import alongside future cases
+}

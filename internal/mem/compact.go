@@ -1,0 +1,771 @@
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Compaction (paper §5) empties under-occupied blocks into fresh ones
+// without stopping the application. A run proceeds through the freezing
+// epoch (relocation lists built, frozen bits set), then the relocation
+// epoch with its waiting phase (readers bail relocations out) and moving
+// phase (the compactor and helping readers move objects). Blocks always
+// participate in groups whose entire content lands in one target block
+// (§5.2); enumerating queries pin groups through query counters, and the
+// compactor bails out of pinned groups after a timeout.
+
+// CompactionGroup is a set of low-occupancy blocks emptied into a single
+// target block (§5.2: a 30% threshold yields three blocks per group).
+type CompactionGroup struct {
+	ctx    *Context
+	blocks []*Block
+	target *Block
+	// pins is the paper's per-group query counter: enumerations that
+	// process the group's pre-relocation state hold a pin; the group is
+	// not moved while pinned.
+	pins  atomic.Int32
+	state atomic.Uint32
+}
+
+// Group states.
+const (
+	gPlanned uint32 = iota
+	gFrozen
+	gMoving
+	gDone
+	gAborted
+)
+
+// Blocks returns the group's source blocks (diagnostics).
+func (g *CompactionGroup) Blocks() []*Block { return g.blocks }
+
+// Target returns the group's target block (diagnostics).
+func (g *CompactionGroup) Target() *Block { return g.target }
+
+// Relocation entry states.
+const (
+	rPending uint32 = iota
+	rDone
+	rFailed // bailed out by a reader in the waiting phase (§5.1 case b)
+	rSkipped
+)
+
+// relocEntry schedules one slot move ("a list of all slots that have to
+// be moved and the memory address the slots have to be moved to", §5.1).
+// inc records the object's incarnation at scheduling time; every freeze
+// and lock transition CASes against exactly this incarnation, so a
+// concurrent removal (which bumps the incarnation) permanently disarms
+// the relocation — without this, a mover racing a bailed-out removal
+// could resurrect the dead object in the target block.
+type relocEntry struct {
+	slot   int32
+	toSlot int32
+	inc    uint32
+	toBlk  *Block
+	entry  entryRef
+	status atomic.Uint32
+}
+
+type relocList struct {
+	entries []relocEntry
+	bySlot  []int32 // slot -> index+1; 0 = not scheduled
+}
+
+func (l *relocList) find(slot int) *relocEntry {
+	if l == nil || slot >= len(l.bySlot) {
+		return nil
+	}
+	i := l.bySlot[slot]
+	if i == 0 {
+		return nil
+	}
+	return &l.entries[i-1]
+}
+
+// incCellFor returns the authoritative incarnation word for a slot: the
+// indirection entry in indirect layouts (§3.2), the slot header in direct
+// mode (§6).
+func (c *Context) incCellFor(blk *Block, slot int) *uint32 {
+	if c.layout == RowDirect {
+		return blk.slotHeaderPtr(slot)
+	}
+	return (*uint32)(unsafe.Add(blk.backEntry(slot), 8))
+}
+
+// CompactNow runs one full compaction pass over all contexts, returning
+// the number of objects moved. Concurrent application work may proceed;
+// only one compaction runs at a time.
+func (m *Manager) CompactNow() (int, error) {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+
+	cs, err := m.NewSession()
+	if err != nil {
+		return 0, err
+	}
+	defer cs.Close()
+
+	if !m.ep.AcquireGate(cs.ep) {
+		return 0, nil
+	}
+	defer m.ep.ReleaseGate(cs.ep)
+
+	groups := m.planGroups()
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	m.stats.Compactions.Add(1)
+
+	// The compaction session pins the pre-freezing epoch for the whole
+	// run, standing in for the paper's "we run the compaction thread in
+	// a critical section that uses the thread-local epoch e" (§5.1).
+	cs.Enter()
+	defer cs.Exit()
+
+	freezing := m.ep.Global()
+	reloc := freezing + 1
+	m.relocEpoch.Store(reloc)
+	m.movingPhase.Store(false)
+
+	// Freezing epoch: build relocation lists, set frozen bits.
+	for _, g := range groups {
+		m.freezeGroup(g)
+		g.state.Store(gFrozen)
+	}
+
+	const epochWait = 500 * time.Millisecond
+	// Wait for all threads to reach the freezing epoch, then open the
+	// relocation epoch.
+	if !m.waitAllAtLeast(freezing, cs, epochWait) {
+		m.abortRun(groups)
+		return 0, nil
+	}
+	for m.ep.Global() < reloc {
+		if _, ok := m.ep.TryAdvanceOwner(cs.ep); !ok {
+			runtime.Gosched()
+		}
+	}
+	// Waiting phase: lasts until every thread has entered the relocation
+	// epoch; readers that hit frozen objects bail their relocations out.
+	if !m.waitAllAtLeast(reloc, cs, epochWait) {
+		m.abortRun(groups)
+		return 0, nil
+	}
+	// Moving phase.
+	m.movingPhase.Store(true)
+	moved := 0
+	var emptied []*Block
+	basesByCtx := make(map[*Context]map[uintptr]bool)
+	for _, g := range groups {
+		n, ok := m.moveGroup(g)
+		moved += n
+		if !ok {
+			continue
+		}
+		for _, b := range g.blocks {
+			if b.validCount.Load() == 0 {
+				emptied = append(emptied, b)
+				set := basesByCtx[g.ctx]
+				if set == nil {
+					set = make(map[uintptr]bool)
+					basesByCtx[g.ctx] = set
+				}
+				set[uintptr(b.base)] = true
+			}
+		}
+	}
+
+	// Direct-pointer fix-up: rewrite in-object pointers into relocated
+	// blocks (§6) while the tombstoned blocks are still mapped.
+	for ctx, bases := range basesByCtx {
+		if ctx.layout == RowDirect {
+			m.fixupDirectPointers(ctx, bases)
+		}
+	}
+
+	// Retire emptied blocks: out of the enumeration order now, memory
+	// released after the grace period.
+	gone := make(map[*Context]map[*Block]bool)
+	for _, b := range emptied {
+		set := gone[b.ctx]
+		if set == nil {
+			set = make(map[*Block]bool)
+			gone[b.ctx] = set
+		}
+		set[b] = true
+	}
+	for ctx, set := range gone {
+		ctx.removeBlocks(set)
+	}
+	for _, b := range emptied {
+		// Invariant check: an emptied block must hold no valid slots.
+		n := 0
+		for i := 0; i < b.capacity; i++ {
+			if slotDirState(b.SlotDirWord(i)) == slotValid {
+				n++
+			}
+		}
+		if n != 0 || b.validCount.Load() != 0 {
+			panic("mem: burying a block with valid slots (accounting bug)")
+		}
+		b.buried.Store(true)
+		m.bury(b)
+	}
+
+	// Close the relocation epoch. Before discarding the relocation
+	// lists, sweep any leftover frozen bits (relocations that stayed
+	// failed through every retry round): once the lists are gone, nobody
+	// else could resolve them.
+	m.movingPhase.Store(false)
+	m.relocEpoch.Store(0)
+	for _, g := range groups {
+		for _, b := range g.blocks {
+			if list := b.reloc.Load(); list != nil {
+				for i := range list.entries {
+					re := &list.entries[i]
+					if st := re.status.Load(); st == rDone || st == rSkipped {
+						continue
+					}
+					cell := g.ctx.incCellFor(b, int(re.slot))
+					for {
+						w := atomic.LoadUint32(cell)
+						if w&FlagFrozen == 0 {
+							break
+						}
+						if w&FlagLock != 0 {
+							runtime.Gosched()
+							continue
+						}
+						if atomic.CompareAndSwapUint32(cell, w, w&^FlagFrozen) {
+							break
+						}
+					}
+				}
+			}
+			b.reloc.Store(nil)
+			b.group.Store(nil)
+		}
+		g.target.targetOf.Store(nil)
+		if g.state.Load() != gAborted {
+			g.state.Store(gDone)
+		}
+	}
+	for m.ep.Global() < reloc+1 {
+		if _, ok := m.ep.TryAdvanceOwner(cs.ep); !ok {
+			runtime.Gosched()
+		}
+	}
+	m.stats.ObjectsMoved.Add(int64(moved))
+	return moved, nil
+}
+
+// NeedsCompaction reports whether any context has enough under-occupied
+// blocks to form a group. The background compactor polls this.
+func (m *Manager) NeedsCompaction() bool {
+	for _, ctx := range m.Contexts() {
+		n := 0
+		for _, b := range ctx.SnapshotBlocks() {
+			if m.isCompactionCandidate(b) {
+				n++
+			}
+		}
+		if n >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) isCompactionCandidate(b *Block) bool {
+	return !b.allocOwned.Load() &&
+		b.group.Load() == nil &&
+		b.targetOf.Load() == nil &&
+		b.validCount.Load() > 0 &&
+		b.occupancy() < b.ctx.mgr.cfg.CompactionThreshold
+}
+
+// planGroups selects candidate blocks per context and packs them into
+// groups whose combined live objects fit one fresh target block. Each
+// block is claimed with the Dekker protocol that pairs with
+// takeReclaimable: store the group pointer first, then re-check
+// allocation ownership; back off if a session owns the block.
+func (m *Manager) planGroups() []*CompactionGroup {
+	var groups []*CompactionGroup
+	for _, ctx := range m.Contexts() {
+		g := &CompactionGroup{ctx: ctx}
+		curValid := 0
+		flush := func() {
+			blocks := g.blocks
+			if len(blocks) >= 2 {
+				if target, err := newBlock(ctx); err == nil {
+					g.target = target
+					target.targetOf.Store(g)
+					ctx.appendBlock(target)
+					groups = append(groups, g)
+					g = &CompactionGroup{ctx: ctx}
+					curValid = 0
+					return
+				}
+			}
+			// Too small (or no memory for a target): release claims.
+			for _, b := range blocks {
+				b.group.Store(nil)
+			}
+			g = &CompactionGroup{ctx: ctx}
+			curValid = 0
+		}
+		for _, b := range ctx.SnapshotBlocks() {
+			if !m.isCompactionCandidate(b) {
+				continue
+			}
+			v := int(b.validCount.Load())
+			if curValid+v > ctx.geo.capacity {
+				flush()
+			}
+			// Claim: group first, ownership check second.
+			b.group.Store(g)
+			if b.allocOwned.Load() {
+				b.group.Store(nil)
+				continue
+			}
+			g.blocks = append(g.blocks, b)
+			curValid += v
+		}
+		flush()
+	}
+	return groups
+}
+
+// freezeGroup builds each block's relocation list and freezes the
+// scheduled objects (§5.1, freezing epoch). Target slots are assigned
+// sequentially in the target block.
+func (m *Manager) freezeGroup(g *CompactionGroup) {
+	next := int32(0)
+	for _, b := range g.blocks {
+		if b.allocOwned.Load() {
+			panic("mem: freezing a session-owned block (claim protocol violated)")
+		}
+		list := &relocList{bySlot: make([]int32, b.capacity)}
+		for slot := 0; slot < b.capacity; slot++ {
+			if slotDirState(b.SlotDirWord(slot)) != slotValid {
+				continue
+			}
+			if int(next) >= g.target.capacity {
+				break
+			}
+			cell := g.ctx.incCellFor(b, slot)
+			w := atomic.LoadUint32(cell)
+			if w&FlagMask != 0 {
+				continue // mid-transition; leave this slot alone
+			}
+			list.entries = append(list.entries, relocEntry{
+				slot:   int32(slot),
+				toSlot: next,
+				inc:    w,
+				toBlk:  g.target,
+				entry:  b.backEntry(slot),
+			})
+			list.bySlot[slot] = int32(len(list.entries))
+			next++
+		}
+		// Publish the list before setting any frozen bit: readers that
+		// observe a frozen incarnation resolve it through this list.
+		b.reloc.Store(list)
+		for i := range list.entries {
+			re := &list.entries[i]
+			cell := g.ctx.incCellFor(b, int(re.slot))
+			// Freeze exactly the scheduled incarnation; if the object
+			// was removed (or replaced) meanwhile, the CAS fails and
+			// the slot is dropped from this compaction.
+			if !atomic.CompareAndSwapUint32(cell, re.inc, re.inc|FlagFrozen) {
+				re.status.Store(rSkipped)
+			}
+		}
+	}
+}
+
+func (m *Manager) waitAllAtLeast(e uint64, cs *Session, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for !m.ep.AllAtLeast(e, cs.ep) {
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// moveGroup relocates one group: declare the moving intent, drain query
+// pins (with the paper's bail-out timeout), move every scheduled object,
+// and retry relocations that readers failed during the waiting phase
+// ("it extends compaction by one additional epoch to try all unsuccessful
+// relocations again", §5.1 — here a bounded retry loop inside the moving
+// phase, during which helpers co-operate rather than bail).
+func (m *Manager) moveGroup(g *CompactionGroup) (int, bool) {
+	// Declare moving before checking pins: an enumerator pins and then
+	// checks the state, so this ordering closes the pin/move race.
+	g.state.Store(gMoving)
+	deadline := time.Now().Add(m.cfg.PinWaitTimeout)
+	for g.pins.Load() != 0 {
+		if time.Now().After(deadline) {
+			m.abortGroup(g)
+			return 0, false
+		}
+		runtime.Gosched()
+	}
+	moved := 0
+	for round := 0; round < 3; round++ {
+		pending := 0
+		for _, b := range g.blocks {
+			list := b.reloc.Load()
+			for i := range list.entries {
+				re := &list.entries[i]
+				switch re.status.Load() {
+				case rPending:
+					if m.moveOne(g.ctx, b, re) {
+						moved++
+					} else if re.status.Load() == rFailed {
+						pending++
+					}
+				case rFailed:
+					// Re-freeze and retry: in the moving phase readers
+					// help instead of bailing, so this converges. The
+					// CAS against the scheduled incarnation guarantees
+					// a bailed object that was removed meanwhile can
+					// never be rescheduled.
+					cell := g.ctx.incCellFor(b, int(re.slot))
+					if atomic.CompareAndSwapUint32(cell, re.inc, re.inc|FlagFrozen) {
+						re.status.Store(rPending)
+						if m.moveOne(g.ctx, b, re) {
+							moved++
+						} else if re.status.Load() == rFailed {
+							pending++
+						}
+					} else if atomic.LoadUint32(cell)&IncMask != re.inc {
+						re.status.Store(rSkipped) // removed meanwhile
+					} else {
+						pending++
+					}
+				}
+			}
+		}
+		if pending == 0 {
+			break
+		}
+	}
+	return moved, true
+}
+
+// helpGroup moves every resolvable scheduled relocation of g on behalf of
+// an enumerator that found the group in its moving phase (§5.2). It
+// returns true when no relocation remains unresolved — the group's
+// post-relocation state is then complete and safe to enumerate even
+// before the compactor marks the group done.
+func (m *Manager) helpGroup(g *CompactionGroup) bool {
+	resolved := true
+	helped := 0
+	for _, b := range g.blocks {
+		list := b.reloc.Load()
+		if list == nil {
+			continue // aborted concurrently; the caller's state check decides
+		}
+		for i := range list.entries {
+			re := &list.entries[i]
+			switch re.status.Load() {
+			case rPending:
+				if m.moveOne(g.ctx, b, re) {
+					helped++
+				} else if st := re.status.Load(); st == rPending || st == rFailed {
+					resolved = false
+				}
+			case rFailed:
+				// Re-freeze and retry, as the compactor's retry round does.
+				cell := g.ctx.incCellFor(b, int(re.slot))
+				if atomic.CompareAndSwapUint32(cell, re.inc, re.inc|FlagFrozen) {
+					re.status.Store(rPending)
+					if m.moveOne(g.ctx, b, re) {
+						helped++
+					} else if st := re.status.Load(); st == rPending || st == rFailed {
+						resolved = false
+					}
+				} else if atomic.LoadUint32(cell)&IncMask != re.inc {
+					re.status.Store(rSkipped) // removed meanwhile
+				} else {
+					resolved = false
+				}
+			}
+		}
+	}
+	if helped > 0 {
+		m.stats.RelocHelped.Add(int64(helped))
+	}
+	return resolved
+}
+
+// abortGroup abandons a group before any of its objects moved: unfreeze
+// everything and put the blocks back in general circulation.
+func (m *Manager) abortGroup(g *CompactionGroup) {
+	for _, b := range g.blocks {
+		list := b.reloc.Load()
+		if list == nil {
+			continue
+		}
+		for i := range list.entries {
+			re := &list.entries[i]
+			if re.status.Load() != rPending {
+				continue
+			}
+			cell := g.ctx.incCellFor(b, int(re.slot))
+			for {
+				w := atomic.LoadUint32(cell)
+				if w&FlagFrozen == 0 {
+					break
+				}
+				if w&FlagLock != 0 {
+					runtime.Gosched()
+					continue
+				}
+				if atomic.CompareAndSwapUint32(cell, w, w&IncMask) {
+					break
+				}
+			}
+			re.status.Store(rSkipped)
+		}
+		b.reloc.Store(nil)
+		b.group.Store(nil)
+	}
+	if g.target != nil {
+		g.target.targetOf.Store(nil)
+	}
+	g.state.Store(gAborted)
+}
+
+func (m *Manager) abortRun(groups []*CompactionGroup) {
+	for _, g := range groups {
+		if g.state.Load() < gMoving {
+			m.abortGroup(g)
+		}
+	}
+	m.movingPhase.Store(false)
+	m.relocEpoch.Store(0)
+	for _, g := range groups {
+		g.target.targetOf.Store(nil)
+	}
+}
+
+// moveOne locks and relocates a single scheduled object (§5.1, Figure 4).
+// It is also the helper path executed by readers in the moving phase
+// (case c of dereference). Returns true if this call performed the move.
+func (m *Manager) moveOne(ctx *Context, b *Block, re *relocEntry) bool {
+	cell := ctx.incCellFor(b, int(re.slot))
+	for {
+		if st := re.status.Load(); st != rPending {
+			return false
+		}
+		w := atomic.LoadUint32(cell)
+		if w&IncMask != re.inc {
+			// The object was removed (incarnation bumped): this
+			// relocation is permanently disarmed.
+			re.status.Store(rSkipped)
+			return false
+		}
+		if w&FlagFrozen == 0 {
+			// Resolved elsewhere: a reader bailed it out (status
+			// rFailed) or another mover finished it (rDone); either
+			// way the status tells the caller what happened.
+			return false
+		}
+		if w&FlagLock != 0 {
+			runtime.Gosched()
+			continue
+		}
+		// Lock exactly the scheduled incarnation+frozen word.
+		if !atomic.CompareAndSwapUint32(cell, re.inc|FlagFrozen, re.inc|FlagFrozen|FlagLock) {
+			continue
+		}
+		// Relocation lock held: the incarnation is pinned (removers CAS
+		// against a clean word and will retry against the lock), so the
+		// slot is provably still valid.
+		m.doMove(ctx, b, re, re.inc|FlagFrozen)
+		return true
+	}
+}
+
+func (m *Manager) doMove(ctx *Context, b *Block, re *relocEntry, w uint32) {
+	src, dst := int(re.slot), int(re.toSlot)
+	to := re.toBlk
+	if ctx.layout == Columnar {
+		for i := range ctx.sch.Fields {
+			f := &ctx.sch.Fields[i]
+			sz := f.Kind.Size()
+			copyBytes(to.FieldPtr(dst, f), b.FieldPtr(src, f), sz)
+		}
+	} else {
+		copyBytes(to.SlotData(dst), b.SlotData(src), ctx.sch.Size)
+	}
+	to.setBackEntry(dst, re.entry)
+	to.storeSlotDir(dst, packSlotDir(slotValid, 0))
+	to.validCount.Add(1)
+	// Atomically redirect the indirection entry ("Atomically updating
+	// the pointer in the indirection table suffices", §5.1).
+	if ctx.layout == Columnar {
+		storePayload(re.entry, packColumnar(to.id, dst))
+	} else {
+		storePayload(re.entry, uint64(uintptr(to.SlotData(dst))))
+	}
+	g := m.ep.Global()
+	b.storeSlotDir(src, packSlotDir(slotLimbo, g))
+	b.validCount.Add(-1)
+	b.limboCount.Add(1)
+
+	clean := w & IncMask
+	if ctx.layout == RowDirect {
+		// New slot carries the incarnation; the old slot becomes a
+		// forwarding tombstone in the same store that drops the frozen
+		// and lock bits (§6).
+		atomic.StoreUint32(to.slotHeaderPtr(dst), clean)
+		atomic.StoreUint32(b.slotHeaderPtr(src), clean|FlagForward)
+	} else {
+		atomic.StoreUint32(entryIncPtr(re.entry), clean)
+	}
+	re.status.Store(rDone)
+}
+
+// bailOutRelocation implements dereference case (b): the reader is in the
+// waiting phase, cannot read a possibly-moving object and cannot move it
+// either, so it fails the relocation (§5.1).
+func (c *Context) bailOutRelocation(blk *Block, slot int, cell *uint32) {
+	re := blk.reloc.Load().find(slot)
+	if re == nil {
+		// A frozen bit with no scheduled relocation is a leftover from
+		// a completed or aborted compaction (lists are published before
+		// any bit is set, so an active freeze always has an entry).
+		// Nothing will ever move this object; clear the bit so readers
+		// and removers can proceed.
+		for {
+			w := atomic.LoadUint32(cell)
+			if w&FlagFrozen == 0 {
+				return
+			}
+			if w&FlagLock != 0 {
+				runtime.Gosched()
+				continue
+			}
+			if atomic.CompareAndSwapUint32(cell, w, w&^FlagFrozen) {
+				return
+			}
+		}
+	}
+	for {
+		w := atomic.LoadUint32(cell)
+		if w&FlagFrozen == 0 {
+			return // already resolved
+		}
+		if w&FlagLock != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if atomic.CompareAndSwapUint32(cell, w, w|FlagLock) {
+			re.status.Store(rFailed)
+			atomic.StoreUint32(cell, w&IncMask)
+			c.mgr.stats.RelocBailouts.Add(1)
+			return
+		}
+	}
+}
+
+// helpRelocate implements dereference case (c): the reader helps the
+// compaction thread move the object, then proceeds (§5.1).
+func (c *Context) helpRelocate(blk *Block, slot int, cell *uint32) {
+	re := blk.reloc.Load().find(slot)
+	if re == nil {
+		runtime.Gosched()
+		return
+	}
+	if c.mgr.moveOne(c, blk, re) {
+		c.mgr.stats.RelocHelped.Add(1)
+	}
+}
+
+// fixupDirectPointers rewrites every direct in-object pointer that leads
+// into a compacted block of target context c (§6): sources are known
+// statically (RegisterRefEdge), and a hash probe on the block base avoids
+// chasing pointers into untouched blocks.
+func (m *Manager) fixupDirectPointers(c *Context, bases map[uintptr]bool) {
+	mask := uintptr(m.cfg.BlockSize - 1)
+	for _, edge := range c.edges() {
+		if !edge.direct {
+			continue
+		}
+		f := &edge.src.sch.Fields[edge.field]
+		for _, sb := range edge.src.SnapshotBlocks() {
+			for slot := 0; slot < sb.capacity; slot++ {
+				if slotDirState(sb.SlotDirWord(slot)) != slotValid {
+					continue
+				}
+				fp := sb.FieldPtr(slot, f)
+				addrWord := (*uint64)(fp)
+				a := atomic.LoadUint64(addrWord)
+				if a == 0 || !bases[uintptr(a)&^mask] {
+					continue
+				}
+				oldBlk := m.blockFromAddr(payloadAddr(a))
+				if oldBlk == nil {
+					continue
+				}
+				oslot := oldBlk.slotIndexFromData(payloadAddr(a))
+				hw := atomic.LoadUint32(oldBlk.slotHeaderPtr(oslot))
+				inc := atomic.LoadUint32((*uint32)(unsafe.Add(fp, 8)))
+				if hw&FlagForward == 0 || hw&IncMask != inc {
+					// Not a tombstone for this reference: the object was
+					// removed rather than relocated. The block is about
+					// to be unmapped, so null the pointer out now — a
+					// later dereference of a dangling address could not
+					// even reach the incarnation check. CAS keeps a
+					// racing writer's fresh assignment intact.
+					atomic.CompareAndSwapUint64(addrWord, a, 0)
+					continue
+				}
+				e := oldBlk.backEntry(oslot)
+				atomic.StoreUint64(addrWord, loadPayload(e))
+			}
+		}
+	}
+}
+
+func copyBytes(dst, src unsafe.Pointer, n uintptr) {
+	copy(unsafe.Slice((*byte)(dst), n), unsafe.Slice((*byte)(src), n))
+}
+
+// StartCompactor launches a background goroutine that runs CompactNow
+// whenever NeedsCompaction reports work, polling at the given interval.
+// The returned stop function blocks until the goroutine exits; calling it
+// more than once is safe.
+func (m *Manager) StartCompactor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if m.NeedsCompaction() {
+					_, _ = m.CompactNow()
+				}
+				m.drainGraveyard()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Enumerator walks a context's blocks in memory order (bag semantics,
+// §2/§4). Compiled queries drive it block-by-block and scan each block's
+// slot directory themselves; the enumerator's job is the §5.2 protocol:
+// consistent interaction with concurrent compaction through group pins,
+// so a query sees each object exactly once — either in the group's
+// pre-relocation blocks or in its post-relocation target, never both.
+//
+// The session must be inside a critical section for the whole walk; call
+// Refresh between blocks (NextBlock does it) so long enumerations do not
+// stall epoch advancement.
+type Enumerator struct {
+	ctx  *Context
+	sess *Session
+
+	blocks []*Block
+	i      int
+
+	decisions map[*CompactionGroup]bool // true = pre-state (pinned)
+	pinned    []*CompactionGroup
+	inSnap    map[*Block]bool
+	closed    bool
+}
+
+// NewEnumerator snapshots the context's block order for enumeration.
+func (c *Context) NewEnumerator(s *Session) *Enumerator {
+	if !s.InCritical() {
+		panic("mem: NewEnumerator outside critical section")
+	}
+	return &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks()}
+}
+
+// NextBlock returns the next block to scan, or false at the end. Between
+// blocks it refreshes the session's published epoch.
+func (e *Enumerator) NextBlock() (*Block, bool) {
+	if e.closed {
+		return nil, false
+	}
+	for e.i < len(e.blocks) {
+		b := e.blocks[e.i]
+		e.i++
+		if e.i > 1 {
+			// Re-publish our epoch between blocks unless we pinned a
+			// group in its pre-state: the pin (not the epoch) is what
+			// protects pinned originals, so refreshing stays safe.
+			e.sess.Refresh()
+		}
+		if g := b.group.Load(); g != nil {
+			if e.decidePre(g) {
+				return b, true // pre-state: scan the original
+			}
+			continue // post-state: objects reappear in the target
+		}
+		if g := b.targetOf.Load(); g != nil {
+			if e.decidePre(g) {
+				continue // pre-state: originals cover these objects
+			}
+			return b, true // post-state: scan the target
+		}
+		return b, true
+	}
+	return nil, false
+}
+
+// decidePre chooses, once per group, whether this enumeration observes
+// the group's pre-relocation state (pinning it) or its post-relocation
+// state (waiting for the move to finish). The pin/state ordering pairs
+// with moveGroup: the mover declares gMoving before draining pins, so a
+// successful pin taken before the declaration is always honoured.
+func (e *Enumerator) decidePre(g *CompactionGroup) bool {
+	if d, ok := e.decisions[g]; ok {
+		return d
+	}
+	if e.decisions == nil {
+		e.decisions = make(map[*CompactionGroup]bool)
+	}
+	g.pins.Add(1)
+	if g.state.Load() < gMoving {
+		e.decisions[g] = true
+		e.pinned = append(e.pinned, g)
+		return true
+	}
+	g.pins.Add(-1)
+	// The group is moving: help perform its relocation ("the query first
+	// helps performing the relocation of the compaction group and then
+	// uses the compacted memory block for query processing", §5.2), then
+	// observe the post-relocation content. Helping also guarantees
+	// progress when the compaction thread is slow: once every scheduled
+	// relocation is resolved, the post-state is complete regardless of
+	// where the compactor's state machine stands.
+	for g.state.Load() == gMoving {
+		if e.ctx.mgr.helpGroup(g) {
+			break
+		}
+		runtime.Gosched()
+	}
+	if g.state.Load() == gAborted {
+		// Nothing moved; the originals remain authoritative.
+		e.decisions[g] = true
+		return true
+	}
+	e.decisions[g] = false
+	// The target may have been created after our snapshot; make sure we
+	// visit it exactly once.
+	if e.inSnap == nil {
+		e.inSnap = make(map[*Block]bool, len(e.blocks))
+		for _, b := range e.blocks {
+			e.inSnap[b] = true
+		}
+	}
+	if !e.inSnap[g.target] {
+		e.blocks = append(e.blocks, g.target)
+		e.inSnap[g.target] = true
+	}
+	return false
+}
+
+// Close releases the enumeration's group pins. Always call it (defer)
+// once the walk ends; the compactor times out on leaked pins but records
+// an aborted group (§5.2).
+func (e *Enumerator) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, g := range e.pinned {
+		g.pins.Add(-1)
+	}
+	e.pinned = nil
+}
+
+// MakeRef constructs a reference to the valid object in (blk, slot),
+// mirroring the generated enumeration code of §4: the back-pointer
+// yields the indirection entry, whose current incarnation the reference
+// captures.
+func (c *Context) MakeRef(blk *Block, slot int) types.Ref {
+	e := blk.backEntry(slot)
+	var inc uint32
+	if c.layout == RowDirect {
+		inc = atomic.LoadUint32(blk.slotHeaderPtr(slot))
+	} else {
+		inc = loadInc(e)
+	}
+	return types.Ref{Entry: e, Inc: inc & IncMask, Gen: loadGen(e)}
+}
+
+// ForEachValid invokes fn for every valid slot of the context, handling
+// enumeration order, critical sections per block and compaction pins.
+// fn returning false stops the walk. This is the convenience path; hot
+// compiled queries open-code the loop.
+func (c *Context) ForEachValid(s *Session, fn func(b *Block, slot int) bool) {
+	s.Enter()
+	defer s.Exit()
+	en := c.NewEnumerator(s)
+	defer en.Close()
+	for {
+		b, ok := en.NextBlock()
+		if !ok {
+			return
+		}
+		for slot := 0; slot < b.capacity; slot++ {
+			if slotDirState(b.SlotDirWord(slot)) != slotValid {
+				continue
+			}
+			if !fn(b, slot) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/offheap"
+	"repro/internal/types"
+)
+
+// Incarnation word layout (paper §3.1, §5.1, §6): the three most
+// significant bits are the frozen, lock and forwarding flags; the
+// remaining 29 bits are the incarnation counter.
+const (
+	// IncMask extracts the incarnation counter.
+	IncMask uint32 = 0x1fffffff
+	// FlagForward marks a relocated slot as a tombstone (§6).
+	FlagForward uint32 = 1 << 29
+	// FlagLock is the relocation lock bit (§5.1).
+	FlagLock uint32 = 1 << 30
+	// FlagFrozen marks an object scheduled for relocation (§5.1).
+	FlagFrozen uint32 = 1 << 31
+	// FlagMask extracts all flag bits.
+	FlagMask = FlagFrozen | FlagLock | FlagForward
+	// MaxInc is the incarnation at which a slot retires: the paper
+	// stops reusing slots whose incarnation would overflow (§3.1).
+	MaxInc = IncMask - 1
+)
+
+// Indirection-table entry layout (16 bytes, off-heap):
+//
+//	offset 0: payload (8 bytes) — object address (row layouts) or
+//	          block-id<<32|slot (columnar, §4.1)
+//	offset 8: incarnation word (4 bytes) — authoritative in indirect
+//	          layouts (§3.2); mirrors the slot header in direct mode (§6)
+//	offset 12: generation (4 bytes) — bumped on entry reuse (see
+//	          types.Ref.Gen)
+const entrySize = 16
+
+// entryRef is a pointer to an indirection-table entry.
+type entryRef = unsafe.Pointer
+
+func entryPayloadPtr(e entryRef) *uint64 { return (*uint64)(e) }
+func entryIncPtr(e entryRef) *uint32     { return (*uint32)(unsafe.Add(e, 8)) }
+func entryGenPtr(e entryRef) *uint32     { return (*uint32)(unsafe.Add(e, 12)) }
+
+func loadPayload(e entryRef) uint64     { return atomic.LoadUint64(entryPayloadPtr(e)) }
+func storePayload(e entryRef, v uint64) { atomic.StoreUint64(entryPayloadPtr(e), v) }
+func loadInc(e entryRef) uint32         { return atomic.LoadUint32(entryIncPtr(e)) }
+func loadGen(e entryRef) uint32         { return atomic.LoadUint32(entryGenPtr(e)) }
+
+// packColumnar packs a columnar object locator into an entry payload.
+func packColumnar(blockID uint32, slot int) uint64 {
+	return uint64(blockID)<<32 | uint64(uint32(slot))
+}
+
+func unpackColumnar(p uint64) (blockID uint32, slot int) {
+	return uint32(p >> 32), int(uint32(p))
+}
+
+// payloadAddr converts a row-layout payload back into a pointer. The
+// address always identifies off-heap memory.
+func payloadAddr(p uint64) unsafe.Pointer { return types.LaunderAddr(uintptr(p)) }
+
+// indirectTable allocates and recycles indirection entries. Entry memory
+// lives off-heap in chunks; freed entries are recycled only after two
+// epochs so that concurrent readers (including the compactor's
+// direct-pointer fix-up scan) never chase a recycled entry.
+type indirectTable struct {
+	alloc *offheap.Allocator
+
+	mu     sync.Mutex
+	chunks []*offheap.Region
+	bump   unsafe.Pointer // next unused entry in the newest chunk
+	remain int            // entries remaining in the newest chunk
+
+	free     []freedEntry // FIFO: freed epochs are non-decreasing
+	freeHead int
+	// fresh holds entries returned from closed sessions' caches: they
+	// were never visible to any reference, so they are reusable without
+	// an epoch delay (and without touching the FIFO above, whose head
+	// index must not shift under consumers).
+	fresh []entryRef
+
+	liveEntries atomic.Int64
+}
+
+type freedEntry struct {
+	e     entryRef
+	epoch uint64
+}
+
+const (
+	entryChunkBytes = 1 << 20 // 64Ki entries per chunk
+	entryBatch      = 128     // session cache refill size
+)
+
+func newIndirectTable(alloc *offheap.Allocator) (*indirectTable, error) {
+	return &indirectTable{alloc: alloc}, nil
+}
+
+// allocBatch hands out up to max entries: recycled ripe entries first,
+// then fresh ones from the bump chunk. Caller passes the current global
+// epoch for ripeness checks.
+func (t *indirectTable) allocBatch(dst []entryRef, max int, global uint64) ([]entryRef, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(dst) < max && len(t.fresh) > 0 {
+		// Never-visible returns need no ripeness wait and no generation
+		// bump (no reference was minted since their last bump).
+		e := t.fresh[len(t.fresh)-1]
+		t.fresh = t.fresh[:len(t.fresh)-1]
+		dst = append(dst, e)
+	}
+	for len(dst) < max && t.freeHead < len(t.free) {
+		fe := t.free[t.freeHead]
+		if fe.epoch+2 > global {
+			break // FIFO: everything behind is younger
+		}
+		t.freeHead++
+		// Bump the generation so stale refs to the recycled entry fail.
+		atomic.AddUint32(entryGenPtr(fe.e), 1)
+		dst = append(dst, fe.e)
+	}
+	if t.freeHead > 4096 && t.freeHead*2 > len(t.free) {
+		t.free = append([]freedEntry(nil), t.free[t.freeHead:]...)
+		t.freeHead = 0
+	}
+	for len(dst) < max {
+		if t.remain == 0 {
+			r, err := t.alloc.Alloc(entryChunkBytes, 64)
+			if err != nil {
+				return dst, err
+			}
+			t.chunks = append(t.chunks, r)
+			t.bump = r.Base()
+			t.remain = entryChunkBytes / entrySize
+		}
+		dst = append(dst, t.bump)
+		t.bump = unsafe.Add(t.bump, entrySize)
+		t.remain--
+	}
+	t.liveEntries.Add(int64(len(dst)))
+	return dst, nil
+}
+
+// freeBatch returns entries to the recycling queue, tagged with the epoch
+// in which they were freed.
+func (t *indirectTable) freeBatch(entries []entryRef, epoch uint64) {
+	if len(entries) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, e := range entries {
+		t.free = append(t.free, freedEntry{e: e, epoch: epoch})
+	}
+	t.liveEntries.Add(-int64(len(entries)))
+	t.mu.Unlock()
+}
+
+// releaseCache returns a session's cached (never-used) entries without an
+// epoch delay: they were not visible to anyone. They go on the fresh
+// stack — inserting at the head of the FIFO would shift the consumed
+// prefix under freeHead and hand live entries out twice.
+func (t *indirectTable) releaseCache(entries []entryRef) {
+	if len(entries) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.fresh = append(t.fresh, entries...)
+	t.liveEntries.Add(-int64(len(entries)))
+	t.mu.Unlock()
+}
+
+func (t *indirectTable) release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.chunks {
+		_ = t.alloc.Free(r)
+	}
+	t.chunks = nil
+	t.free = nil
+	t.freeHead = 0
+	t.fresh = nil
+	t.remain = 0
+}
+
+// entryAlloc returns one entry for the session, refilling its cache from
+// the table as needed.
+func (s *Session) entryAlloc() (entryRef, error) {
+	if len(s.entryCache) == 0 {
+		var err error
+		s.entryCache, err = s.mgr.table.allocBatch(s.entryCache, entryBatch, s.mgr.ep.Global())
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := s.entryCache[len(s.entryCache)-1]
+	s.entryCache = s.entryCache[:len(s.entryCache)-1]
+	return e, nil
+}
+
+// entryFree recycles one entry after a removal, tagging it with the
+// current global epoch.
+func (s *Session) entryFree(e entryRef) {
+	s.mgr.table.freeBatch([]entryRef{e}, s.mgr.ep.Global())
+}

@@ -1,0 +1,409 @@
+// Package mem implements the paper's type-safe manual memory management
+// system (§3) and its extensions: single-type memory blocks with slot
+// directories and back-pointers (§3.1–3.2), a global indirection table,
+// memory contexts (§3.3), epoch-based reclamation with limbo slots and
+// lazy epoch advancement (§3.4–3.5), online compaction with freezing and
+// relocation epochs (§5), direct pointers with forwarding tombstones (§6)
+// and columnar block layouts (§4.1).
+//
+// The package deals in raw memory slots; the typed collection API lives
+// in internal/core, which marshals tabular Go structs in and out of slots
+// using internal/schema layouts.
+//
+// # Safety model
+//
+// All object memory lives off-heap (internal/offheap): the Go garbage
+// collector never scans, moves or frees it. Type safety is provided the
+// paper's way: a reference names an indirection-table entry plus the
+// incarnation number observed at creation; every dereference re-validates
+// the incarnation, and a removed object's reference behaves as null.
+// Thread safety is provided by epoch-based reclamation: dereferences
+// happen inside critical sections (epoch.Session.Enter/Exit), and a freed
+// slot is reused only after two epochs have passed.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/epoch"
+	"repro/internal/offheap"
+	"repro/internal/schema"
+)
+
+// Layout selects how a context stores its objects (paper §3.2, §4.1, §6).
+type Layout uint8
+
+const (
+	// RowIndirect is the baseline layout: row-major slots, incarnation
+	// numbers in the indirection entry, all references indirect.
+	RowIndirect Layout = iota
+	// RowDirect stores the incarnation in an 8-byte slot header and
+	// uses direct pointers for references between collections (§6).
+	RowDirect
+	// Columnar stores each field in a per-block column segment (§4.1);
+	// the indirection entry holds (block id, slot) instead of a pointer.
+	Columnar
+)
+
+// String names the layout for diagnostics and test labels.
+func (l Layout) String() string {
+	switch l {
+	case RowIndirect:
+		return "row-indirect"
+	case RowDirect:
+		return "row-direct"
+	case Columnar:
+		return "columnar"
+	}
+	return fmt.Sprintf("Layout(%d)", uint8(l))
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// BlockSize is the size of each memory block in bytes; must be a
+	// power of two. Blocks are aligned to their size so a block header
+	// can be recovered from any interior pointer by masking (§3.1).
+	BlockSize int
+	// ReclaimThreshold is the fraction of limbo slots above which a
+	// block joins the reclamation queue (§3.5; the paper evaluates this
+	// knob in Figure 6 and settles on 5%).
+	ReclaimThreshold float64
+	// CompactionThreshold is the occupancy below which a block may join
+	// a compaction group (§5.2; the paper uses 30%).
+	CompactionThreshold float64
+	// PinWaitTimeout bounds how long the compactor waits for a
+	// compaction group's query pins to drain before skipping the group
+	// (§5.2: "bails out ... after waiting for a predefined amount of
+	// time for the read lock to be released").
+	PinWaitTimeout time.Duration
+	// HeapBackend forces the portable heap-slab off-heap backend.
+	HeapBackend bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BlockSize == 0 {
+		out.BlockSize = 1 << 18 // 256 KiB
+	}
+	if out.ReclaimThreshold == 0 {
+		out.ReclaimThreshold = 0.05
+	}
+	if out.CompactionThreshold == 0 {
+		out.CompactionThreshold = 0.30
+	}
+	if out.PinWaitTimeout == 0 {
+		out.PinWaitTimeout = 10 * time.Millisecond
+	}
+	return out
+}
+
+// Manager owns the off-heap memory of a set of memory contexts, the
+// indirection table, the epoch manager and the compactor.
+type Manager struct {
+	cfg   Config
+	alloc *offheap.Allocator
+	ep    *epoch.Manager
+	table *indirectTable
+
+	mu       sync.Mutex
+	contexts []*Context
+	closed   bool
+
+	// blocks is the append-only block registry: block id -> *Block.
+	// Readers load the slice atomically; growth copies under mu.
+	blocks atomic.Pointer[[]*Block]
+
+	// Compaction state shared with the dereference protocol (§5.1).
+	relocEpoch  atomic.Uint64 // the paper's nextRelocationEpoch; 0 = none
+	movingPhase atomic.Bool   // true while relocations may happen
+	compactMu   sync.Mutex    // serializes whole compaction runs
+
+	// graveyard holds emptied blocks until two epochs have passed and
+	// any direct-pointer fix-ups have completed.
+	graveMu   sync.Mutex
+	graveyard []grave
+
+	// retired holds indirection entries whose incarnation counter
+	// overflowed (§3.1): they are out of circulation until the overflow
+	// rescue scan has nulled all stale references to them.
+	retiredMu      sync.Mutex
+	retiredEntries []retiredEntry
+
+	stats Stats
+}
+
+// retiredEntry records one overflowed indirection entry and the context
+// whose object it last named (the rescue scan walks that context's
+// in-edges).
+type retiredEntry struct {
+	e   entryRef
+	ctx *Context
+}
+
+type grave struct {
+	blk   *Block
+	ready uint64
+}
+
+// Stats aggregates manager-wide counters.
+type Stats struct {
+	Allocs          atomic.Int64
+	Frees           atomic.Int64
+	SlotsReclaimed  atomic.Int64
+	BlocksAllocated atomic.Int64
+	BlocksReleased  atomic.Int64
+	EpochAdvances   atomic.Int64
+	Compactions     atomic.Int64
+	ObjectsMoved    atomic.Int64
+	RelocBailouts   atomic.Int64
+	RelocHelped     atomic.Int64
+
+	// §3.1 overflow handling: resources taken out of circulation at
+	// incarnation overflow and put back by the rescue scan.
+	EntriesRetired atomic.Int64
+	SlotsRetired   atomic.Int64
+	EntriesRescued atomic.Int64
+	SlotsRescued   atomic.Int64
+	RefsNulled     atomic.Int64
+	OverflowScans  atomic.Int64
+}
+
+// NewManager builds a Manager from the configuration.
+func NewManager(cfg Config) (*Manager, error) {
+	c := cfg.withDefaults()
+	if c.BlockSize&(c.BlockSize-1) != 0 || c.BlockSize < 1<<12 {
+		return nil, fmt.Errorf("mem: block size %d must be a power of two >= 4096", c.BlockSize)
+	}
+	if c.ReclaimThreshold <= 0 || c.ReclaimThreshold >= 1 {
+		return nil, fmt.Errorf("mem: reclaim threshold %v out of (0,1)", c.ReclaimThreshold)
+	}
+	if c.CompactionThreshold <= 0 || c.CompactionThreshold >= 1 {
+		return nil, fmt.Errorf("mem: compaction threshold %v out of (0,1)", c.CompactionThreshold)
+	}
+	var opts []offheap.Option
+	if c.HeapBackend {
+		opts = append(opts, offheap.WithHeapBackend())
+	}
+	m := &Manager{
+		cfg:   c,
+		alloc: offheap.New(opts...),
+		ep:    epoch.NewManager(),
+	}
+	empty := make([]*Block, 0)
+	m.blocks.Store(&empty)
+	t, err := newIndirectTable(m.alloc)
+	if err != nil {
+		return nil, err
+	}
+	m.table = t
+	return m, nil
+}
+
+// Epoch returns the manager's epoch manager.
+func (m *Manager) Epoch() *epoch.Manager { return m.ep }
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// BlockSize returns the configured block size.
+func (m *Manager) BlockSize() int { return m.cfg.BlockSize }
+
+// OffheapStats exposes the off-heap allocator's accounting.
+func (m *Manager) OffheapStats() *offheap.Stats { return m.alloc.Stats() }
+
+// NewContext creates a memory context (§3.3) holding objects of the given
+// schema in the given layout. The name is used in diagnostics.
+func (m *Manager) NewContext(name string, sch *schema.Schema, layout Layout) (*Context, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("mem: nil schema")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("mem: manager closed")
+	}
+	ctx, err := newContext(m, uint32(len(m.contexts)), name, sch, layout)
+	if err != nil {
+		return nil, err
+	}
+	m.contexts = append(m.contexts, ctx)
+	return ctx, nil
+}
+
+// Contexts returns a snapshot of all contexts.
+func (m *Manager) Contexts() []*Context {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Context, len(m.contexts))
+	copy(out, m.contexts)
+	return out
+}
+
+// registerBlock assigns an id to a new block and publishes it.
+func (m *Manager) registerBlock(b *Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.blocks.Load()
+	id := uint32(len(cur))
+	b.id = id
+	next := make([]*Block, len(cur)+1)
+	copy(next, cur)
+	next[id] = b
+	m.blocks.Store(&next)
+	m.stats.BlocksAllocated.Add(1)
+}
+
+// blockByID resolves a block id from the registry; nil for released ids.
+func (m *Manager) blockByID(id uint32) *Block {
+	cur := *m.blocks.Load()
+	if int(id) >= len(cur) {
+		return nil
+	}
+	return cur[id]
+}
+
+// unregisterBlock clears the registry entry (the id is not reused; stale
+// masked lookups on a released block would read freed memory anyway, and
+// the graveyard delay guarantees no reader can still do so).
+func (m *Manager) unregisterBlock(b *Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.blocks.Load()
+	if int(b.id) < len(cur) && cur[b.id] == b {
+		next := make([]*Block, len(cur))
+		copy(next, cur)
+		next[b.id] = nil
+		m.blocks.Store(&next)
+	}
+}
+
+// TryAdvanceEpoch attempts one lazy epoch advance (the paper performs
+// this inside the allocation function, §3.5).
+func (m *Manager) TryAdvanceEpoch() bool {
+	if _, ok := m.ep.TryAdvance(); ok {
+		m.stats.EpochAdvances.Add(1)
+		m.drainGraveyard()
+		return true
+	}
+	return false
+}
+
+// burialEpoch computes when a block buried now may be freed.
+func (m *Manager) burialEpoch() uint64 { return m.ep.Global() + 2 }
+
+func (m *Manager) bury(b *Block) {
+	m.graveMu.Lock()
+	m.graveyard = append(m.graveyard, grave{blk: b, ready: m.burialEpoch()})
+	m.graveMu.Unlock()
+}
+
+// drainGraveyard frees buried blocks whose grace period has fully passed.
+func (m *Manager) drainGraveyard() {
+	g := m.ep.Global()
+	m.graveMu.Lock()
+	var keep []grave
+	var free []*Block
+	for _, gr := range m.graveyard {
+		if gr.ready <= g {
+			free = append(free, gr.blk)
+		} else {
+			keep = append(keep, gr)
+		}
+	}
+	m.graveyard = keep
+	m.graveMu.Unlock()
+	for _, b := range free {
+		m.unregisterBlock(b)
+		m.releaseBlockMemory(b)
+	}
+}
+
+func (m *Manager) releaseBlockMemory(b *Block) {
+	if b.region != nil && b.region.Valid() {
+		_ = m.alloc.Free(b.region)
+		m.stats.BlocksReleased.Add(1)
+	}
+}
+
+// Close releases all off-heap memory. No sessions may be active.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("mem: already closed")
+	}
+	m.closed = true
+	ctxs := make([]*Context, len(m.contexts))
+	copy(ctxs, m.contexts)
+	m.mu.Unlock()
+
+	m.graveMu.Lock()
+	graves := m.graveyard
+	m.graveyard = nil
+	m.graveMu.Unlock()
+	for _, gr := range graves {
+		m.releaseBlockMemory(gr.blk)
+	}
+	for _, ctx := range ctxs {
+		ctx.releaseAll()
+	}
+	m.table.release()
+	return nil
+}
+
+// Session is a registered participant: it carries the epoch session, the
+// per-session ("thread-local", §3.5) allocation blocks, and caches of
+// indirection entries and string chunks.
+type Session struct {
+	mgr *Manager
+	ep  *epoch.Session
+
+	allocBlocks map[uint32]*Block // context id -> current allocation block
+	entryCache  []entryRef        // cached ripe indirection entries
+	strChunks   map[uint32]*strChunk
+}
+
+// NewSession registers a session. Sessions must be used by one goroutine
+// at a time and closed when done.
+func (m *Manager) NewSession() (*Session, error) {
+	es, err := m.ep.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		mgr:         m,
+		ep:          es,
+		allocBlocks: make(map[uint32]*Block),
+		strChunks:   make(map[uint32]*strChunk),
+	}, nil
+}
+
+// Close unregisters the session, returning its caches to global pools.
+func (s *Session) Close() error {
+	for ctxID, b := range s.allocBlocks {
+		if b != nil {
+			s.abandonAllocBlock(ctxID, b)
+		}
+	}
+	s.mgr.table.releaseCache(s.entryCache)
+	s.entryCache = nil
+	return s.ep.Close()
+}
+
+// Enter begins a critical section (grace period, §3.4).
+func (s *Session) Enter() { s.ep.Enter() }
+
+// Exit ends the critical section.
+func (s *Session) Exit() { s.ep.Exit() }
+
+// Refresh re-publishes the current global epoch mid-enumeration.
+func (s *Session) Refresh() { s.ep.Refresh() }
+
+// InCritical reports whether the session is inside a critical section.
+func (s *Session) InCritical() bool { return s.ep.InCritical() }
+
+// EpochSession exposes the underlying epoch session.
+func (s *Session) EpochSession() *epoch.Session { return s.ep }

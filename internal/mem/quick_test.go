@@ -1,0 +1,258 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Property: for any sequence of add/remove/advance-epoch operations, the
+// collection's live set exactly matches a reference map — every live
+// reference resolves to its value, every removed reference is null, and
+// enumeration sees exactly the live IDs.
+func TestQuickAddRemoveSequences(t *testing.T) {
+	for _, layout := range allLayouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				h := newQuickHarness(t, layout)
+				defer h.close()
+
+				type liveObj struct {
+					ref types.Ref
+					id  int64
+				}
+				var live []liveObj
+				var dead []liveObj
+				nextID := int64(0)
+
+				for op := 0; op < 400; op++ {
+					switch r := rng.Intn(10); {
+					case r < 5 || len(live) == 0: // add
+						id := nextID
+						nextID++
+						ref := h.add(id, fmt.Sprintf("v%d", id))
+						live = append(live, liveObj{ref, id})
+					case r < 8: // remove random live
+						i := rng.Intn(len(live))
+						if err := h.remove(live[i].ref); err != nil {
+							t.Logf("remove live: %v", err)
+							return false
+						}
+						dead = append(dead, live[i])
+						live = append(live[:i], live[i+1:]...)
+					case r < 9: // advance epochs (enables reuse)
+						h.m.TryAdvanceEpoch()
+					default: // deref a dead ref: must stay null
+						if len(dead) > 0 {
+							d := dead[rng.Intn(len(dead))]
+							if _, _, err := h.get(d.ref); err != ErrNullReference {
+								t.Logf("dead ref %d resolved: %v", d.id, err)
+								return false
+							}
+						}
+					}
+				}
+				// Final validation.
+				if h.ctx.Len() != len(live) {
+					t.Logf("Len=%d want %d", h.ctx.Len(), len(live))
+					return false
+				}
+				for _, lo := range live {
+					id, name, err := h.get(lo.ref)
+					if err != nil || id != lo.id || name != fmt.Sprintf("v%d", lo.id) {
+						t.Logf("live ref %d: (%d,%q,%v)", lo.id, id, name, err)
+						return false
+					}
+				}
+				for _, d := range dead {
+					if _, _, err := h.get(d.ref); err != ErrNullReference {
+						t.Logf("dead ref %d not null: %v", d.id, err)
+						return false
+					}
+				}
+				seen := map[int64]bool{}
+				h.ctx.ForEachValid(h.s, func(b *Block, slot int) bool {
+					seen[*(*int64)(b.FieldPtr(slot, h.idF))] = true
+					return true
+				})
+				if len(seen) != len(live) {
+					t.Logf("enumerated %d want %d", len(seen), len(live))
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: compaction never changes the observable contents, for any
+// random churn pattern.
+func TestQuickCompactionPreservesContents(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newQuickHarness(t, RowIndirect)
+		defer h.close()
+
+		refs := map[int64]types.Ref{}
+		n := 300 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			refs[int64(i)] = h.add(int64(i), fmt.Sprintf("q%d", i))
+		}
+		h.s.allocBlocks[h.ctx.id] = nil
+		for _, b := range h.ctx.SnapshotBlocks() {
+			b.allocOwned.Store(false)
+		}
+		// Remove a random subset.
+		for id, r := range refs {
+			if rng.Intn(100) < 70 {
+				if err := h.remove(r); err != nil {
+					return false
+				}
+				delete(refs, id)
+			}
+		}
+		if _, err := h.m.CompactNow(); err != nil {
+			t.Logf("compact: %v", err)
+			return false
+		}
+		for id, r := range refs {
+			got, name, err := h.get(r)
+			if err != nil || got != id || name != fmt.Sprintf("q%d", id) {
+				t.Logf("after compaction ref %d: (%d,%q,%v)", id, got, name, err)
+				return false
+			}
+		}
+		return h.ctx.Len() == len(refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the string heap round-trips arbitrary byte strings and
+// recycles storage without corrupting other live strings.
+func TestQuickStringHeapRoundTrip(t *testing.T) {
+	h := newQuickHarness(t, RowIndirect)
+	defer h.close()
+	heap := h.ctx.strings
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type entry struct {
+			sr  types.StrRef
+			val string
+		}
+		var liveStrs []entry
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 || len(liveStrs) == 0 {
+				n := rng.Intn(300)
+				b := make([]byte, n)
+				for i := range b {
+					b[i] = byte(rng.Intn(256))
+				}
+				s := string(b)
+				sr, err := heap.allocStr(h.s, s)
+				if err != nil {
+					t.Logf("alloc: %v", err)
+					return false
+				}
+				liveStrs = append(liveStrs, entry{sr, s})
+			} else {
+				i := rng.Intn(len(liveStrs))
+				heap.freeStr(liveStrs[i].sr)
+				liveStrs = append(liveStrs[:i], liveStrs[i+1:]...)
+			}
+		}
+		for _, e := range liveStrs {
+			if e.sr.String() != e.val {
+				t.Logf("string corrupted: got %q want %q", e.sr.String(), e.val)
+				return false
+			}
+		}
+		for _, e := range liveStrs {
+			heap.freeStr(e.sr)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickHarness is a lighter harness for property tests (no *testing.T
+// binding in the hot path).
+type quickHarness struct {
+	m    *Manager
+	ctx  *Context
+	s    *Session
+	idF  *schema.Field
+	nmF  *schema.Field
+	done func()
+}
+
+func newQuickHarness(t *testing.T, layout Layout) *quickHarness {
+	t.Helper()
+	m, err := NewManager(Config{BlockSize: 1 << 13, ReclaimThreshold: 0.05, HeapBackend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := m.NewContext("quick", testSchema, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &quickHarness{
+		m: m, ctx: ctx, s: s,
+		idF: testSchema.MustField("ID"),
+		nmF: testSchema.MustField("Name"),
+		done: func() {
+			s.Close()
+			m.Close()
+		},
+	}
+}
+
+func (h *quickHarness) close() { h.done() }
+
+func (h *quickHarness) add(id int64, name string) types.Ref {
+	ref, obj, err := h.ctx.Alloc(h.s)
+	if err != nil {
+		panic(err)
+	}
+	*(*int64)(obj.Blk.FieldPtr(obj.Slot, h.idF)) = id
+	sr, err := h.ctx.AllocString(h.s, name)
+	if err != nil {
+		panic(err)
+	}
+	*(*types.StrRef)(obj.Blk.FieldPtr(obj.Slot, h.nmF)) = sr
+	h.ctx.Publish(h.s, obj)
+	return ref
+}
+
+func (h *quickHarness) remove(r types.Ref) error {
+	h.s.Enter()
+	defer h.s.Exit()
+	return h.ctx.Remove(h.s, r)
+}
+
+func (h *quickHarness) get(r types.Ref) (int64, string, error) {
+	h.s.Enter()
+	defer h.s.Exit()
+	obj, err := h.ctx.Deref(h.s, r)
+	if err != nil {
+		return 0, "", err
+	}
+	return *(*int64)(obj.Field(h.idF)), (*(*types.StrRef)(obj.Field(h.nmF))).String(), nil
+}

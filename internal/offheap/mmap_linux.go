@@ -1,0 +1,20 @@
+//go:build linux
+
+package offheap
+
+import "syscall"
+
+const mmapAvailable = true
+
+// mmapAnon creates a private anonymous mapping of n bytes. Pages are
+// allocated lazily by the kernel, so alignment padding that is never
+// touched consumes no physical memory.
+func mmapAnon(n int) ([]byte, error) {
+	return syscall.Mmap(-1, 0, n,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANON)
+}
+
+func munmap(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package offheap
+
+import "errors"
+
+const mmapAvailable = false
+
+func mmapAnon(n int) ([]byte, error) {
+	return nil, errors.New("offheap: mmap backend unavailable on this platform")
+}
+
+func munmap(b []byte) error {
+	return errors.New("offheap: mmap backend unavailable on this platform")
+}

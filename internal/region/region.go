@@ -1,0 +1,202 @@
+// Package region implements region-based memory management for query
+// intermediates (Tofte & Talpin [16], as used by the paper's unsafe
+// compiled queries: "use memory regions for all intermediate data during
+// query processing, which improves performance by excluding those
+// intermediates from garbage collection", §7).
+//
+// An Arena hands out raw off-heap memory in bump-allocated chunks and
+// releases everything at once: either recycling the chunks for the next
+// query (Reset) or returning them to the OS (Release). Individual
+// intermediates are never freed — the whole point of a region is that
+// object lifetimes equal the region's lifetime, so there is nothing for
+// a collector to track.
+//
+// Because the Go garbage collector never scans arena memory, values
+// placed in an arena must not contain Go pointers; the typed helpers
+// (New, NewSlice, Table) enforce this with a reflection check at first
+// use. Strings and slices are Go-pointer-bearing and therefore excluded
+// — query code keeps those in ordinary Go memory or in the collection's
+// string heap.
+package region
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"repro/internal/offheap"
+)
+
+// DefaultChunkSize is the arena chunk size when none is given.
+const DefaultChunkSize = 256 << 10
+
+// Arena is a bump allocator over off-heap chunks. Not safe for
+// concurrent use: queries are single-threaded and each owns its arena,
+// mirroring the paper's per-query regions.
+type Arena struct {
+	alloc *offheap.Allocator
+	chunk int // chunk size in bytes
+
+	chunks []*offheap.Region
+	cur    int     // index of the chunk being bumped
+	off    uintptr // bump offset within chunks[cur]
+
+	// big holds dedicated chunks for allocations larger than the chunk
+	// size; they are returned to the OS on Reset (their sizes are one-off,
+	// so recycling them would not help the next query).
+	big []*offheap.Region
+
+	used int64 // bytes handed out since the last Reset
+}
+
+// NewArena creates an arena with the given chunk size (0 selects
+// DefaultChunkSize). A nil allocator gets a private default.
+func NewArena(alloc *offheap.Allocator, chunkSize int) *Arena {
+	if alloc == nil {
+		alloc = offheap.New()
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Arena{alloc: alloc, chunk: chunkSize, cur: -1}
+}
+
+// Alloc returns size bytes of zeroed arena memory aligned to align (a
+// power of two ≤ 64). Allocations larger than the chunk size get a
+// dedicated chunk.
+func (a *Arena) Alloc(size, align uintptr) unsafe.Pointer {
+	if size == 0 {
+		size = 1
+	}
+	if align == 0 || align&(align-1) != 0 || align > 64 {
+		panic(fmt.Sprintf("region: bad alignment %d", align))
+	}
+	a.used += int64(size)
+	if int(size) > a.chunk {
+		r, err := a.alloc.Alloc(int(size), 64)
+		if err != nil {
+			panic(fmt.Sprintf("region: %v", err))
+		}
+		a.big = append(a.big, r)
+		return r.Base()
+	}
+	for {
+		if a.cur >= 0 && a.cur < len(a.chunks) {
+			base := a.chunks[a.cur].Base()
+			off := (a.off + align - 1) &^ (align - 1)
+			if off+size <= uintptr(a.chunk) {
+				a.off = off + size
+				p := unsafe.Add(base, off)
+				// Chunks are recycled by Reset without re-zeroing; the
+				// contract is zeroed memory, so clear the slice here.
+				clear(unsafe.Slice((*byte)(p), size))
+				return p
+			}
+		}
+		// Advance to the next chunk, reusing one recycled by Reset if
+		// available, else growing the arena.
+		if a.cur+1 < len(a.chunks) {
+			a.cur++
+			a.off = 0
+			continue
+		}
+		r, err := a.alloc.Alloc(a.chunk, 64)
+		if err != nil {
+			panic(fmt.Sprintf("region: %v", err))
+		}
+		a.chunks = append(a.chunks, r)
+		a.cur = len(a.chunks) - 1
+		a.off = 0
+	}
+}
+
+// Reset recycles all bump chunks for reuse and returns dedicated
+// (oversized) chunks to the OS: the arena is empty again. Pointers
+// previously handed out become invalid.
+func (a *Arena) Reset() {
+	for _, r := range a.big {
+		_ = a.alloc.Free(r)
+	}
+	a.big = nil
+	a.cur = -1
+	a.off = 0
+	a.used = 0
+}
+
+// Release returns all chunks to the OS. The arena is unusable afterwards
+// until allocations grow it again.
+func (a *Arena) Release() {
+	a.Reset()
+	for _, r := range a.chunks {
+		_ = a.alloc.Free(r)
+	}
+	a.chunks = nil
+}
+
+// Used returns the bytes handed out since the last Reset.
+func (a *Arena) Used() int64 { return a.used }
+
+// Footprint returns the total chunk bytes held by the arena.
+func (a *Arena) Footprint() int64 {
+	var n int64
+	for _, r := range a.chunks {
+		n += int64(r.Size())
+	}
+	for _, r := range a.big {
+		n += int64(r.Size())
+	}
+	return n
+}
+
+// hasGoPointers reports whether values of type t contain Go pointers the
+// collector would need to see.
+func hasGoPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16,
+		reflect.Int32, reflect.Int64, reflect.Uint, reflect.Uint8,
+		reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64,
+		reflect.Complex128:
+		return false
+	case reflect.Array:
+		return hasGoPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasGoPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Ptr, UnsafePointer, String, Slice, Map, Chan, Func, Interface.
+		return true
+	}
+}
+
+// checkPointerFree panics if T contains Go pointers.
+func checkPointerFree[T any]() {
+	var zero T
+	if t := reflect.TypeOf(zero); hasGoPointers(t) {
+		panic(fmt.Sprintf("region: %v contains Go pointers and cannot live in a region", t))
+	}
+}
+
+// New allocates one zeroed T in the arena.
+func New[T any](a *Arena) *T {
+	checkPointerFree[T]()
+	var zero T
+	return (*T)(a.Alloc(unsafe.Sizeof(zero), unsafe.Alignof(zero)))
+}
+
+// NewSlice allocates a zeroed []T of length n backed by arena memory.
+// The slice header lives in Go memory; only the backing array is in the
+// region.
+func NewSlice[T any](a *Arena, n int) []T {
+	checkPointerFree[T]()
+	if n == 0 {
+		return nil
+	}
+	var zero T
+	p := a.Alloc(uintptr(n)*unsafe.Sizeof(zero), unsafe.Alignof(zero))
+	return unsafe.Slice((*T)(p), n)
+}

@@ -1,0 +1,177 @@
+package region
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestArenaAllocAlignment(t *testing.T) {
+	a := NewArena(nil, 4096)
+	defer a.Release()
+	for _, align := range []uintptr{1, 2, 4, 8, 16, 32, 64} {
+		p := a.Alloc(3, align)
+		if uintptr(p)&(align-1) != 0 {
+			t.Fatalf("alloc not aligned to %d: %p", align, p)
+		}
+	}
+}
+
+func TestArenaAllocZeroed(t *testing.T) {
+	a := NewArena(nil, 1024)
+	defer a.Release()
+	// Dirty a chunk, reset, and check the recycled memory reads zero.
+	p := (*[512]byte)(a.Alloc(512, 8))
+	for i := range p {
+		p[i] = 0xff
+	}
+	a.Reset()
+	q := (*[512]byte)(a.Alloc(512, 8))
+	for i, b := range q {
+		if b != 0 {
+			t.Fatalf("recycled byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestArenaGrowsAcrossChunks(t *testing.T) {
+	a := NewArena(nil, 1024)
+	defer a.Release()
+	seen := map[unsafe.Pointer]bool{}
+	for i := 0; i < 100; i++ {
+		p := a.Alloc(100, 8)
+		if seen[p] {
+			t.Fatal("allocation overlap")
+		}
+		seen[p] = true
+		// Write the full allocation; overlap would corrupt neighbours.
+		for j := 0; j < 100; j++ {
+			*(*byte)(unsafe.Add(p, j)) = byte(i)
+		}
+	}
+	if a.Footprint() < 100*100 {
+		t.Fatalf("footprint %d too small", a.Footprint())
+	}
+	if a.Used() != 100*100 {
+		t.Fatalf("used = %d, want %d", a.Used(), 100*100)
+	}
+}
+
+func TestArenaBigAllocation(t *testing.T) {
+	a := NewArena(nil, 1024)
+	defer a.Release()
+	p := a.Alloc(10_000, 8)
+	for i := 0; i < 10_000; i++ {
+		*(*byte)(unsafe.Add(p, i)) = 0xab
+	}
+	// A subsequent small allocation must not land inside the big one.
+	q := a.Alloc(64, 8)
+	qa, pa := uintptr(q), uintptr(p)
+	if qa >= pa && qa < pa+10_000 {
+		t.Fatal("small allocation placed inside dedicated big chunk")
+	}
+	before := a.Footprint()
+	a.Reset()
+	if a.Footprint() >= before {
+		t.Fatalf("Reset did not release the dedicated chunk: %d -> %d", before, a.Footprint())
+	}
+}
+
+func TestArenaResetRecyclesChunks(t *testing.T) {
+	a := NewArena(nil, 1024)
+	defer a.Release()
+	for i := 0; i < 50; i++ {
+		a.Alloc(512, 8)
+	}
+	fp := a.Footprint()
+	a.Reset()
+	for i := 0; i < 50; i++ {
+		a.Alloc(512, 8)
+	}
+	if a.Footprint() != fp {
+		t.Fatalf("footprint changed across Reset: %d -> %d", fp, a.Footprint())
+	}
+}
+
+func TestArenaBadAlignPanics(t *testing.T) {
+	a := NewArena(nil, 1024)
+	defer a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two alignment accepted")
+		}
+	}()
+	a.Alloc(8, 3)
+}
+
+func TestNewTyped(t *testing.T) {
+	a := NewArena(nil, 4096)
+	defer a.Release()
+	type pair struct {
+		A int64
+		B float64
+	}
+	p := New[pair](a)
+	if p.A != 0 || p.B != 0 {
+		t.Fatal("not zeroed")
+	}
+	p.A, p.B = 7, 2.5
+	q := New[pair](a)
+	if q.A != 0 {
+		t.Fatal("second allocation not zeroed")
+	}
+	if p.A != 7 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestNewSlice(t *testing.T) {
+	a := NewArena(nil, 4096)
+	defer a.Release()
+	s := NewSlice[int64](a, 100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = int64(i)
+	}
+	for i := range s {
+		if s[i] != int64(i) {
+			t.Fatal("slice storage corrupt")
+		}
+	}
+	if NewSlice[int64](a, 0) != nil {
+		t.Fatal("zero-length slice should be nil")
+	}
+}
+
+func TestPointerFreeEnforced(t *testing.T) {
+	a := NewArena(nil, 4096)
+	defer a.Release()
+	for name, fn := range map[string]func(){
+		"pointer": func() { New[*int](a) },
+		"string":  func() { New[string](a) },
+		"slice":   func() { New[[]int](a) },
+		"map":     func() { New[map[int]int](a) },
+		"nested": func() {
+			type bad struct{ S string }
+			New[bad](a)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s type accepted into region", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Pointer-free composites are fine.
+	type ok struct {
+		A [4]int32
+		B struct{ C, D uint64 }
+	}
+	if p := New[ok](a); p == nil {
+		t.Fatal("pointer-free struct rejected")
+	}
+}

@@ -1,0 +1,135 @@
+package region
+
+import "unsafe"
+
+// Table is an open-addressing hash table from int64 keys to pointer-free
+// values, with all storage in an Arena. It is the intermediate data
+// structure the paper's unsafe compiled queries use for group-by and
+// semi-join state: the entire table vanishes with the region at the end
+// of the query, no per-entry free and nothing for a collector to trace.
+//
+// There is no delete — query intermediates only grow — which keeps
+// probing tombstone-free. Not safe for concurrent use.
+type Table[V any] struct {
+	a *Arena
+
+	keys  []int64
+	vals  []V
+	state []uint8 // 0 = empty, 1 = occupied
+
+	n    int
+	mask uint64
+}
+
+// NewTable creates a table sized for about capHint entries.
+func NewTable[V any](a *Arena, capHint int) *Table[V] {
+	checkPointerFree[V]()
+	capacity := 16
+	for capacity*3 < capHint*4 { // initial load factor headroom
+		capacity <<= 1
+	}
+	t := &Table[V]{a: a}
+	t.grow(capacity)
+	return t
+}
+
+func (t *Table[V]) grow(capacity int) {
+	oldKeys, oldVals, oldState := t.keys, t.vals, t.state
+	t.keys = NewSlice[int64](t.a, capacity)
+	t.vals = NewSlice[V](t.a, capacity)
+	t.state = NewSlice[uint8](t.a, capacity)
+	t.mask = uint64(capacity - 1)
+	t.n = 0
+	for i, st := range oldState {
+		if st != 0 {
+			*t.At(oldKeys[i]) = oldVals[i]
+		}
+	}
+	// The old arrays stay in the arena until Reset — the region trade-off
+	// the paper accepts for intermediates.
+}
+
+// hash mixes the key (splitmix64 finalizer).
+func hash(k int64) uint64 {
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// At returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer stays valid until the next grow — use it for
+// immediate in-place accumulation, the compiled-query idiom.
+func (t *Table[V]) At(key int64) *V {
+	if uint64(t.n)*4 >= uint64(len(t.keys))*3 {
+		t.grow(len(t.keys) * 2)
+	}
+	i := hash(key) & t.mask
+	for {
+		if t.state[i] == 0 {
+			t.state[i] = 1
+			t.keys[i] = key
+			t.n++
+			return &t.vals[i]
+		}
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns a pointer to the value for key, or nil if absent.
+func (t *Table[V]) Get(key int64) *V {
+	i := hash(key) & t.mask
+	for {
+		if t.state[i] == 0 {
+			return nil
+		}
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Range calls fn for every entry until fn returns false. Iteration order
+// is unspecified.
+func (t *Table[V]) Range(fn func(key int64, v *V) bool) {
+	for i, st := range t.state {
+		if st != 0 {
+			if !fn(t.keys[i], &t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Bytes returns the table's current storage footprint in the arena.
+func (t *Table[V]) Bytes() int64 {
+	var v V
+	per := int64(unsafe.Sizeof(v)) + 8 + 1
+	return per * int64(len(t.keys))
+}
+
+// Set is a presence-only table over int64 keys (semi-join state).
+type Set struct {
+	t *Table[struct{}]
+}
+
+// NewSet creates a set sized for about capHint keys.
+func NewSet(a *Arena, capHint int) *Set {
+	return &Set{t: NewTable[struct{}](a, capHint)}
+}
+
+// Add inserts key.
+func (s *Set) Add(key int64) { s.t.At(key) }
+
+// Has reports membership.
+func (s *Set) Has(key int64) bool { return s.t.Get(key) != nil }
+
+// Len returns the number of keys.
+func (s *Set) Len() int { return s.t.Len() }

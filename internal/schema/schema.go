@@ -1,0 +1,288 @@
+// Package schema derives off-heap memory layouts from Go struct types.
+//
+// It is the stand-in for the paper's `tabular` class modifier (§2): a
+// struct is *tabular* if every field is a fixed-size primitive, a string
+// (stored out-of-place in the collection's string heap, owned by the
+// object), or a reference to another tabular type. The check that tabular
+// classes only reference other tabular classes — which the paper performs
+// in a modified C# compiler — happens here at collection-construction
+// time via reflection, so it still fails fast, before any object is
+// stored.
+//
+// A Schema fixes each field's offset inside an off-heap memory slot (row
+// layout) and its per-column stride (columnar layout, §4.1). The offsets
+// are what the "generated" compiled-query code keys on.
+package schema
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// Kind enumerates the field representations allowed in tabular types.
+type Kind uint8
+
+const (
+	// Invalid is the zero Kind.
+	Invalid Kind = iota
+	// Bool is stored as one byte.
+	Bool
+	// Int32 is a 4-byte signed integer.
+	Int32
+	// Int64 is an 8-byte signed integer.
+	Int64
+	// Float64 is an 8-byte IEEE float.
+	Float64
+	// Date is a types.Date (4 bytes, days since epoch).
+	Date
+	// Decimal is a decimal.Dec128 (16 bytes fixed point).
+	Decimal
+	// String is a types.StrRef (8 bytes packed address+length); the
+	// bytes live in the collection's string heap and share the object's
+	// lifetime (§2).
+	String
+	// Ref is a 16-byte reference to an object in another (or the same)
+	// self-managed collection.
+	Ref
+)
+
+var kindNames = [...]string{"invalid", "bool", "int32", "int64", "float64", "date", "decimal", "string", "ref"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Size returns the number of bytes the kind occupies in a memory slot.
+func (k Kind) Size() uintptr {
+	switch k {
+	case Bool:
+		return 1
+	case Int32, Date:
+		return 4
+	case Int64, Float64, String:
+		return 8
+	case Decimal, Ref:
+		return 16
+	}
+	return 0
+}
+
+// Align returns the required alignment of the kind inside a slot.
+func (k Kind) Align() uintptr {
+	switch k {
+	case Bool:
+		return 1
+	case Int32, Date:
+		return 4
+	case Int64, Float64, String, Decimal, Ref:
+		return 8
+	}
+	return 1
+}
+
+// Field describes one column of a tabular type.
+type Field struct {
+	// Name is the Go field name.
+	Name string
+	// Index is the position in Schema.Fields.
+	Index int
+	// Kind is the off-heap representation.
+	Kind Kind
+	// Offset is the field's byte offset inside a row-layout memory slot
+	// (excluding any slot header).
+	Offset uintptr
+	// GoOffset is the field's byte offset inside the Go struct, used by
+	// the marshal/unmarshal paths.
+	GoOffset uintptr
+	// Target is the referent's Go struct type for Ref fields, nil
+	// otherwise.
+	Target reflect.Type
+}
+
+// Schema is the complete off-heap layout of a tabular Go struct type.
+type Schema struct {
+	// Name is the struct type's name.
+	Name string
+	// GoType is the reflected struct type.
+	GoType reflect.Type
+	// Fields lists all columns in declaration order.
+	Fields []Field
+	// Size is the row-layout slot data size in bytes, padded to 8.
+	Size uintptr
+	// StringFields indexes the fields of Kind String.
+	StringFields []int
+	// RefFields indexes the fields of Kind Ref.
+	RefFields []int
+
+	byName map[string]int
+}
+
+var (
+	dec128Type = reflect.TypeOf(decimal.Dec128{})
+	dateType   = reflect.TypeOf(types.Date(0))
+	refTypedIf = reflect.TypeOf((*types.RefTyped)(nil)).Elem()
+)
+
+// Of derives the Schema for T, which must be a tabular struct type.
+func Of[T any]() (*Schema, error) {
+	var zero T
+	return OfType(reflect.TypeOf(zero))
+}
+
+// MustOf is Of, panicking on error.
+func MustOf[T any]() *Schema {
+	s, err := Of[T]()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OfType derives the Schema for the given struct type.
+func OfType(t reflect.Type) (*Schema, error) {
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("schema: %v is not a struct type", t)
+	}
+	s := &Schema{
+		Name:   t.Name(),
+		GoType: t,
+		byName: make(map[string]int),
+	}
+	var off uintptr
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			return nil, fmt.Errorf("schema: %s.%s: tabular types cannot have unexported fields", t.Name(), sf.Name)
+		}
+		if sf.Anonymous {
+			return nil, fmt.Errorf("schema: %s.%s: tabular types cannot embed (no base classes, §2)", t.Name(), sf.Name)
+		}
+		k, target, err := kindOf(sf.Type)
+		if err != nil {
+			return nil, fmt.Errorf("schema: %s.%s: %w", t.Name(), sf.Name, err)
+		}
+		a := k.Align()
+		off = (off + a - 1) &^ (a - 1)
+		f := Field{
+			Name:     sf.Name,
+			Index:    i,
+			Kind:     k,
+			Offset:   off,
+			GoOffset: sf.Offset,
+			Target:   target,
+		}
+		off += k.Size()
+		s.Fields = append(s.Fields, f)
+		s.byName[sf.Name] = i
+		switch k {
+		case String:
+			s.StringFields = append(s.StringFields, i)
+		case Ref:
+			s.RefFields = append(s.RefFields, i)
+		}
+	}
+	if len(s.Fields) == 0 {
+		return nil, fmt.Errorf("schema: %s has no fields", t.Name())
+	}
+	s.Size = (off + 7) &^ 7
+	return s, nil
+}
+
+func kindOf(t reflect.Type) (Kind, reflect.Type, error) {
+	switch t {
+	case dec128Type:
+		return Decimal, nil, nil
+	case dateType:
+		return Date, nil, nil
+	}
+	if t.Kind() == reflect.Struct && t.Implements(refTypedIf) {
+		rv := reflect.Zero(t).Interface().(types.RefTyped)
+		return Ref, rv.RefTargetType(), nil
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return Bool, nil, nil
+	case reflect.Int32:
+		return Int32, nil, nil
+	case reflect.Int64:
+		return Int64, nil, nil
+	case reflect.Float64:
+		return Float64, nil, nil
+	case reflect.String:
+		return String, nil, nil
+	case reflect.Int, reflect.Uint, reflect.Uintptr:
+		return Invalid, nil, fmt.Errorf("platform-sized integer %v not allowed; use int32 or int64", t)
+	case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Interface, reflect.Func:
+		return Invalid, nil, fmt.Errorf("%v is a managed reference type; tabular classes may only reference other tabular classes through collection refs (§2)", t)
+	default:
+		return Invalid, nil, fmt.Errorf("unsupported field type %v", t)
+	}
+}
+
+// Field returns the field with the given name.
+func (s *Schema) Field(name string) (*Field, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &s.Fields[i], true
+}
+
+// MustField returns the field with the given name, panicking if absent.
+// Compiled query code uses it to resolve constant offsets once at start-up.
+func (s *Schema) MustField(name string) *Field {
+	f, ok := s.Field(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: %s has no field %q", s.Name, name))
+	}
+	return f
+}
+
+// Offset returns the row-layout offset of the named field.
+func (s *Schema) Offset(name string) uintptr { return s.MustField(name).Offset }
+
+// ColumnarLayout computes the per-column base offsets for a block that
+// stores capacity objects of this schema column-by-column (§4.1). Each
+// column segment is 8-byte aligned; values within a column are packed at
+// the field's natural size.
+func (s *Schema) ColumnarLayout(capacity int) (colOff []uintptr, total uintptr) {
+	colOff = make([]uintptr, len(s.Fields))
+	var off uintptr
+	for i, f := range s.Fields {
+		off = (off + 7) &^ 7
+		colOff[i] = off
+		off += f.Kind.Size() * uintptr(capacity)
+	}
+	return colOff, (off + 7) &^ 7
+}
+
+// String renders a human-readable layout description.
+func (s *Schema) String() string {
+	out := fmt.Sprintf("%s (size %d)", s.Name, s.Size)
+	for _, f := range s.Fields {
+		out += fmt.Sprintf("\n  %-16s %-8s off=%d", f.Name, f.Kind, f.Offset)
+	}
+	return out
+}
+
+// Sanity checks that pin down representation assumptions the unsafe code
+// relies on. They run once at package init; a violation is a build/port
+// bug, so panicking is appropriate.
+func init() {
+	if unsafe.Sizeof(decimal.Dec128{}) != 16 {
+		panic("schema: decimal.Dec128 must be 16 bytes")
+	}
+	if unsafe.Sizeof(types.Ref{}) != 16 {
+		panic("schema: types.Ref must be 16 bytes")
+	}
+	if unsafe.Sizeof(types.StrRef(0)) != 8 {
+		panic("schema: types.StrRef must be 8 bytes")
+	}
+}

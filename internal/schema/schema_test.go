@@ -1,0 +1,168 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// fakeRef mimics core.Ref[T] without importing the collection package.
+type fakeRef struct {
+	R types.Ref
+}
+
+func (fakeRef) RefTargetType() reflect.Type { return reflect.TypeOf(struct{ X int32 }{}) }
+
+type order struct {
+	Key      int64
+	Total    decimal.Dec128
+	Date     types.Date
+	Priority string
+	Open     bool
+	Customer fakeRef
+}
+
+func TestOfLayout(t *testing.T) {
+	s, err := Of[order]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "order" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	want := []struct {
+		name string
+		kind Kind
+		off  uintptr
+	}{
+		{"Key", Int64, 0},
+		{"Total", Decimal, 8},
+		{"Date", Date, 24},
+		{"Priority", String, 32},
+		{"Open", Bool, 40},
+		{"Customer", Ref, 48},
+	}
+	if len(s.Fields) != len(want) {
+		t.Fatalf("got %d fields", len(s.Fields))
+	}
+	for i, w := range want {
+		f := s.Fields[i]
+		if f.Name != w.name || f.Kind != w.kind || f.Offset != w.off {
+			t.Errorf("field %d = {%s %s %d}, want {%s %s %d}",
+				i, f.Name, f.Kind, f.Offset, w.name, w.kind, w.off)
+		}
+	}
+	if s.Size != 64 {
+		t.Errorf("Size = %d, want 64", s.Size)
+	}
+	if len(s.StringFields) != 1 || s.StringFields[0] != 3 {
+		t.Errorf("StringFields = %v", s.StringFields)
+	}
+	if len(s.RefFields) != 1 || s.RefFields[0] != 5 {
+		t.Errorf("RefFields = %v", s.RefFields)
+	}
+	if s.Fields[5].Target == nil {
+		t.Error("Ref field must carry a target type")
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	s := MustOf[order]()
+	f, ok := s.Field("Total")
+	if !ok || f.Kind != Decimal {
+		t.Fatalf("Field(Total) = %v, %v", f, ok)
+	}
+	if _, ok := s.Field("Nope"); ok {
+		t.Fatal("Field(Nope) should miss")
+	}
+	if off := s.Offset("Date"); off != 24 {
+		t.Errorf("Offset(Date) = %d", off)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustField on missing field should panic")
+		}
+	}()
+	s.MustField("Nope")
+}
+
+func TestRejectedTypes(t *testing.T) {
+	type withPtr struct{ P *int32 }
+	type withSlice struct{ S []byte }
+	type withMap struct{ M map[string]int32 }
+	type withInt struct{ N int }
+	type withIface struct{ I interface{} }
+	type withEmbed struct{ order }
+	type withUnexported struct {
+		X int32
+		y int32 //nolint:unused
+	}
+	type empty struct{}
+
+	for name, f := range map[string]func() error{
+		"ptr":        func() error { _, err := Of[withPtr](); return err },
+		"slice":      func() error { _, err := Of[withSlice](); return err },
+		"map":        func() error { _, err := Of[withMap](); return err },
+		"int":        func() error { _, err := Of[withInt](); return err },
+		"iface":      func() error { _, err := Of[withIface](); return err },
+		"embed":      func() error { _, err := Of[withEmbed](); return err },
+		"unexported": func() error { _, err := Of[withUnexported](); return err },
+		"empty":      func() error { _, err := Of[empty](); return err },
+		"nonstruct":  func() error { _, err := OfType(reflect.TypeOf(42)); return err },
+	} {
+		if err := f(); err == nil {
+			t.Errorf("%s: expected rejection", name)
+		}
+	}
+}
+
+func TestColumnarLayout(t *testing.T) {
+	s := MustOf[order]()
+	colOff, total := s.ColumnarLayout(100)
+	if len(colOff) != len(s.Fields) {
+		t.Fatalf("colOff len = %d", len(colOff))
+	}
+	// Columns must not overlap and must be 8-aligned.
+	for i, off := range colOff {
+		if off%8 != 0 {
+			t.Errorf("col %d offset %d not aligned", i, off)
+		}
+		if i > 0 {
+			prevEnd := colOff[i-1] + s.Fields[i-1].Kind.Size()*100
+			if off < prevEnd {
+				t.Errorf("col %d at %d overlaps previous ending %d", i, off, prevEnd)
+			}
+		}
+	}
+	last := len(colOff) - 1
+	if end := colOff[last] + s.Fields[last].Kind.Size()*100; total < end {
+		t.Errorf("total %d < last column end %d", total, end)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for _, k := range []Kind{Bool, Int32, Int64, Float64, Date, Decimal, String, Ref} {
+		if k.Size() == 0 {
+			t.Errorf("%s Size = 0", k)
+		}
+		if k.Align() == 0 || k.Size()%k.Align() != 0 {
+			t.Errorf("%s: size %d not multiple of align %d", k, k.Size(), k.Align())
+		}
+	}
+	if Invalid.Size() != 0 {
+		t.Error("Invalid must have size 0")
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range Kind must still format")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustOf[order]()
+	out := s.String()
+	if out == "" || len(out) < 20 {
+		t.Errorf("String() too short: %q", out)
+	}
+}

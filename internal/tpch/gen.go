@@ -1,0 +1,274 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// prng is a splitmix64 generator: deterministic across platforms, cheap,
+// and good enough for benchmark data.
+type prng struct{ state uint64 }
+
+func newPrng(seed uint64) *prng { return &prng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// rng returns a uniform int in [lo, hi] inclusive.
+func (p *prng) rng(lo, hi int) int { return lo + p.intn(hi-lo+1) }
+
+// dec returns a uniform decimal in [lo, hi] expressed in cents.
+func (p *prng) decCents(lo, hi int) decimal.Dec128 {
+	return decimal.FromCents(int64(p.rng(lo, hi)))
+}
+
+func (p *prng) pick(list []string) string { return list[p.intn(len(list))] }
+
+// Text pools (dbgen appendix-like vocabularies).
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	// nation -> region mapping follows dbgen's nations.
+	nationDefs = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE", "JUMBO PKG"}
+	typeSyll1  = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyll2  = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyll3  = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	nounPool   = []string{"packages", "requests", "accounts", "deposits", "foxes", "ideas",
+		"theodolites", "instructions", "dependencies", "excuses", "platelets", "asymptotes"}
+	// colorPool seeds part names, following dbgen's colour vocabulary;
+	// Q9's p_name LIKE '%green%' predicate keys off it.
+	colorPool = []string{"almond", "antique", "azure", "beige", "bisque",
+		"blush", "burnished", "chartreuse", "cornflower", "firebrick",
+		"forest", "frosted", "goldenrod", "green", "honeydew", "indian",
+		"ivory", "khaki", "lavender", "maroon"}
+	verbPool = []string{"sleep", "wake", "haggle", "nag", "cajole", "detect", "integrate",
+		"boost", "doze", "engage", "solve", "lose"}
+	adverbPool = []string{"quickly", "slowly", "carefully", "blithely", "furiously",
+		"ruthlessly", "silently", "daringly"}
+)
+
+// dbgen date bounds.
+var (
+	startDate   = types.MustDate("1992-01-01")
+	endDate     = types.MustDate("1998-08-02") // latest o_orderdate
+	currentDate = types.MustDate("1995-06-17") // dbgen's CURRENTDATE
+)
+
+func (p *prng) comment() string {
+	return p.pick(adverbPool) + " " + p.pick(verbPool) + " " + p.pick(nounPool)
+}
+
+func (p *prng) phone(nation int64) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, p.rng(100, 999), p.rng(100, 999), p.rng(1000, 9999))
+}
+
+func (p *prng) date(lo, hi types.Date) types.Date {
+	return lo + types.Date(p.intn(int(hi-lo)+1))
+}
+
+// partSuppSupplierKey returns the j-th supplier (0 ≤ j < suppsPerPart) of
+// part pk, following dbgen's round-robin spread of suppliers over parts.
+// Both PARTSUPP rows and LINEITEM supplier picks use it, so every
+// lineitem's (partkey, suppkey) pair has a PARTSUPP row.
+func partSuppSupplierKey(pk int64, j, nSupp int) int64 {
+	return (pk+int64(j)*int64(nSupp/suppsPerPart+1))%int64(nSupp) + 1
+}
+
+// Generate builds a deterministic dataset at the given scale factor.
+// The distributions the Q1–Q6 predicates and the paper's refresh streams
+// are sensitive to (dates, discount/quantity ranges, segments, regions,
+// return flags, 1–7 lineitems per order) follow dbgen.
+func Generate(sf float64, seed uint64) *Dataset {
+	if sf <= 0 {
+		panic("tpch: scale factor must be positive")
+	}
+	p := newPrng(seed)
+	d := &Dataset{SF: sf}
+
+	scale := func(n int) int {
+		v := int(float64(n) * sf)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	// REGION and NATION are fixed-size.
+	for i := 0; i < regionCount; i++ {
+		d.Regions = append(d.Regions, RegionRow{
+			Key: int64(i), Name: regionNames[i], Comment: p.comment(),
+		})
+	}
+	for i, nd := range nationDefs {
+		d.Nations = append(d.Nations, NationRow{
+			Key: int64(i), Name: nd.name, RegionKey: int64(nd.region), Comment: p.comment(),
+		})
+	}
+
+	nSupp := scale(suppliersPerSF)
+	for i := 0; i < nSupp; i++ {
+		nk := int64(p.intn(nationCount))
+		d.Suppliers = append(d.Suppliers, SupplierRow{
+			Key:       int64(i + 1),
+			Name:      fmt.Sprintf("Supplier#%09d", i+1),
+			Address:   p.comment(),
+			NationKey: nk,
+			Phone:     p.phone(nk),
+			AcctBal:   p.decCents(-99999, 999999),
+			Comment:   p.comment(),
+		})
+	}
+
+	nCust := scale(customersPerSF)
+	for i := 0; i < nCust; i++ {
+		nk := int64(p.intn(nationCount))
+		d.Customers = append(d.Customers, CustomerRow{
+			Key:        int64(i + 1),
+			Name:       fmt.Sprintf("Customer#%09d", i+1),
+			Address:    p.comment(),
+			NationKey:  nk,
+			Phone:      p.phone(nk),
+			AcctBal:    p.decCents(-99999, 999999),
+			MktSegment: p.pick(segments),
+			Comment:    p.comment(),
+		})
+	}
+
+	nPart := scale(partsPerSF)
+	for i := 0; i < nPart; i++ {
+		mfgr := p.rng(1, 5)
+		brand := mfgr*10 + p.rng(1, 5)
+		d.Parts = append(d.Parts, PartRow{
+			Key:         int64(i + 1),
+			Name:        p.pick(colorPool) + " " + p.pick(colorPool) + " " + p.pick(typeSyll3),
+			Mfgr:        fmt.Sprintf("Manufacturer#%d", mfgr),
+			Brand:       fmt.Sprintf("Brand#%d", brand),
+			Type:        p.pick(typeSyll1) + " " + p.pick(typeSyll2) + " " + p.pick(typeSyll3),
+			Size:        int32(p.rng(1, 50)),
+			Container:   p.pick(containers),
+			RetailPrice: decimal.FromCents(int64(90000 + (i+1)%20001)), // 900.00..1100.00
+			Comment:     p.comment(),
+		})
+	}
+
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < suppsPerPart; j++ {
+			d.PartSupps = append(d.PartSupps, PartSuppRow{
+				PartKey:     int64(i + 1),
+				SupplierKey: partSuppSupplierKey(int64(i+1), j, nSupp),
+				AvailQty:    int32(p.rng(1, 9999)),
+				SupplyCost:  p.decCents(100, 100000),
+				Comment:     p.comment(),
+			})
+		}
+	}
+
+	nOrd := scale(ordersPerSF)
+	lineNo := 0
+	for i := 0; i < nOrd; i++ {
+		ok := int64(i + 1)
+		odate := p.date(startDate, endDate)
+		o := OrderRow{
+			Key:           ok,
+			CustomerKey:   int64(p.intn(nCust)) + 1,
+			OrderDate:     odate,
+			OrderPriority: p.pick(priorities),
+			Clerk:         fmt.Sprintf("Clerk#%09d", p.rng(1, 1000)),
+			ShipPriority:  0,
+			Comment:       p.comment(),
+		}
+		nLines := p.rng(1, 7)
+		total := decimal.Zero
+		allF, anyF := true, false
+		for ln := 1; ln <= nLines; ln++ {
+			partKey := int64(p.intn(nPart)) + 1
+			// The line's supplier is one of the part's PARTSUPP suppliers,
+			// as in dbgen — Q9's partsupp join depends on it.
+			suppKey := partSuppSupplierKey(partKey, p.intn(suppsPerPart), nSupp)
+			qty := p.rng(1, 50)
+			price := decimal.FromCents(int64(90000 + p.intn(110001))) // 900.00..2000.00
+			ext := price.MulInt64(int64(qty))
+			disc := decimal.FromUnits(int64(p.rng(0, 10)) * 100) // 0.00..0.10
+			tax := decimal.FromUnits(int64(p.rng(0, 8)) * 100)   // 0.00..0.08
+			sdate := odate.AddDays(p.rng(1, 121))
+			cdate := odate.AddDays(p.rng(30, 90))
+			rdate := sdate.AddDays(p.rng(1, 30))
+			var rflag int32
+			if rdate <= currentDate {
+				if p.intn(2) == 0 {
+					rflag = 'R'
+				} else {
+					rflag = 'A'
+				}
+			} else {
+				rflag = 'N'
+			}
+			var lstatus int32
+			if sdate > currentDate {
+				lstatus = 'O'
+				allF = false
+			} else {
+				lstatus = 'F'
+				anyF = true
+			}
+			one := decimal.FromInt64(1)
+			charge := ext.Mul(one.Sub(disc)).Mul(one.Add(tax))
+			total = total.Add(charge)
+			d.Lineitems = append(d.Lineitems, LineitemRow{
+				OrderKey:      ok,
+				PartKey:       partKey,
+				SupplierKey:   suppKey,
+				LineNumber:    int32(ln),
+				Quantity:      decimal.FromInt64(int64(qty)),
+				ExtendedPrice: ext,
+				Discount:      disc,
+				Tax:           tax,
+				ReturnFlag:    rflag,
+				LineStatus:    lstatus,
+				ShipDate:      sdate,
+				CommitDate:    cdate,
+				ReceiptDate:   rdate,
+				ShipInstruct:  p.pick(instructs),
+				ShipMode:      p.pick(shipmodes),
+				Comment:       p.comment(),
+			})
+			lineNo++
+		}
+		switch {
+		case allF:
+			o.OrderStatus = 'F'
+		case anyF:
+			o.OrderStatus = 'P'
+		default:
+			o.OrderStatus = 'O'
+		}
+		o.TotalPrice = total
+		d.Orders = append(d.Orders, o)
+	}
+	return d
+}

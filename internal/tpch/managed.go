@@ -1,0 +1,231 @@
+package tpch
+
+import (
+	"repro/internal/decimal"
+	"repro/internal/managed"
+	"repro/internal/types"
+)
+
+// Managed object graph: each record is an individually heap-allocated Go
+// object; PK-FK relations are Go pointers, matching the C# reference
+// semantics of the paper's managed baselines.
+type (
+	// MRegion is the managed REGION record.
+	MRegion struct {
+		Key     int64
+		Name    string
+		Comment string
+	}
+	// MNation is the managed NATION record.
+	MNation struct {
+		Key     int64
+		Name    string
+		Region  *MRegion
+		Comment string
+	}
+	// MSupplier is the managed SUPPLIER record.
+	MSupplier struct {
+		Key     int64
+		Name    string
+		Address string
+		Nation  *MNation
+		Phone   string
+		AcctBal decimal.Dec128
+		Comment string
+	}
+	// MCustomer is the managed CUSTOMER record.
+	MCustomer struct {
+		Key        int64
+		Name       string
+		Address    string
+		Nation     *MNation
+		Phone      string
+		AcctBal    decimal.Dec128
+		MktSegment string
+		Comment    string
+	}
+	// MPart is the managed PART record.
+	MPart struct {
+		Key         int64
+		Name        string
+		Mfgr        string
+		Brand       string
+		Type        string
+		Size        int32
+		Container   string
+		RetailPrice decimal.Dec128
+		Comment     string
+	}
+	// MPartSupp is the managed PARTSUPP record.
+	MPartSupp struct {
+		Part       *MPart
+		Supplier   *MSupplier
+		AvailQty   int32
+		SupplyCost decimal.Dec128
+		Comment    string
+	}
+	// MOrder is the managed ORDERS record.
+	MOrder struct {
+		Key           int64
+		Customer      *MCustomer
+		OrderStatus   int32
+		TotalPrice    decimal.Dec128
+		OrderDate     types.Date
+		OrderPriority string
+		Clerk         string
+		ShipPriority  int32
+		Comment       string
+	}
+	// MLineitem is the managed LINEITEM record.
+	MLineitem struct {
+		Order         *MOrder
+		Part          *MPart
+		Supplier      *MSupplier
+		OrderKey      int64
+		LineNumber    int32
+		Quantity      decimal.Dec128
+		ExtendedPrice decimal.Dec128
+		Discount      decimal.Dec128
+		Tax           decimal.Dec128
+		ReturnFlag    int32
+		LineStatus    int32
+		ShipDate      types.Date
+		CommitDate    types.Date
+		ReceiptDate   types.Date
+		ShipInstruct  string
+		ShipMode      string
+		Comment       string
+	}
+)
+
+// ManagedDB holds the dataset as managed Lists (the List<T> baseline).
+type ManagedDB struct {
+	Regions   *managed.List[MRegion]
+	Nations   *managed.List[MNation]
+	Suppliers *managed.List[MSupplier]
+	Customers *managed.List[MCustomer]
+	Parts     *managed.List[MPart]
+	PartSupps *managed.List[MPartSupp]
+	Orders    *managed.List[MOrder]
+	Lineitems *managed.List[MLineitem]
+}
+
+// LoadManaged materializes the dataset as a managed object graph.
+func LoadManaged(d *Dataset) *ManagedDB {
+	db := &ManagedDB{
+		Regions:   managed.NewList[MRegion](len(d.Regions)),
+		Nations:   managed.NewList[MNation](len(d.Nations)),
+		Suppliers: managed.NewList[MSupplier](len(d.Suppliers)),
+		Customers: managed.NewList[MCustomer](len(d.Customers)),
+		Parts:     managed.NewList[MPart](len(d.Parts)),
+		PartSupps: managed.NewList[MPartSupp](len(d.PartSupps)),
+		Orders:    managed.NewList[MOrder](len(d.Orders)),
+		Lineitems: managed.NewList[MLineitem](len(d.Lineitems)),
+	}
+	regionByKey := make(map[int64]*MRegion, len(d.Regions))
+	for i := range d.Regions {
+		r := &d.Regions[i]
+		p := db.Regions.Add(&MRegion{Key: r.Key, Name: r.Name, Comment: r.Comment})
+		regionByKey[r.Key] = p
+	}
+	nationByKey := make(map[int64]*MNation, len(d.Nations))
+	for i := range d.Nations {
+		n := &d.Nations[i]
+		p := db.Nations.Add(&MNation{Key: n.Key, Name: n.Name, Region: regionByKey[n.RegionKey], Comment: n.Comment})
+		nationByKey[n.Key] = p
+	}
+	suppByKey := make(map[int64]*MSupplier, len(d.Suppliers))
+	for i := range d.Suppliers {
+		s := &d.Suppliers[i]
+		p := db.Suppliers.Add(&MSupplier{
+			Key: s.Key, Name: s.Name, Address: s.Address,
+			Nation: nationByKey[s.NationKey], Phone: s.Phone,
+			AcctBal: s.AcctBal, Comment: s.Comment,
+		})
+		suppByKey[s.Key] = p
+	}
+	custByKey := make(map[int64]*MCustomer, len(d.Customers))
+	for i := range d.Customers {
+		c := &d.Customers[i]
+		p := db.Customers.Add(&MCustomer{
+			Key: c.Key, Name: c.Name, Address: c.Address,
+			Nation: nationByKey[c.NationKey], Phone: c.Phone,
+			AcctBal: c.AcctBal, MktSegment: c.MktSegment, Comment: c.Comment,
+		})
+		custByKey[c.Key] = p
+	}
+	partByKey := make(map[int64]*MPart, len(d.Parts))
+	for i := range d.Parts {
+		pt := &d.Parts[i]
+		p := db.Parts.Add(&MPart{
+			Key: pt.Key, Name: pt.Name, Mfgr: pt.Mfgr, Brand: pt.Brand,
+			Type: pt.Type, Size: pt.Size, Container: pt.Container,
+			RetailPrice: pt.RetailPrice, Comment: pt.Comment,
+		})
+		partByKey[pt.Key] = p
+	}
+	for i := range d.PartSupps {
+		ps := &d.PartSupps[i]
+		db.PartSupps.Add(&MPartSupp{
+			Part: partByKey[ps.PartKey], Supplier: suppByKey[ps.SupplierKey],
+			AvailQty: ps.AvailQty, SupplyCost: ps.SupplyCost, Comment: ps.Comment,
+		})
+	}
+	orderByKey := make(map[int64]*MOrder, len(d.Orders))
+	for i := range d.Orders {
+		o := &d.Orders[i]
+		p := db.Orders.Add(&MOrder{
+			Key: o.Key, Customer: custByKey[o.CustomerKey],
+			OrderStatus: o.OrderStatus, TotalPrice: o.TotalPrice,
+			OrderDate: o.OrderDate, OrderPriority: o.OrderPriority,
+			Clerk: o.Clerk, ShipPriority: o.ShipPriority, Comment: o.Comment,
+		})
+		orderByKey[o.Key] = p
+	}
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		db.Lineitems.Add(&MLineitem{
+			Order: orderByKey[l.OrderKey], Part: partByKey[l.PartKey],
+			Supplier: suppByKey[l.SupplierKey],
+			OrderKey: l.OrderKey, LineNumber: l.LineNumber,
+			Quantity: l.Quantity, ExtendedPrice: l.ExtendedPrice,
+			Discount: l.Discount, Tax: l.Tax,
+			ReturnFlag: l.ReturnFlag, LineStatus: l.LineStatus,
+			ShipDate: l.ShipDate, CommitDate: l.CommitDate, ReceiptDate: l.ReceiptDate,
+			ShipInstruct: l.ShipInstruct, ShipMode: l.ShipMode, Comment: l.Comment,
+		})
+	}
+	return db
+}
+
+// DictDB is the ConcurrentDictionary representation: the same managed
+// object graph, but lineitems and orders are reached through dictionary
+// enumeration (the thread-safe baseline of Figures 8 and 11).
+type DictDB struct {
+	*ManagedDB
+	LineitemsByKey *managed.ConcurrentDictionary[int64, *MLineitem]
+	OrdersByKey    *managed.ConcurrentDictionary[int64, *MOrder]
+}
+
+// LineKey builds the dictionary key for a lineitem.
+func LineKey(orderKey int64, lineNumber int32) int64 {
+	return orderKey<<3 | int64(lineNumber)
+}
+
+// LoadDict wraps a managed DB with dictionary-keyed lineitems/orders.
+func LoadDict(db *ManagedDB) *DictDB {
+	dd := &DictDB{
+		ManagedDB:      db,
+		LineitemsByKey: managed.NewIntDictionary[*MLineitem](),
+		OrdersByKey:    managed.NewIntDictionary[*MOrder](),
+	}
+	for _, l := range db.Lineitems.Items() {
+		p := l
+		dd.LineitemsByKey.Store(LineKey(l.OrderKey, l.LineNumber), &p)
+	}
+	for _, o := range db.Orders.Items() {
+		p := o
+		dd.OrdersByKey.Store(o.Key, &p)
+	}
+	return dd
+}

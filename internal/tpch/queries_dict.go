@@ -1,0 +1,169 @@
+package tpch
+
+import (
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// Compiled queries over the ConcurrentDictionary representation: the same
+// reference joins, but the driving scans enumerate dictionary shards
+// (hash order, extra locking, poor locality) — the paper's thread-safe
+// managed baseline in Figure 11.
+
+// DictQ1 runs Q1 driving from the lineitem dictionary.
+func DictQ1(db *DictDB, p Params) []Q1Row {
+	cutoff := p.Q1Cutoff()
+	groups := make(map[int64]*q1Acc, 8)
+	one := decimal.FromInt64(1)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.ShipDate > cutoff {
+			return true
+		}
+		k := q1Key(l.ReturnFlag, l.LineStatus)
+		a := groups[k]
+		if a == nil {
+			a = &q1Acc{}
+			groups[k] = a
+		}
+		a.sumQty = a.sumQty.Add(l.Quantity)
+		a.sumBase = a.sumBase.Add(l.ExtendedPrice)
+		a.sumDisc = a.sumDisc.Add(l.Discount)
+		disc := l.ExtendedPrice.Mul(one.Sub(l.Discount))
+		a.sumCharge = a.sumCharge.Add(disc.Mul(one.Add(l.Tax)))
+		a.count++
+		return true
+	})
+	return q1Finish(groups)
+}
+
+// DictQ2 runs Q2; partsupp has no dictionary, so the scan reuses the
+// managed list while supplier/nation/region hops stay reference-based.
+func DictQ2(db *DictDB, p Params) []Q2Row { return ListQ2(db.ManagedDB, p) }
+
+// DictQ3 runs Q3 driving from the lineitem dictionary.
+func DictQ3(db *DictDB, p Params) []Q3Row {
+	type acc struct {
+		rev   decimal.Dec128
+		date  types.Date
+		sprio int32
+	}
+	groups := make(map[int64]*acc)
+	one := decimal.FromInt64(1)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.ShipDate <= p.Q3Date {
+			return true
+		}
+		o := l.Order
+		if o.OrderDate >= p.Q3Date || o.Customer.MktSegment != p.Q3Segment {
+			return true
+		}
+		a := groups[o.Key]
+		if a == nil {
+			a = &acc{date: o.OrderDate, sprio: o.ShipPriority}
+			groups[o.Key] = a
+		}
+		a.rev = a.rev.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		return true
+	})
+	rows := make([]Q3Row, 0, len(groups))
+	for k, a := range groups {
+		rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
+	}
+	return SortQ3(rows)
+}
+
+// DictQ4 runs Q4 driving both scans from dictionaries.
+func DictQ4(db *DictDB, p Params) []Q4Row {
+	hi := p.Q4Date.AddMonths(3)
+	late := make(map[int64]bool)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.CommitDate < l.ReceiptDate {
+			o := l.Order
+			if o.OrderDate >= p.Q4Date && o.OrderDate < hi {
+				late[o.Key] = true
+			}
+		}
+		return true
+	})
+	counts := make(map[string]int64)
+	db.OrdersByKey.Range(func(_ int64, op **MOrder) bool {
+		o := *op
+		if o.OrderDate >= p.Q4Date && o.OrderDate < hi && late[o.Key] {
+			counts[o.OrderPriority]++
+		}
+		return true
+	})
+	rows := make([]Q4Row, 0, len(counts))
+	for pr, n := range counts {
+		rows = append(rows, Q4Row{Priority: pr, Count: n})
+	}
+	SortQ4(rows)
+	return rows
+}
+
+// DictQ5 runs Q5 driving from the lineitem dictionary.
+func DictQ5(db *DictDB, p Params) []Q5Row {
+	hi := p.Q5Date.AddYears(1)
+	rev := make(map[string]decimal.Dec128)
+	one := decimal.FromInt64(1)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		o := l.Order
+		if o.OrderDate < p.Q5Date || o.OrderDate >= hi {
+			return true
+		}
+		sn := l.Supplier.Nation
+		if sn.Region.Name != p.Q5Region {
+			return true
+		}
+		if o.Customer.Nation != sn {
+			return true
+		}
+		rev[sn.Name] = rev[sn.Name].Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		return true
+	})
+	rows := make([]Q5Row, 0, len(rev))
+	for n, v := range rev {
+		rows = append(rows, Q5Row{Nation: n, Revenue: v})
+	}
+	SortQ5(rows)
+	return rows
+}
+
+// DictQ6 runs Q6 driving from the lineitem dictionary.
+func DictQ6(db *DictDB, p Params) decimal.Dec128 {
+	hi := p.Q6Date.AddYears(1)
+	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
+	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
+	var sum decimal.Dec128
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.ShipDate < p.Q6Date || l.ShipDate >= hi {
+			return true
+		}
+		if l.Discount.Less(lo) || hiD.Less(l.Discount) {
+			return true
+		}
+		if !l.Quantity.Less(p.Q6Quantity) {
+			return true
+		}
+		sum = sum.Add(l.ExtendedPrice.Mul(l.Discount))
+		return true
+	})
+	return sum
+}
+
+// DictAll runs Q1–Q6 over the dictionary representation.
+func DictAll(db *DictDB, p Params) *Result {
+	return &Result{
+		Q1: DictQ1(db, p),
+		Q2: DictQ2(db, p),
+		Q3: DictQ3(db, p),
+		Q4: DictQ4(db, p),
+		Q5: DictQ5(db, p),
+		Q6: DictQ6(db, p),
+	}
+}

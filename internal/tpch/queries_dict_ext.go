@@ -1,0 +1,172 @@
+package tpch
+
+import (
+	"strings"
+
+	"repro/internal/decimal"
+)
+
+// Compiled Q7–Q10 over the ConcurrentDictionary representation: the
+// driving lineitem scans enumerate the dictionary shards (hash order,
+// per-shard locking) while the joins stay reference-based, as in
+// queries_dict.go.
+
+// DictQ7 runs the volume-shipping query driving from the lineitem
+// dictionary.
+func DictQ7(db *DictDB, p Params) []Q7Row {
+	one := decimal.FromInt64(1)
+	rev := make(map[int32]*decimal.Dec128, 4)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.ShipDate < q7DateLo || l.ShipDate > q7DateHi {
+			return true
+		}
+		sn := l.Supplier.Nation.Name
+		cn := l.Order.Customer.Nation.Name
+		var first bool
+		switch {
+		case sn == p.Q7Nation1 && cn == p.Q7Nation2:
+			first = true
+		case sn == p.Q7Nation2 && cn == p.Q7Nation1:
+			first = false
+		default:
+			return true
+		}
+		k := q7Dir(first, l.ShipDate.Year())
+		a := rev[k]
+		if a == nil {
+			a = &decimal.Dec128{}
+			rev[k] = a
+		}
+		*a = a.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		return true
+	})
+	rows := make([]Q7Row, 0, len(rev))
+	for k, v := range rev {
+		sn, cn := p.Q7Nation1, p.Q7Nation2
+		if k&1 == 1 {
+			sn, cn = cn, sn
+		}
+		rows = append(rows, Q7Row{SuppNation: sn, CustNation: cn, Year: k >> 1, Revenue: *v})
+	}
+	SortQ7(rows)
+	return rows
+}
+
+// DictQ8 runs the national-market-share query driving from the lineitem
+// dictionary.
+func DictQ8(db *DictDB, p Params) []Q8Row {
+	one := decimal.FromInt64(1)
+	groups := make(map[int32]*q8Acc, 2)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		o := l.Order
+		if o.OrderDate < q7DateLo || o.OrderDate > q7DateHi {
+			return true
+		}
+		if l.Part.Type != p.Q8Type {
+			return true
+		}
+		if o.Customer.Nation.Region.Name != p.Q8Region {
+			return true
+		}
+		y := int32(o.OrderDate.Year())
+		a := groups[y]
+		if a == nil {
+			a = &q8Acc{}
+			groups[y] = a
+		}
+		vol := l.ExtendedPrice.Mul(one.Sub(l.Discount))
+		a.total = a.total.Add(vol)
+		if l.Supplier.Nation.Name == p.Q8Nation {
+			a.nation = a.nation.Add(vol)
+		}
+		return true
+	})
+	return q8Finish(groups)
+}
+
+// DictQ9 runs the product-type-profit query; PARTSUPP has no dictionary,
+// so the cost table is built from the managed list as in DictQ2.
+func DictQ9(db *DictDB, p Params) []Q9Row {
+	cost := make(map[psKey]decimal.Dec128, db.PartSupps.Len())
+	for _, ps := range db.PartSupps.Items() {
+		cost[psKey{ps.Part.Key, ps.Supplier.Key}] = ps.SupplyCost
+	}
+	one := decimal.FromInt64(1)
+	type gk struct {
+		nation string
+		year   int32
+	}
+	profit := make(map[gk]*decimal.Dec128)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if !strings.Contains(l.Part.Name, p.Q9Color) {
+			return true
+		}
+		c, ok := cost[psKey{l.Part.Key, l.Supplier.Key}]
+		if !ok {
+			return true
+		}
+		amount := l.ExtendedPrice.Mul(one.Sub(l.Discount)).Sub(c.Mul(l.Quantity))
+		k := gk{nation: l.Supplier.Nation.Name, year: int32(l.Order.OrderDate.Year())}
+		a := profit[k]
+		if a == nil {
+			a = &decimal.Dec128{}
+			profit[k] = a
+		}
+		*a = a.Add(amount)
+		return true
+	})
+	rows := make([]Q9Row, 0, len(profit))
+	for k, v := range profit {
+		rows = append(rows, Q9Row{Nation: k.nation, Year: k.year, SumProfit: *v})
+	}
+	SortQ9(rows)
+	return rows
+}
+
+// DictQ10 runs the returned-item report driving from the lineitem
+// dictionary.
+func DictQ10(db *DictDB, p Params) []Q10Row {
+	hi := p.Q10Date.AddMonths(3)
+	one := decimal.FromInt64(1)
+	rev := make(map[*MCustomer]*decimal.Dec128)
+	db.LineitemsByKey.Range(func(_ int64, lp **MLineitem) bool {
+		l := *lp
+		if l.ReturnFlag != 'R' {
+			return true
+		}
+		o := l.Order
+		if o.OrderDate < p.Q10Date || o.OrderDate >= hi {
+			return true
+		}
+		c := o.Customer
+		a := rev[c]
+		if a == nil {
+			a = &decimal.Dec128{}
+			rev[c] = a
+		}
+		*a = a.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		return true
+	})
+	rows := make([]Q10Row, 0, len(rev))
+	for c, v := range rev {
+		rows = append(rows, Q10Row{
+			CustKey: c.Key, Name: c.Name, Revenue: *v, AcctBal: c.AcctBal,
+			Nation: c.Nation.Name, Address: c.Address, Phone: c.Phone,
+			Comment: c.Comment,
+		})
+	}
+	return SortQ10(rows)
+}
+
+// DictAllX runs Q7–Q10 over the dictionary representation.
+func DictAllX(db *DictDB, p Params) *ResultX {
+	return &ResultX{
+		Q7:  DictQ7(db, p),
+		Q8:  DictQ8(db, p),
+		Q9:  DictQ9(db, p),
+		Q10: DictQ10(db, p),
+	}
+}

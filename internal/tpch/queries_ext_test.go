@@ -1,0 +1,169 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// extSF is larger than testSF so the extended queries' more selective
+// predicates (two specific nations for Q7, one exact part type for Q8)
+// still produce non-empty results.
+const extSF = 0.004
+
+func extDataset(t *testing.T) *Dataset {
+	t.Helper()
+	return Generate(extSF, 42)
+}
+
+// TestExtendedEnginesAgree extends the gold test to Q7–Q10: List
+// (compiled), Dictionary, LINQ, SMC safe and SMC unsafe in all three
+// layouts must produce identical results. The column store is checked in
+// internal/colstore (import direction).
+func TestExtendedEnginesAgree(t *testing.T) {
+	d := extDataset(t)
+	p := DefaultParams()
+
+	mdb := LoadManaged(d)
+	gold := ListAllX(mdb, p)
+
+	if len(gold.Q7) == 0 || len(gold.Q8) == 0 || len(gold.Q9) == 0 || len(gold.Q10) == 0 {
+		t.Fatalf("gold extended result suspiciously empty: %d/%d/%d/%d",
+			len(gold.Q7), len(gold.Q8), len(gold.Q9), len(gold.Q10))
+	}
+
+	t.Run("dict", func(t *testing.T) {
+		ddb := LoadDict(mdb)
+		if diff := gold.Diff(DictAllX(ddb, p)); diff != "" {
+			t.Fatal(diff)
+		}
+	})
+	t.Run("linq", func(t *testing.T) {
+		if diff := gold.Diff(LinqAllX(mdb, p)); diff != "" {
+			t.Fatal(diff)
+		}
+	})
+	for _, layout := range []core.Layout{core.RowIndirect, core.RowDirect, core.Columnar} {
+		layout := layout
+		t.Run("smc-"+layout.String(), func(t *testing.T) {
+			rt := core.MustRuntime(core.Options{HeapBackend: true})
+			defer rt.Close()
+			s := rt.MustSession()
+			defer s.Close()
+			sdb, err := LoadSMC(rt, s, d, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := gold.Diff(SMCSafeAllX(sdb, s, p)); diff != "" {
+				t.Fatalf("safe: %s", diff)
+			}
+			q := NewSMCQueries(sdb)
+			if diff := gold.Diff(q.AllX(s, p)); diff != "" {
+				t.Fatalf("unsafe: %s", diff)
+			}
+		})
+	}
+}
+
+// TestExtendedQueriesSurviveChurnAndCompaction mirrors the Q1–Q6 churn
+// test for the extended set: delete a deterministic lineitem slice from
+// both representations, compact online, and compare.
+func TestExtendedQueriesSurviveChurnAndCompaction(t *testing.T) {
+	d := extDataset(t)
+	p := DefaultParams()
+
+	mdb := LoadManaged(d)
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drop := func(orderKey int64) bool { return orderKey%5 == 0 }
+	mdb.Lineitems.RemoveWhere(func(l *MLineitem) bool { return drop(l.OrderKey) })
+
+	var victims []core.Ref[SLineitem]
+	sdb.Lineitems.ForEach(s, func(r core.Ref[SLineitem], l *SLineitem) bool {
+		if drop(l.OrderKey) {
+			victims = append(victims, r)
+		}
+		return true
+	})
+	for _, v := range victims {
+		if err := sdb.Lineitems.Remove(s, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	gold := ListAllX(mdb, p)
+	q := NewSMCQueries(sdb)
+	if diff := gold.Diff(q.AllX(s, p)); diff != "" {
+		t.Fatalf("after churn+compaction: %s", diff)
+	}
+}
+
+// TestQ9PartSuppCoverage checks the generator invariant Q9 relies on:
+// every lineitem's (partkey, suppkey) has a PARTSUPP row.
+func TestQ9PartSuppCoverage(t *testing.T) {
+	d := testDataset(t)
+	have := make(map[psKey]bool, len(d.PartSupps))
+	for _, ps := range d.PartSupps {
+		have[psKey{ps.PartKey, ps.SupplierKey}] = true
+	}
+	for i, l := range d.Lineitems {
+		if !have[psKey{l.PartKey, l.SupplierKey}] {
+			t.Fatalf("lineitem %d: no partsupp row for (part %d, supp %d)",
+				i, l.PartKey, l.SupplierKey)
+		}
+	}
+}
+
+// TestQ9ColorSelectivity checks that the part-name color vocabulary gives
+// Q9's LIKE '%green%' filter a plausible hit rate (TPC-H's is ~1/17; ours
+// uses a 20-color pool drawn twice).
+func TestQ9ColorSelectivity(t *testing.T) {
+	d := testDataset(t)
+	hits := 0
+	for _, pt := range d.Parts {
+		if strings.Contains(pt.Name, "green") {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(len(d.Parts))
+	if frac < 0.02 || frac > 0.3 {
+		t.Fatalf("green-part fraction = %v, want a Q9-like selectivity", frac)
+	}
+}
+
+// TestResultXDiffDetects exercises the extended diff on every field.
+func TestResultXDiffDetects(t *testing.T) {
+	d := testDataset(t)
+	p := DefaultParams()
+	mdb := LoadManaged(d)
+	a := ListAllX(mdb, p)
+	b := ListAllX(mdb, p)
+	if diff := a.Diff(b); diff != "" {
+		t.Fatalf("identical results diff: %s", diff)
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal is false for identical results")
+	}
+	if len(b.Q7) > 0 {
+		b.Q7[0].Revenue = b.Q7[0].Revenue.Add(b.Q7[0].Revenue)
+		if a.Diff(b) == "" {
+			t.Fatal("Diff missed a Q7 change")
+		}
+	}
+	b2 := ListAllX(mdb, p)
+	b2.Q10 = b2.Q10[:0]
+	if a.Diff(b2) == "" && len(a.Q10) > 0 {
+		t.Fatal("Diff missed a Q10 truncation")
+	}
+}

@@ -1,0 +1,181 @@
+package tpch
+
+import (
+	"repro/internal/decimal"
+	"repro/internal/linq"
+	"repro/internal/types"
+)
+
+// LINQ-to-objects formulations of Q1–Q6 over the managed object graph:
+// lazily-evaluated operator chains with per-element virtual dispatch.
+// This is the query model whose inefficiencies (§1) motivated query
+// compilation; §7 reports it 40–400% slower than the compiled queries.
+
+func linqLineitems(db *ManagedDB) linq.Enumerable[*MLineitem] {
+	return linq.FromSlice(db.Lineitems.Items())
+}
+
+// LinqQ1 runs the pricing summary report as a Where→GroupBy→Select chain.
+func LinqQ1(db *ManagedDB, p Params) []Q1Row {
+	cutoff := p.Q1Cutoff()
+	one := decimal.FromInt64(1)
+	filtered := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		return l.ShipDate <= cutoff
+	})
+	grouped := linq.GroupBy(filtered, func(l *MLineitem) int64 {
+		return q1Key(l.ReturnFlag, l.LineStatus)
+	})
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[int64, *MLineitem]) Q1Row {
+		var a q1Acc
+		for _, l := range g.Items {
+			a.sumQty = a.sumQty.Add(l.Quantity)
+			a.sumBase = a.sumBase.Add(l.ExtendedPrice)
+			a.sumDisc = a.sumDisc.Add(l.Discount)
+			disc := l.ExtendedPrice.Mul(one.Sub(l.Discount))
+			a.sumCharge = a.sumCharge.Add(disc.Mul(one.Add(l.Tax)))
+			a.count++
+		}
+		return Q1Row{
+			ReturnFlag: int32(g.Key >> 8),
+			LineStatus: int32(g.Key & 0xff),
+			SumQty:     a.sumQty,
+			SumBase:    a.sumBase,
+			SumDisc:    a.sumDisc,
+			SumCharge:  a.sumCharge,
+			AvgQty:     a.sumQty.DivInt64(a.count),
+			AvgPrice:   a.sumBase.DivInt64(a.count),
+			AvgDisc:    a.sumDisc.DivInt64(a.count),
+			Count:      a.count,
+		}
+	}))
+	SortQ1(rows)
+	return rows
+}
+
+// LinqQ2 runs the minimum-cost supplier query as nested operator chains.
+func LinqQ2(db *ManagedDB, p Params) []Q2Row {
+	qualifying := linq.Where(linq.FromSlice(db.PartSupps.Items()), func(ps *MPartSupp) bool {
+		return ps.Part.Size == p.Q2Size &&
+			hasSuffix(ps.Part.Type, p.Q2Type) &&
+			ps.Supplier.Nation.Region.Name == p.Q2Region
+	})
+	mins := linq.Aggregate(qualifying, map[int64]decimal.Dec128{},
+		func(m map[int64]decimal.Dec128, ps *MPartSupp) map[int64]decimal.Dec128 {
+			cur, ok := m[ps.Part.Key]
+			if !ok || ps.SupplyCost.Less(cur) {
+				m[ps.Part.Key] = ps.SupplyCost
+			}
+			return m
+		})
+	winners := linq.Where(qualifying, func(ps *MPartSupp) bool {
+		return ps.SupplyCost == mins[ps.Part.Key]
+	})
+	rows := linq.ToSlice(linq.Select(winners, func(ps *MPartSupp) Q2Row {
+		s := ps.Supplier
+		return Q2Row{
+			AcctBal: s.AcctBal, SName: s.Name, NName: s.Nation.Name,
+			PartKey: ps.Part.Key, Mfgr: ps.Part.Mfgr, Address: s.Address,
+			Phone: s.Phone, Comment: s.Comment,
+		}
+	}))
+	return SortQ2(rows)
+}
+
+// LinqQ3 runs the shipping-priority query.
+func LinqQ3(db *ManagedDB, p Params) []Q3Row {
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		return l.ShipDate > p.Q3Date &&
+			l.Order.OrderDate < p.Q3Date &&
+			l.Order.Customer.MktSegment == p.Q3Segment
+	})
+	one := decimal.FromInt64(1)
+	grouped := linq.GroupBy(matching, func(l *MLineitem) int64 { return l.Order.Key })
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[int64, *MLineitem]) Q3Row {
+		var rev decimal.Dec128
+		for _, l := range g.Items {
+			rev = rev.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		}
+		return Q3Row{
+			OrderKey:     g.Key,
+			Revenue:      rev,
+			OrderDate:    g.Items[0].Order.OrderDate,
+			ShipPriority: g.Items[0].Order.ShipPriority,
+		}
+	}))
+	return SortQ3(rows)
+}
+
+// LinqQ4 runs the order-priority query with an Any-based semi-join.
+func LinqQ4(db *ManagedDB, p Params) []Q4Row {
+	hi := p.Q4Date.AddMonths(3)
+	lateKeys := linq.Aggregate(
+		linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+			return l.CommitDate < l.ReceiptDate &&
+				l.Order.OrderDate >= p.Q4Date && l.Order.OrderDate < hi
+		}),
+		map[int64]bool{},
+		func(m map[int64]bool, l *MLineitem) map[int64]bool {
+			m[l.OrderKey] = true
+			return m
+		})
+	matching := linq.Where(linq.FromSlice(db.Orders.Items()), func(o *MOrder) bool {
+		return o.OrderDate >= p.Q4Date && o.OrderDate < hi && lateKeys[o.Key]
+	})
+	grouped := linq.GroupBy(matching, func(o *MOrder) string { return o.OrderPriority })
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[string, *MOrder]) Q4Row {
+		return Q4Row{Priority: g.Key, Count: int64(len(g.Items))}
+	}))
+	SortQ4(rows)
+	return rows
+}
+
+// LinqQ5 runs the local-supplier-volume query.
+func LinqQ5(db *ManagedDB, p Params) []Q5Row {
+	hi := p.Q5Date.AddYears(1)
+	one := decimal.FromInt64(1)
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		o := l.Order
+		return o.OrderDate >= p.Q5Date && o.OrderDate < hi &&
+			l.Supplier.Nation.Region.Name == p.Q5Region &&
+			o.Customer.Nation == l.Supplier.Nation
+	})
+	grouped := linq.GroupBy(matching, func(l *MLineitem) string { return l.Supplier.Nation.Name })
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[string, *MLineitem]) Q5Row {
+		var rev decimal.Dec128
+		for _, l := range g.Items {
+			rev = rev.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		}
+		return Q5Row{Nation: g.Key, Revenue: rev}
+	}))
+	SortQ5(rows)
+	return rows
+}
+
+// LinqQ6 runs the forecasting-revenue-change query.
+func LinqQ6(db *ManagedDB, p Params) decimal.Dec128 {
+	hi := p.Q6Date.AddYears(1)
+	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
+	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		return l.ShipDate >= p.Q6Date && l.ShipDate < hi &&
+			!l.Discount.Less(lo) && !hiD.Less(l.Discount) &&
+			l.Quantity.Less(p.Q6Quantity)
+	})
+	return linq.Aggregate(matching, decimal.Zero, func(a decimal.Dec128, l *MLineitem) decimal.Dec128 {
+		return a.Add(l.ExtendedPrice.Mul(l.Discount))
+	})
+}
+
+// LinqAll runs Q1–Q6 through the LINQ model.
+func LinqAll(db *ManagedDB, p Params) *Result {
+	return &Result{
+		Q1: LinqQ1(db, p),
+		Q2: LinqQ2(db, p),
+		Q3: LinqQ3(db, p),
+		Q4: LinqQ4(db, p),
+		Q5: LinqQ5(db, p),
+		Q6: LinqQ6(db, p),
+	}
+}
+
+var _ = types.Date(0)

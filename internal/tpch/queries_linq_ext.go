@@ -1,0 +1,146 @@
+package tpch
+
+import (
+	"strings"
+
+	"repro/internal/decimal"
+	"repro/internal/linq"
+)
+
+// LINQ-to-objects formulations of Q7–Q10: the same lazily-evaluated
+// operator chains as queries_linq.go, extended to the join-heaviest
+// queries of the set.
+
+// LinqQ7 runs the volume-shipping query as Where→GroupBy→Select.
+func LinqQ7(db *ManagedDB, p Params) []Q7Row {
+	one := decimal.FromInt64(1)
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		if l.ShipDate < q7DateLo || l.ShipDate > q7DateHi {
+			return false
+		}
+		sn := l.Supplier.Nation.Name
+		cn := l.Order.Customer.Nation.Name
+		return (sn == p.Q7Nation1 && cn == p.Q7Nation2) ||
+			(sn == p.Q7Nation2 && cn == p.Q7Nation1)
+	})
+	grouped := linq.GroupBy(matching, func(l *MLineitem) int32 {
+		return q7Dir(l.Supplier.Nation.Name == p.Q7Nation1, l.ShipDate.Year())
+	})
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[int32, *MLineitem]) Q7Row {
+		var rev decimal.Dec128
+		for _, l := range g.Items {
+			rev = rev.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		}
+		sn, cn := p.Q7Nation1, p.Q7Nation2
+		if g.Key&1 == 1 {
+			sn, cn = cn, sn
+		}
+		return Q7Row{SuppNation: sn, CustNation: cn, Year: g.Key >> 1, Revenue: rev}
+	}))
+	SortQ7(rows)
+	return rows
+}
+
+// LinqQ8 runs the national-market-share query.
+func LinqQ8(db *ManagedDB, p Params) []Q8Row {
+	one := decimal.FromInt64(1)
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		o := l.Order
+		return o.OrderDate >= q7DateLo && o.OrderDate <= q7DateHi &&
+			l.Part.Type == p.Q8Type &&
+			o.Customer.Nation.Region.Name == p.Q8Region
+	})
+	grouped := linq.GroupBy(matching, func(l *MLineitem) int32 {
+		return int32(l.Order.OrderDate.Year())
+	})
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[int32, *MLineitem]) Q8Row {
+		var a q8Acc
+		for _, l := range g.Items {
+			vol := l.ExtendedPrice.Mul(one.Sub(l.Discount))
+			a.total = a.total.Add(vol)
+			if l.Supplier.Nation.Name == p.Q8Nation {
+				a.nation = a.nation.Add(vol)
+			}
+		}
+		share := decimal.Zero
+		if !a.total.IsZero() {
+			share = a.nation.Div(a.total)
+		}
+		return Q8Row{Year: g.Key, MktShare: share}
+	}))
+	SortQ8(rows)
+	return rows
+}
+
+// LinqQ9 runs the product-type-profit query; the PARTSUPP cost table is
+// folded up front with Aggregate, as the LINQ formulation would via
+// ToDictionary.
+func LinqQ9(db *ManagedDB, p Params) []Q9Row {
+	cost := linq.Aggregate(linq.FromSlice(db.PartSupps.Items()),
+		make(map[psKey]decimal.Dec128, db.PartSupps.Len()),
+		func(m map[psKey]decimal.Dec128, ps *MPartSupp) map[psKey]decimal.Dec128 {
+			m[psKey{ps.Part.Key, ps.Supplier.Key}] = ps.SupplyCost
+			return m
+		})
+	one := decimal.FromInt64(1)
+	type gk struct {
+		nation string
+		year   int32
+	}
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		if !strings.Contains(l.Part.Name, p.Q9Color) {
+			return false
+		}
+		_, ok := cost[psKey{l.Part.Key, l.Supplier.Key}]
+		return ok
+	})
+	grouped := linq.GroupBy(matching, func(l *MLineitem) gk {
+		return gk{nation: l.Supplier.Nation.Name, year: int32(l.Order.OrderDate.Year())}
+	})
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[gk, *MLineitem]) Q9Row {
+		var sum decimal.Dec128
+		for _, l := range g.Items {
+			c := cost[psKey{l.Part.Key, l.Supplier.Key}]
+			sum = sum.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)).Sub(c.Mul(l.Quantity)))
+		}
+		return Q9Row{Nation: g.Key.nation, Year: g.Key.year, SumProfit: sum}
+	}))
+	SortQ9(rows)
+	return rows
+}
+
+// LinqQ10 runs the returned-item report.
+func LinqQ10(db *ManagedDB, p Params) []Q10Row {
+	hi := p.Q10Date.AddMonths(3)
+	one := decimal.FromInt64(1)
+	matching := linq.Where(linqLineitems(db), func(l *MLineitem) bool {
+		return l.ReturnFlag == 'R' &&
+			l.Order.OrderDate >= p.Q10Date && l.Order.OrderDate < hi
+	})
+	grouped := linq.GroupBy(matching, func(l *MLineitem) *MCustomer {
+		return l.Order.Customer
+	})
+	rows := linq.ToSlice(linq.Select(grouped, func(g linq.Grouping[*MCustomer, *MLineitem]) Q10Row {
+		var rev decimal.Dec128
+		for _, l := range g.Items {
+			rev = rev.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+		}
+		c := g.Key
+		return Q10Row{
+			CustKey: c.Key, Name: c.Name, Revenue: rev, AcctBal: c.AcctBal,
+			Nation: c.Nation.Name, Address: c.Address, Phone: c.Phone,
+			Comment: c.Comment,
+		}
+	}))
+	return SortQ10(rows)
+}
+
+// LinqAllX runs Q7–Q10 through the LINQ model.
+func LinqAllX(db *ManagedDB, p Params) *ResultX {
+	return &ResultX{
+		Q7:  LinqQ7(db, p),
+		Q8:  LinqQ8(db, p),
+		Q9:  LinqQ9(db, p),
+		Q10: LinqQ10(db, p),
+	}
+}

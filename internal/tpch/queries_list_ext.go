@@ -1,0 +1,171 @@
+package tpch
+
+import (
+	"strings"
+
+	"repro/internal/decimal"
+)
+
+// Compiled Q7–Q10 over the managed List representation: the same
+// generated-imperative-code style as Q1–Q6 (queries_list.go), with all
+// PK-FK joins performed through Go pointers.
+
+// q7Dir packs a Q7 group key: direction bit (0 = nation1 supplies) and
+// ship year.
+func q7Dir(firstSupplies bool, year int) int32 {
+	k := int32(year) << 1
+	if !firstSupplies {
+		k |= 1
+	}
+	return k
+}
+
+// ListQ7 runs the volume-shipping query via reference joins.
+func ListQ7(db *ManagedDB, p Params) []Q7Row {
+	one := decimal.FromInt64(1)
+	rev := make(map[int32]*decimal.Dec128, 4)
+	for _, l := range db.Lineitems.Items() {
+		if l.ShipDate < q7DateLo || l.ShipDate > q7DateHi {
+			continue
+		}
+		sn := l.Supplier.Nation.Name
+		cn := l.Order.Customer.Nation.Name
+		var first bool
+		switch {
+		case sn == p.Q7Nation1 && cn == p.Q7Nation2:
+			first = true
+		case sn == p.Q7Nation2 && cn == p.Q7Nation1:
+			first = false
+		default:
+			continue
+		}
+		k := q7Dir(first, l.ShipDate.Year())
+		a := rev[k]
+		if a == nil {
+			a = &decimal.Dec128{}
+			rev[k] = a
+		}
+		*a = a.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+	}
+	rows := make([]Q7Row, 0, len(rev))
+	for k, v := range rev {
+		sn, cn := p.Q7Nation1, p.Q7Nation2
+		if k&1 == 1 {
+			sn, cn = cn, sn
+		}
+		rows = append(rows, Q7Row{SuppNation: sn, CustNation: cn, Year: k >> 1, Revenue: *v})
+	}
+	SortQ7(rows)
+	return rows
+}
+
+// ListQ8 runs the national-market-share query via reference joins.
+func ListQ8(db *ManagedDB, p Params) []Q8Row {
+	one := decimal.FromInt64(1)
+	groups := make(map[int32]*q8Acc, 2)
+	for _, l := range db.Lineitems.Items() {
+		o := l.Order
+		if o.OrderDate < q7DateLo || o.OrderDate > q7DateHi {
+			continue
+		}
+		if l.Part.Type != p.Q8Type {
+			continue
+		}
+		if o.Customer.Nation.Region.Name != p.Q8Region {
+			continue
+		}
+		y := int32(o.OrderDate.Year())
+		a := groups[y]
+		if a == nil {
+			a = &q8Acc{}
+			groups[y] = a
+		}
+		vol := l.ExtendedPrice.Mul(one.Sub(l.Discount))
+		a.total = a.total.Add(vol)
+		if l.Supplier.Nation.Name == p.Q8Nation {
+			a.nation = a.nation.Add(vol)
+		}
+	}
+	return q8Finish(groups)
+}
+
+// ListQ9 runs the product-type-profit query: reference joins for part,
+// supplier and order; a value join on (partkey, suppkey) for the
+// PARTSUPP cost, which has no reference path from lineitem.
+func ListQ9(db *ManagedDB, p Params) []Q9Row {
+	cost := make(map[psKey]decimal.Dec128, db.PartSupps.Len())
+	for _, ps := range db.PartSupps.Items() {
+		cost[psKey{ps.Part.Key, ps.Supplier.Key}] = ps.SupplyCost
+	}
+	one := decimal.FromInt64(1)
+	type gk struct {
+		nation string
+		year   int32
+	}
+	profit := make(map[gk]*decimal.Dec128)
+	for _, l := range db.Lineitems.Items() {
+		if !strings.Contains(l.Part.Name, p.Q9Color) {
+			continue
+		}
+		c, ok := cost[psKey{l.Part.Key, l.Supplier.Key}]
+		if !ok {
+			continue
+		}
+		amount := l.ExtendedPrice.Mul(one.Sub(l.Discount)).Sub(c.Mul(l.Quantity))
+		k := gk{nation: l.Supplier.Nation.Name, year: int32(l.Order.OrderDate.Year())}
+		a := profit[k]
+		if a == nil {
+			a = &decimal.Dec128{}
+			profit[k] = a
+		}
+		*a = a.Add(amount)
+	}
+	rows := make([]Q9Row, 0, len(profit))
+	for k, v := range profit {
+		rows = append(rows, Q9Row{Nation: k.nation, Year: k.year, SumProfit: *v})
+	}
+	SortQ9(rows)
+	return rows
+}
+
+// ListQ10 runs the returned-item report via reference joins.
+func ListQ10(db *ManagedDB, p Params) []Q10Row {
+	hi := p.Q10Date.AddMonths(3)
+	one := decimal.FromInt64(1)
+	rev := make(map[*MCustomer]*decimal.Dec128)
+	for _, l := range db.Lineitems.Items() {
+		if l.ReturnFlag != 'R' {
+			continue
+		}
+		o := l.Order
+		if o.OrderDate < p.Q10Date || o.OrderDate >= hi {
+			continue
+		}
+		c := o.Customer
+		a := rev[c]
+		if a == nil {
+			a = &decimal.Dec128{}
+			rev[c] = a
+		}
+		*a = a.Add(l.ExtendedPrice.Mul(one.Sub(l.Discount)))
+	}
+	rows := make([]Q10Row, 0, len(rev))
+	for c, v := range rev {
+		rows = append(rows, Q10Row{
+			CustKey: c.Key, Name: c.Name, Revenue: *v, AcctBal: c.AcctBal,
+			Nation: c.Nation.Name, Address: c.Address, Phone: c.Phone,
+			Comment: c.Comment,
+		})
+	}
+	return SortQ10(rows)
+}
+
+// ListAllX runs Q7–Q10 over the managed lists.
+func ListAllX(db *ManagedDB, p Params) *ResultX {
+	return &ResultX{
+		Q7:  ListQ7(db, p),
+		Q8:  ListQ8(db, p),
+		Q9:  ListQ9(db, p),
+		Q10: ListQ10(db, p),
+	}
+}

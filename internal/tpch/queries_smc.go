@@ -1,0 +1,782 @@
+package tpch
+
+import (
+	"bytes"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/mem"
+	"repro/internal/region"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Compiled "unsafe" queries over self-managed collections: the Go
+// equivalent of the paper's compiled unsafe C# (§7). The generated-code
+// idioms are reproduced by hand, as the paper itself did: per-block slot
+// directory scans, constant field offsets hoisted out of loops, direct
+// pointers to 16-byte decimals passed to in-place arithmetic, reference
+// joins through FieldRef (indirection or direct pointers per layout), and
+// columnar per-column base pointers when the collection is columnar
+// (§4.1). Every query runs inside critical sections managed by the block
+// enumerator (§4).
+
+// SMCQueries caches the resolved field handles ("compiled" offsets) for
+// one SMCDB, plus the per-query-stream memory region its intermediates
+// live in ("use memory regions for all intermediate data during query
+// processing", §7). Build it once, run queries many times; queries on the
+// same SMCQueries must not run concurrently (the region is reused — give
+// each worker its own SMCQueries, as each paper thread has its own
+// generated query state).
+type SMCQueries struct {
+	db *SMCDB
+	// arena holds query intermediates; reset at the start of each query
+	// that uses region-backed state.
+	arena *region.Arena
+	// rowFast enables the open-coded indirect fast path (row targets).
+	rowFast bool
+
+	// lineitem fields
+	lShip, lCommit, lRecv      *schema.Field
+	lQty, lExt, lDisc, lTax    *schema.Field
+	lRet, lStat                *schema.Field
+	lOrderKey                  *schema.Field
+	frLOrder, frLSupp, frLPart core.FieldRef
+	// orders fields
+	oKey, oDate, oPrio, oSprio *schema.Field
+	frOCust                    core.FieldRef
+	// customer fields
+	cSeg                       *schema.Field
+	cKey, cName, cAddr, cPhone *schema.Field
+	cBal, cCmnt                *schema.Field
+	frCNation                  core.FieldRef
+	// supplier fields
+	sKey                              *schema.Field
+	sName, sAddr, sPhone, sBal, sCmnt *schema.Field
+	frSNation                         core.FieldRef
+	// nation fields
+	nName, nKey *schema.Field
+	frNRegion   core.FieldRef
+	// region fields
+	rName *schema.Field
+	// part fields
+	pKey, pSize, pType, pMfgr, pName *schema.Field
+	// partsupp fields
+	psCost             *schema.Field
+	frPSPart, frPSSupp core.FieldRef
+}
+
+// NewSMCQueries resolves all field offsets for the database.
+func NewSMCQueries(db *SMCDB) *SMCQueries {
+	l := db.Lineitems.Schema()
+	o := db.Orders.Schema()
+	c := db.Customers.Schema()
+	s := db.Suppliers.Schema()
+	n := db.Nations.Schema()
+	r := db.Regions.Schema()
+	pt := db.Parts.Schema()
+	ps := db.PartSupps.Schema()
+	return &SMCQueries{
+		db:        db,
+		arena:     region.NewArena(nil, 0),
+		rowFast:   db.Layout != core.Columnar,
+		lShip:     l.MustField("ShipDate"),
+		lCommit:   l.MustField("CommitDate"),
+		lRecv:     l.MustField("ReceiptDate"),
+		lQty:      l.MustField("Quantity"),
+		lExt:      l.MustField("ExtendedPrice"),
+		lDisc:     l.MustField("Discount"),
+		lTax:      l.MustField("Tax"),
+		lRet:      l.MustField("ReturnFlag"),
+		lStat:     l.MustField("LineStatus"),
+		lOrderKey: l.MustField("OrderKey"),
+		frLOrder:  db.Lineitems.FieldRefByName("Order"),
+		frLSupp:   db.Lineitems.FieldRefByName("Supplier"),
+		frLPart:   db.Lineitems.FieldRefByName("Part"),
+		oKey:      o.MustField("Key"),
+		oDate:     o.MustField("OrderDate"),
+		oPrio:     o.MustField("OrderPriority"),
+		oSprio:    o.MustField("ShipPriority"),
+		frOCust:   db.Orders.FieldRefByName("Customer"),
+		cSeg:      c.MustField("MktSegment"),
+		cKey:      c.MustField("Key"),
+		cName:     c.MustField("Name"),
+		cAddr:     c.MustField("Address"),
+		cPhone:    c.MustField("Phone"),
+		cBal:      c.MustField("AcctBal"),
+		cCmnt:     c.MustField("Comment"),
+		frCNation: db.Customers.FieldRefByName("Nation"),
+		sKey:      s.MustField("Key"),
+		sName:     s.MustField("Name"),
+		sAddr:     s.MustField("Address"),
+		sPhone:    s.MustField("Phone"),
+		sBal:      s.MustField("AcctBal"),
+		sCmnt:     s.MustField("Comment"),
+		frSNation: db.Suppliers.FieldRefByName("Nation"),
+		nName:     n.MustField("Name"),
+		nKey:      n.MustField("Key"),
+		frNRegion: db.Nations.FieldRefByName("Region"),
+		rName:     r.MustField("Name"),
+		pKey:      pt.MustField("Key"),
+		pSize:     pt.MustField("Size"),
+		pType:     pt.MustField("Type"),
+		pMfgr:     pt.MustField("Mfgr"),
+		pName:     pt.MustField("Name"),
+		psCost:    ps.MustField("SupplyCost"),
+		frPSPart:  db.PartSupps.FieldRefByName("Part"),
+		frPSSupp:  db.PartSupps.FieldRefByName("Supplier"),
+	}
+}
+
+// strAt reads an off-heap string field without copying.
+func strAt(b *mem.Block, slot int, f *schema.Field) []byte {
+	return (*(*types.StrRef)(b.FieldPtr(slot, f))).Bytes()
+}
+
+func decAt(b *mem.Block, slot int, f *schema.Field) *decimal.Dec128 {
+	return (*decimal.Dec128)(b.FieldPtr(slot, f))
+}
+
+func dateAt(b *mem.Block, slot int, f *schema.Field) types.Date {
+	return *(*types.Date)(b.FieldPtr(slot, f))
+}
+
+func i32At(b *mem.Block, slot int, f *schema.Field) int32 {
+	return *(*int32)(b.FieldPtr(slot, f))
+}
+
+func i64At(b *mem.Block, slot int, f *schema.Field) int64 {
+	return *(*int64)(b.FieldPtr(slot, f))
+}
+
+// objStr reads a string field of a dereferenced object.
+func objStr(o mem.Obj, f *schema.Field) []byte {
+	return (*(*types.StrRef)(o.Field(f))).Bytes()
+}
+
+// deref follows a reference field of obj into fr's target collection. It
+// open-codes the dereference checks the paper's JIT compiler inlines into
+// generated query code — generation match plus clean incarnation match,
+// then the payload load — and falls back to the full protocol (flags,
+// relocation cases, null) otherwise.
+// Deref exposes the open-coded dereference fast path to external
+// compiled query code (the benchmark harness and examples).
+func (q *SMCQueries) Deref(s *core.Session, fr *core.FieldRef, o mem.Obj) (mem.Obj, error) {
+	return q.deref(s, fr, o)
+}
+
+func (q *SMCQueries) deref(s *core.Session, fr *core.FieldRef, o mem.Obj) (mem.Obj, error) {
+	fp := o.Field(fr.Field)
+	if fr.Direct {
+		addr := *(*uint64)(fp)
+		if addr == 0 {
+			return mem.Obj{}, mem.ErrNullReference
+		}
+		p := types.LaunderAddr(uintptr(addr))
+		if mem.SlotIncWord(p) == *(*uint32)(unsafe.Add(fp, 8)) {
+			return mem.Obj{Ptr: p}, nil
+		}
+		return fr.Deref(s, o)
+	}
+	if q.rowFast {
+		r := *(*types.Ref)(fp)
+		e := r.Entry
+		if e == nil {
+			return mem.Obj{}, mem.ErrNullReference
+		}
+		if mem.EntryGen(e) == r.Gen && mem.EntryIncWord(e) == r.Inc {
+			return mem.Obj{Ptr: mem.EntryPayloadRow(e)}, nil
+		}
+	}
+	return fr.Deref(s, o)
+}
+
+// Q1 — pricing summary report: the paper's showcase for direct decimal
+// pointers ("the query is decimal computation heavy ... calling the
+// functions that perform decimal math using pointers and allowing for
+// in-place modifications results in a huge performance gain", §7).
+func (q *SMCQueries) Q1(s *core.Session, p Params) []Q1Row {
+	cutoff := p.Q1Cutoff()
+	// Dense accumulator table indexed by (returnflag, linestatus) pairs:
+	// the query compiler knows both are single chars.
+	type acc struct {
+		q1Acc
+		used bool
+	}
+	var accs [4]acc // R/F, A/F, N/F, N/O
+	idx := func(rf, ls int32) int {
+		switch {
+		case rf == 'A':
+			return 0
+		case rf == 'N' && ls == 'F':
+			return 1
+		case rf == 'N':
+			return 2
+		default:
+			return 3 // 'R'
+		}
+	}
+	one := decimal.FromInt64(1)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	columnar := q.db.Layout == core.Columnar
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		n := blk.Capacity()
+		if columnar {
+			shipBase := blk.ColBase(q.lShip)
+			qtyBase := blk.ColBase(q.lQty)
+			extBase := blk.ColBase(q.lExt)
+			discBase := blk.ColBase(q.lDisc)
+			taxBase := blk.ColBase(q.lTax)
+			retBase := blk.ColBase(q.lRet)
+			statBase := blk.ColBase(q.lStat)
+			for i := 0; i < n; i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				if *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4)) > cutoff {
+					continue
+				}
+				rf := *(*int32)(unsafe.Add(retBase, uintptr(i)*4))
+				ls := *(*int32)(unsafe.Add(statBase, uintptr(i)*4))
+				a := &accs[idx(rf, ls)]
+				a.used = true
+				qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
+				ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+				dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+				tax := (*decimal.Dec128)(unsafe.Add(taxBase, uintptr(i)*16))
+				decimal.AddAssign(&a.sumQty, qty)
+				decimal.AddAssign(&a.sumBase, ext)
+				decimal.AddAssign(&a.sumDisc, dsc)
+				disc := ext.Mul(one.Sub(*dsc))
+				charge := disc.Mul(one.Add(*tax))
+				decimal.AddAssign(&a.sumCharge, &charge)
+				a.count++
+			}
+			continue
+		}
+		shipOff := q.lShip.Offset
+		qtyOff := q.lQty.Offset
+		extOff := q.lExt.Offset
+		discOff := q.lDisc.Offset
+		taxOff := q.lTax.Offset
+		retOff := q.lRet.Offset
+		statOff := q.lStat.Offset
+		for i := 0; i < n; i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			base := blk.SlotData(i)
+			if *(*types.Date)(unsafe.Add(base, shipOff)) > cutoff {
+				continue
+			}
+			rf := *(*int32)(unsafe.Add(base, retOff))
+			ls := *(*int32)(unsafe.Add(base, statOff))
+			a := &accs[idx(rf, ls)]
+			a.used = true
+			qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
+			ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+			dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+			tax := (*decimal.Dec128)(unsafe.Add(base, taxOff))
+			decimal.AddAssign(&a.sumQty, qty)
+			decimal.AddAssign(&a.sumBase, ext)
+			decimal.AddAssign(&a.sumDisc, dsc)
+			disc := ext.Mul(one.Sub(*dsc))
+			charge := disc.Mul(one.Add(*tax))
+			decimal.AddAssign(&a.sumCharge, &charge)
+			a.count++
+		}
+	}
+	en.Close()
+	s.Exit()
+
+	groups := make(map[int64]*q1Acc, 4)
+	for i := range accs {
+		if !accs[i].used {
+			continue
+		}
+		var rf, ls int32
+		switch i {
+		case 0:
+			rf, ls = 'A', 'F'
+		case 1:
+			rf, ls = 'N', 'F'
+		case 2:
+			rf, ls = 'N', 'O'
+		default:
+			rf, ls = 'R', 'F'
+		}
+		a := accs[i].q1Acc
+		groups[q1Key(rf, ls)] = &a
+	}
+	return q1Finish(groups)
+}
+
+// Q2 — minimum-cost supplier, reference joins through partsupp.
+func (q *SMCQueries) Q2(s *core.Session, p Params) []Q2Row {
+	typeSuffix := []byte(p.Q2Type)
+	region := []byte(p.Q2Region)
+
+	s.Enter()
+	defer s.Exit()
+
+	// Pass 1: minimum supply cost per qualifying part among suppliers in
+	// the region.
+	minCost := make(map[int64]decimal.Dec128)
+	en := q.db.PartSupps.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ps := mem.Obj{Blk: blk, Slot: i}
+			pobj, err := q.deref(s, &q.frPSPart, ps)
+			if err != nil {
+				continue
+			}
+			if *(*int32)(pobj.Field(q.pSize)) != p.Q2Size {
+				continue
+			}
+			if !bytes.HasSuffix(objStr(pobj, q.pType), typeSuffix) {
+				continue
+			}
+			sobj, err := q.deref(s, &q.frPSSupp, ps)
+			if err != nil {
+				continue
+			}
+			nobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			robj, err := q.deref(s, &q.frNRegion, nobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(robj, q.rName), region) {
+				continue
+			}
+			pk := *(*int64)(pobj.Field(q.pKey))
+			cost := *decAt(blk, i, q.psCost)
+			cur, ok := minCost[pk]
+			if !ok || cost.Less(cur) {
+				minCost[pk] = cost
+			}
+		}
+	}
+	en.Close()
+
+	// Pass 2: emit suppliers achieving the minimum.
+	var rows []Q2Row
+	en2 := q.db.PartSupps.Enumerate(s)
+	for {
+		blk, ok := en2.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ps := mem.Obj{Blk: blk, Slot: i}
+			pobj, err := q.deref(s, &q.frPSPart, ps)
+			if err != nil {
+				continue
+			}
+			pk := *(*int64)(pobj.Field(q.pKey))
+			mc, ok := minCost[pk]
+			if !ok || *decAt(blk, i, q.psCost) != mc {
+				continue
+			}
+			sobj, err := q.deref(s, &q.frPSSupp, ps)
+			if err != nil {
+				continue
+			}
+			nobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			robj, err := q.deref(s, &q.frNRegion, nobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(robj, q.rName), region) {
+				continue
+			}
+			rows = append(rows, Q2Row{
+				AcctBal: *(*decimal.Dec128)(sobj.Field(q.sBal)),
+				SName:   string(objStr(sobj, q.sName)),
+				NName:   string(objStr(nobj, q.nName)),
+				PartKey: pk,
+				Mfgr:    string(objStr(pobj, q.pMfgr)),
+				Address: string(objStr(sobj, q.sAddr)),
+				Phone:   string(objStr(sobj, q.sPhone)),
+				Comment: string(objStr(sobj, q.sCmnt)),
+			})
+		}
+	}
+	en2.Close()
+	return SortQ2(rows)
+}
+
+// q3Acc is the Q3 group accumulator; pointer-free so it can live in the
+// query region.
+type q3Acc struct {
+	rev   decimal.Dec128
+	date  types.Date
+	sprio int32
+	seen  bool
+}
+
+// Q3 — shipping priority, lineitem→order→customer reference joins. The
+// group-by state lives in a memory region (§7's unsafe-query
+// optimization): one table in arena memory, discarded wholesale when the
+// query ends.
+func (q *SMCQueries) Q3(s *core.Session, p Params) []Q3Row {
+	q.arena.Reset()
+	groups := region.NewTable[q3Acc](q.arena, 1024)
+	segment := []byte(p.Q3Segment)
+	one := decimal.FromInt64(1)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if dateAt(blk, i, q.lShip) <= p.Q3Date {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			if *(*types.Date)(oobj.Field(q.oDate)) >= p.Q3Date {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(cobj, q.cSeg), segment) {
+				continue
+			}
+			ok64 := *(*int64)(oobj.Field(q.oKey))
+			a := groups.At(ok64)
+			if !a.seen {
+				a.seen = true
+				a.date = *(*types.Date)(oobj.Field(q.oDate))
+				a.sprio = *(*int32)(oobj.Field(q.oSprio))
+			}
+			rev := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(&a.rev, &rev)
+		}
+	}
+	en.Close()
+	s.Exit()
+
+	rows := make([]Q3Row, 0, groups.Len())
+	groups.Range(func(k int64, a *q3Acc) bool {
+		rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
+		return true
+	})
+	return SortQ3(rows)
+}
+
+// Q3MapIntermediates is the ablation variant of Q3 with Go-heap map
+// intermediates instead of region-backed state; identical otherwise.
+func (q *SMCQueries) Q3MapIntermediates(s *core.Session, p Params) []Q3Row {
+	groups := make(map[int64]*q3Acc)
+	segment := []byte(p.Q3Segment)
+	one := decimal.FromInt64(1)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if dateAt(blk, i, q.lShip) <= p.Q3Date {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			if *(*types.Date)(oobj.Field(q.oDate)) >= p.Q3Date {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(cobj, q.cSeg), segment) {
+				continue
+			}
+			ok64 := *(*int64)(oobj.Field(q.oKey))
+			a := groups[ok64]
+			if a == nil {
+				a = &q3Acc{
+					date:  *(*types.Date)(oobj.Field(q.oDate)),
+					sprio: *(*int32)(oobj.Field(q.oSprio)),
+				}
+				groups[ok64] = a
+			}
+			rev := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(&a.rev, &rev)
+		}
+	}
+	en.Close()
+	s.Exit()
+
+	rows := make([]Q3Row, 0, len(groups))
+	for k, a := range groups {
+		rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
+	}
+	return SortQ3(rows)
+}
+
+// Q4 — order priority checking (semi-join on orderkey). The semi-join
+// key set is region-backed (§7).
+func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
+	hi := p.Q4Date.AddMonths(3)
+	q.arena.Reset()
+	late := region.NewSet(q.arena, 1024)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if dateAt(blk, i, q.lCommit) >= dateAt(blk, i, q.lRecv) {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			od := *(*types.Date)(oobj.Field(q.oDate))
+			if od >= p.Q4Date && od < hi {
+				late.Add(i64At(blk, i, q.lOrderKey))
+			}
+		}
+	}
+	en.Close()
+
+	counts := make(map[string]int64)
+	en2 := q.db.Orders.Enumerate(s)
+	for {
+		blk, ok := en2.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			od := dateAt(blk, i, q.oDate)
+			if od < p.Q4Date || od >= hi {
+				continue
+			}
+			if late.Has(i64At(blk, i, q.oKey)) {
+				counts[string(strAt(blk, i, q.oPrio))]++
+			}
+		}
+	}
+	en2.Close()
+	s.Exit()
+
+	rows := make([]Q4Row, 0, len(counts))
+	for pr, n := range counts {
+		rows = append(rows, Q4Row{Priority: pr, Count: n})
+	}
+	SortQ4(rows)
+	return rows
+}
+
+// Q5 — local supplier volume: five-way reference join.
+func (q *SMCQueries) Q5(s *core.Session, p Params) []Q5Row {
+	hi := p.Q5Date.AddYears(1)
+	region := []byte(p.Q5Region)
+	rev := make(map[string]*decimal.Dec128)
+	one := decimal.FromInt64(1)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			od := *(*types.Date)(oobj.Field(q.oDate))
+			if od < p.Q5Date || od >= hi {
+				continue
+			}
+			sobj, err := q.deref(s, &q.frLSupp, l)
+			if err != nil {
+				continue
+			}
+			snobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			robj, err := q.deref(s, &q.frNRegion, snobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(robj, q.rName), region) {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			cnobj, err := q.deref(s, &q.frCNation, cobj)
+			if err != nil {
+				continue
+			}
+			if *(*int64)(cnobj.Field(q.nKey)) !=
+				*(*int64)(snobj.Field(q.nKey)) {
+				continue
+			}
+			name := string(objStr(snobj, q.nName))
+			a := rev[name]
+			if a == nil {
+				a = &decimal.Dec128{}
+				rev[name] = a
+			}
+			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(a, &r)
+		}
+	}
+	en.Close()
+	s.Exit()
+
+	rows := make([]Q5Row, 0, len(rev))
+	for n, v := range rev {
+		rows = append(rows, Q5Row{Nation: n, Revenue: *v})
+	}
+	SortQ5(rows)
+	return rows
+}
+
+// Q6 — forecasting revenue change: pure scan with decimal predicates.
+func (q *SMCQueries) Q6(s *core.Session, p Params) decimal.Dec128 {
+	hi := p.Q6Date.AddYears(1)
+	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
+	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
+	var sum decimal.Dec128
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	columnar := q.db.Layout == core.Columnar
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		n := blk.Capacity()
+		if columnar {
+			shipBase := blk.ColBase(q.lShip)
+			qtyBase := blk.ColBase(q.lQty)
+			extBase := blk.ColBase(q.lExt)
+			discBase := blk.ColBase(q.lDisc)
+			for i := 0; i < n; i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				ship := *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4))
+				if ship < p.Q6Date || ship >= hi {
+					continue
+				}
+				dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+				if dsc.Less(lo) || hiD.Less(*dsc) {
+					continue
+				}
+				qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
+				if !qty.Less(p.Q6Quantity) {
+					continue
+				}
+				ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+				decimal.MulAdd(&sum, ext, dsc)
+			}
+			continue
+		}
+		shipOff := q.lShip.Offset
+		qtyOff := q.lQty.Offset
+		extOff := q.lExt.Offset
+		discOff := q.lDisc.Offset
+		for i := 0; i < n; i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			base := blk.SlotData(i)
+			ship := *(*types.Date)(unsafe.Add(base, shipOff))
+			if ship < p.Q6Date || ship >= hi {
+				continue
+			}
+			dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+			if dsc.Less(lo) || hiD.Less(*dsc) {
+				continue
+			}
+			qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
+			if !qty.Less(p.Q6Quantity) {
+				continue
+			}
+			ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+			decimal.MulAdd(&sum, ext, dsc)
+		}
+	}
+	en.Close()
+	s.Exit()
+	return sum
+}
+
+// All runs Q1–Q6.
+func (q *SMCQueries) All(s *core.Session, p Params) *Result {
+	return &Result{
+		Q1: q.Q1(s, p),
+		Q2: q.Q2(s, p),
+		Q3: q.Q3(s, p),
+		Q4: q.Q4(s, p),
+		Q5: q.Q5(s, p),
+		Q6: q.Q6(s, p),
+	}
+}

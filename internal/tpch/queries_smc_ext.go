@@ -1,0 +1,379 @@
+package tpch
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/mem"
+	"repro/internal/region"
+	"repro/internal/types"
+)
+
+// Compiled "unsafe" Q7–Q10 over self-managed collections: the same
+// generated-code idioms as queries_smc.go — per-block slot-directory
+// scans, hoisted field handles, in-place decimal arithmetic on pointers
+// into block memory, and reference joins through the open-coded deref
+// fast path. These queries chain three to four dereferences per driving
+// row, which is the §6 workload where direct pointers pay off.
+
+// Q7 — volume shipping between two nations, grouped by direction and
+// ship year.
+func (q *SMCQueries) Q7(s *core.Session, p Params) []Q7Row {
+	nation1 := []byte(p.Q7Nation1)
+	nation2 := []byte(p.Q7Nation2)
+	one := decimal.FromInt64(1)
+	rev := make(map[int32]*decimal.Dec128, 4)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ship := dateAt(blk, i, q.lShip)
+			if ship < q7DateLo || ship > q7DateHi {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			sobj, err := q.deref(s, &q.frLSupp, l)
+			if err != nil {
+				continue
+			}
+			snobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			sn := objStr(snobj, q.nName)
+			is1, is2 := bytes.Equal(sn, nation1), bytes.Equal(sn, nation2)
+			if !is1 && !is2 {
+				continue
+			}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			cnobj, err := q.deref(s, &q.frCNation, cobj)
+			if err != nil {
+				continue
+			}
+			cn := objStr(cnobj, q.nName)
+			if is1 && !bytes.Equal(cn, nation2) {
+				continue
+			}
+			if is2 && !bytes.Equal(cn, nation1) {
+				continue
+			}
+			k := q7Dir(is1, ship.Year())
+			a := rev[k]
+			if a == nil {
+				a = &decimal.Dec128{}
+				rev[k] = a
+			}
+			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(a, &r)
+		}
+	}
+	en.Close()
+	s.Exit()
+
+	rows := make([]Q7Row, 0, len(rev))
+	for k, v := range rev {
+		sn, cn := p.Q7Nation1, p.Q7Nation2
+		if k&1 == 1 {
+			sn, cn = cn, sn
+		}
+		rows = append(rows, Q7Row{SuppNation: sn, CustNation: cn, Year: k >> 1, Revenue: *v})
+	}
+	SortQ7(rows)
+	return rows
+}
+
+// Q8 — national market share: per order year, the fraction of volume
+// supplied by one nation into one region for one part type.
+func (q *SMCQueries) Q8(s *core.Session, p Params) []Q8Row {
+	nation := []byte(p.Q8Nation)
+	region := []byte(p.Q8Region)
+	ptype := []byte(p.Q8Type)
+	one := decimal.FromInt64(1)
+	groups := make(map[int32]*q8Acc, 2)
+
+	s.Enter()
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			od := *(*types.Date)(oobj.Field(q.oDate))
+			if od < q7DateLo || od > q7DateHi {
+				continue
+			}
+			pobj, err := q.deref(s, &q.frLPart, l)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(pobj, q.pType), ptype) {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			cnobj, err := q.deref(s, &q.frCNation, cobj)
+			if err != nil {
+				continue
+			}
+			crobj, err := q.deref(s, &q.frNRegion, cnobj)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(objStr(crobj, q.rName), region) {
+				continue
+			}
+			y := int32(od.Year())
+			a := groups[y]
+			if a == nil {
+				a = &q8Acc{}
+				groups[y] = a
+			}
+			vol := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(&a.total, &vol)
+			sobj, err := q.deref(s, &q.frLSupp, l)
+			if err != nil {
+				continue
+			}
+			snobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			if bytes.Equal(objStr(snobj, q.nName), nation) {
+				decimal.AddAssign(&a.nation, &vol)
+			}
+		}
+	}
+	en.Close()
+	s.Exit()
+	return q8Finish(groups)
+}
+
+// packPSKey packs a (partkey, suppkey) pair into one 64-bit region-table
+// key. Supplier keys stay below 2^24 for every realistic scale factor
+// (SF 1600 would be needed to overflow); the pack asserts it.
+func packPSKey(part, supp int64) int64 {
+	if uint64(supp) >= 1<<24 {
+		panic(fmt.Sprintf("tpch: supplier key %d overflows packed partsupp key", supp))
+	}
+	return part<<24 | supp
+}
+
+// Q9 — product-type profit: reference joins for part/supplier/order plus
+// a value join against the PARTSUPP cost table, built by enumerating the
+// partsupp collection's blocks into a region-backed hash table (§7's
+// region intermediates).
+func (q *SMCQueries) Q9(s *core.Session, p Params) []Q9Row {
+	color := []byte(p.Q9Color)
+	one := decimal.FromInt64(1)
+	q.arena.Reset()
+
+	s.Enter()
+	// Build the (partkey, suppkey) -> supplycost table in the region.
+	cost := region.NewTable[decimal.Dec128](q.arena, 4096)
+	en := q.db.PartSupps.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ps := mem.Obj{Blk: blk, Slot: i}
+			pobj, err := q.deref(s, &q.frPSPart, ps)
+			if err != nil {
+				continue
+			}
+			sobj, err := q.deref(s, &q.frPSSupp, ps)
+			if err != nil {
+				continue
+			}
+			k := packPSKey(
+				*(*int64)(pobj.Field(q.pKey)),
+				*(*int64)(sobj.Field(q.sKey)),
+			)
+			*cost.At(k) = *decAt(blk, i, q.psCost)
+		}
+	}
+	en.Close()
+
+	type gk struct {
+		nation string
+		year   int32
+	}
+	profit := make(map[gk]*decimal.Dec128)
+	en2 := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en2.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			pobj, err := q.deref(s, &q.frLPart, l)
+			if err != nil {
+				continue
+			}
+			if !bytes.Contains(objStr(pobj, q.pName), color) {
+				continue
+			}
+			sobj, err := q.deref(s, &q.frLSupp, l)
+			if err != nil {
+				continue
+			}
+			k := packPSKey(
+				*(*int64)(pobj.Field(q.pKey)),
+				*(*int64)(sobj.Field(q.sKey)),
+			)
+			c := cost.Get(k)
+			if c == nil {
+				continue
+			}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			snobj, err := q.deref(s, &q.frSNation, sobj)
+			if err != nil {
+				continue
+			}
+			amount := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			amount = amount.Sub(c.Mul(*decAt(blk, i, q.lQty)))
+			g := gk{
+				nation: string(objStr(snobj, q.nName)),
+				year:   int32((*(*types.Date)(oobj.Field(q.oDate))).Year()),
+			}
+			a := profit[g]
+			if a == nil {
+				a = &decimal.Dec128{}
+				profit[g] = a
+			}
+			decimal.AddAssign(a, &amount)
+		}
+	}
+	en2.Close()
+	s.Exit()
+
+	rows := make([]Q9Row, 0, len(profit))
+	for k, v := range profit {
+		rows = append(rows, Q9Row{Nation: k.nation, Year: k.year, SumProfit: *v})
+	}
+	SortQ9(rows)
+	return rows
+}
+
+// Q10 — returned-item report: group returned lineitems of one quarter by
+// customer. Group keys are customer object locations, valid for the whole
+// critical section; the output rows copy the customer fields out before
+// the section ends, as the paper's generated code materializes result
+// objects before returning control (§4).
+func (q *SMCQueries) Q10(s *core.Session, p Params) []Q10Row {
+	hi := p.Q10Date.AddMonths(3)
+	one := decimal.FromInt64(1)
+
+	s.Enter()
+	type acc struct {
+		rev  decimal.Dec128
+		cust mem.Obj
+	}
+	rev := make(map[int64]*acc)
+	en := q.db.Lineitems.Enumerate(s)
+	for {
+		blk, ok := en.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if i32At(blk, i, q.lRet) != 'R' {
+				continue
+			}
+			l := mem.Obj{Blk: blk, Slot: i}
+			oobj, err := q.deref(s, &q.frLOrder, l)
+			if err != nil {
+				continue
+			}
+			od := *(*types.Date)(oobj.Field(q.oDate))
+			if od < p.Q10Date || od >= hi {
+				continue
+			}
+			cobj, err := q.deref(s, &q.frOCust, oobj)
+			if err != nil {
+				continue
+			}
+			ck := *(*int64)(cobj.Field(q.cKey))
+			a := rev[ck]
+			if a == nil {
+				a = &acc{cust: cobj}
+				rev[ck] = a
+			}
+			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+			decimal.AddAssign(&a.rev, &r)
+		}
+	}
+	en.Close()
+
+	rows := make([]Q10Row, 0, len(rev))
+	for ck, a := range rev {
+		c := a.cust
+		row := Q10Row{
+			CustKey: ck,
+			Name:    string(objStr(c, q.cName)),
+			Revenue: a.rev,
+			AcctBal: *(*decimal.Dec128)(c.Field(q.cBal)),
+			Address: string(objStr(c, q.cAddr)),
+			Phone:   string(objStr(c, q.cPhone)),
+			Comment: string(objStr(c, q.cCmnt)),
+		}
+		if cnobj, err := q.deref(s, &q.frCNation, c); err == nil {
+			row.Nation = string(objStr(cnobj, q.nName))
+		}
+		rows = append(rows, row)
+	}
+	s.Exit()
+	return SortQ10(rows)
+}
+
+// AllX runs Q7–Q10.
+func (q *SMCQueries) AllX(s *core.Session, p Params) *ResultX {
+	return &ResultX{
+		Q7:  q.Q7(s, p),
+		Q8:  q.Q8(s, p),
+		Q9:  q.Q9(s, p),
+		Q10: q.Q10(s, p),
+	}
+}

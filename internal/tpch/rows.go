@@ -1,0 +1,147 @@
+// Package tpch provides the object-oriented adaptation of the TPC-H
+// benchmark the paper evaluates with (§7): "tpc-h tables map to
+// collections and each record to an object composed of ... primitive
+// types and references to other records (all primary-foreign-key
+// relations). Based on the latter, most joins are performed using
+// references."
+//
+// The package contains a deterministic dbgen-style data generator that
+// produces neutral row values, loaders that materialize those rows into
+// every engine under test (managed List / ConcurrentDictionary /
+// ConcurrentBag, self-managed collections in each layout, and the column
+// store), and compiled implementations of TPC-H queries Q1–Q6 per engine.
+package tpch
+
+import (
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// Scale-factor table cardinalities (dbgen): per SF=1.
+const (
+	regionCount    = 5
+	nationCount    = 25
+	suppliersPerSF = 10_000
+	customersPerSF = 150_000
+	partsPerSF     = 200_000
+	ordersPerSF    = 1_500_000
+	suppsPerPart   = 4
+)
+
+// Neutral row values: plain data with integer foreign keys. Engine
+// loaders turn the keys into references (Go pointers, SMC refs) or
+// columns.
+type (
+	// RegionRow is one row of REGION.
+	RegionRow struct {
+		Key     int64
+		Name    string
+		Comment string
+	}
+	// NationRow is one row of NATION.
+	NationRow struct {
+		Key       int64
+		Name      string
+		RegionKey int64
+		Comment   string
+	}
+	// SupplierRow is one row of SUPPLIER.
+	SupplierRow struct {
+		Key       int64
+		Name      string
+		Address   string
+		NationKey int64
+		Phone     string
+		AcctBal   decimal.Dec128
+		Comment   string
+	}
+	// CustomerRow is one row of CUSTOMER.
+	CustomerRow struct {
+		Key        int64
+		Name       string
+		Address    string
+		NationKey  int64
+		Phone      string
+		AcctBal    decimal.Dec128
+		MktSegment string
+		Comment    string
+	}
+	// PartRow is one row of PART.
+	PartRow struct {
+		Key         int64
+		Name        string
+		Mfgr        string
+		Brand       string
+		Type        string
+		Size        int32
+		Container   string
+		RetailPrice decimal.Dec128
+		Comment     string
+	}
+	// PartSuppRow is one row of PARTSUPP.
+	PartSuppRow struct {
+		PartKey     int64
+		SupplierKey int64
+		AvailQty    int32
+		SupplyCost  decimal.Dec128
+		Comment     string
+	}
+	// OrderRow is one row of ORDERS.
+	OrderRow struct {
+		Key           int64
+		CustomerKey   int64
+		OrderStatus   int32 // 'F', 'O', 'P'
+		TotalPrice    decimal.Dec128
+		OrderDate     types.Date
+		OrderPriority string
+		Clerk         string
+		ShipPriority  int32
+		Comment       string
+	}
+	// LineitemRow is one row of LINEITEM.
+	LineitemRow struct {
+		OrderKey      int64
+		PartKey       int64
+		SupplierKey   int64
+		LineNumber    int32
+		Quantity      decimal.Dec128
+		ExtendedPrice decimal.Dec128
+		Discount      decimal.Dec128
+		Tax           decimal.Dec128
+		ReturnFlag    int32 // 'R', 'A', 'N'
+		LineStatus    int32 // 'O', 'F'
+		ShipDate      types.Date
+		CommitDate    types.Date
+		ReceiptDate   types.Date
+		ShipInstruct  string
+		ShipMode      string
+		Comment       string
+	}
+)
+
+// Dataset holds generated rows for all eight tables.
+type Dataset struct {
+	SF        float64
+	Regions   []RegionRow
+	Nations   []NationRow
+	Suppliers []SupplierRow
+	Customers []CustomerRow
+	Parts     []PartRow
+	PartSupps []PartSuppRow
+	Orders    []OrderRow
+	Lineitems []LineitemRow
+}
+
+// Counts returns per-table cardinalities for diagnostics.
+func (d *Dataset) Counts() map[string]int {
+	return map[string]int{
+		"region":   len(d.Regions),
+		"nation":   len(d.Nations),
+		"supplier": len(d.Suppliers),
+		"customer": len(d.Customers),
+		"part":     len(d.Parts),
+		"partsupp": len(d.PartSupps),
+		"orders":   len(d.Orders),
+		"lineitem": len(d.Lineitems),
+	}
+}

@@ -1,0 +1,199 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// Additional behavioural tests for the TPC-H substrate: sort caps and
+// tie-breaks, generator scaling, and the dictionary key packing.
+
+func TestSortQ2CapsAtHundred(t *testing.T) {
+	rows := make([]Q2Row, 0, 150)
+	for i := 0; i < 150; i++ {
+		rows = append(rows, Q2Row{
+			AcctBal: decimal.FromInt64(int64(i % 7)),
+			NName:   "N",
+			SName:   "S",
+			PartKey: int64(i),
+		})
+	}
+	out := SortQ2(rows)
+	if len(out) != 100 {
+		t.Fatalf("Q2 rows = %d, want 100", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if c := a.AcctBal.Cmp(b.AcctBal); c < 0 {
+			t.Fatal("Q2 not sorted by acctbal desc")
+		} else if c == 0 && a.PartKey > b.PartKey {
+			t.Fatal("Q2 tie-break by partkey violated")
+		}
+	}
+}
+
+func TestSortQ3CapsAtTen(t *testing.T) {
+	rows := make([]Q3Row, 0, 30)
+	for i := 0; i < 30; i++ {
+		rows = append(rows, Q3Row{
+			OrderKey: int64(i),
+			Revenue:  decimal.FromInt64(int64(i % 5)),
+			OrderDate: types.MustDate("1995-01-01").
+				AddDays(i % 3),
+		})
+	}
+	out := SortQ3(rows)
+	if len(out) != 10 {
+		t.Fatalf("Q3 rows = %d, want 10", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Revenue.Less(out[i].Revenue) {
+			t.Fatal("Q3 not sorted by revenue desc")
+		}
+	}
+}
+
+func TestSortQ10CapsAtTwenty(t *testing.T) {
+	rows := make([]Q10Row, 0, 50)
+	for i := 0; i < 50; i++ {
+		rows = append(rows, Q10Row{
+			CustKey: int64(i),
+			Revenue: decimal.FromInt64(int64(i % 4)),
+		})
+	}
+	out := SortQ10(rows)
+	if len(out) != 20 {
+		t.Fatalf("Q10 rows = %d, want 20", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if c := a.Revenue.Cmp(b.Revenue); c < 0 {
+			t.Fatal("Q10 not sorted by revenue desc")
+		} else if c == 0 && a.CustKey > b.CustKey {
+			t.Fatal("Q10 tie-break by custkey violated")
+		}
+	}
+}
+
+func TestSortQ7Q9Ordering(t *testing.T) {
+	q7 := []Q7Row{
+		{SuppNation: "B", CustNation: "A", Year: 1995},
+		{SuppNation: "A", CustNation: "B", Year: 1996},
+		{SuppNation: "A", CustNation: "B", Year: 1995},
+	}
+	SortQ7(q7)
+	if q7[0].SuppNation != "A" || q7[0].Year != 1995 || q7[2].SuppNation != "B" {
+		t.Fatalf("Q7 order: %+v", q7)
+	}
+	q9 := []Q9Row{
+		{Nation: "A", Year: 1995},
+		{Nation: "A", Year: 1998},
+		{Nation: "B", Year: 1992},
+	}
+	SortQ9(q9)
+	// Nation asc, year desc.
+	if q9[0].Year != 1998 || q9[1].Year != 1995 || q9[2].Nation != "B" {
+		t.Fatalf("Q9 order: %+v", q9)
+	}
+}
+
+func TestGenerateScalesLinearly(t *testing.T) {
+	small := Generate(0.001, 3)
+	large := Generate(0.004, 3)
+	ratio := func(a, b int) float64 { return float64(b) / float64(a) }
+	if r := ratio(len(small.Orders), len(large.Orders)); r < 3.5 || r > 4.5 {
+		t.Fatalf("orders scale ratio = %v, want ~4", r)
+	}
+	if r := ratio(len(small.Customers), len(large.Customers)); r < 3.5 || r > 4.5 {
+		t.Fatalf("customers scale ratio = %v, want ~4", r)
+	}
+	// Fixed-size tables stay fixed.
+	if len(small.Regions) != len(large.Regions) || len(small.Nations) != len(large.Nations) {
+		t.Fatal("region/nation must not scale")
+	}
+	// PARTSUPP is exactly 4 rows per part.
+	if len(large.PartSupps) != 4*len(large.Parts) {
+		t.Fatalf("partsupp = %d for %d parts", len(large.PartSupps), len(large.Parts))
+	}
+}
+
+func TestGenerateRejectsBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive SF should panic")
+		}
+	}()
+	Generate(0, 1)
+}
+
+func TestLineKeyUnique(t *testing.T) {
+	seen := make(map[int64]bool)
+	for ok := int64(1); ok <= 100; ok++ {
+		for ln := int32(1); ln <= 7; ln++ {
+			k := LineKey(ok, ln)
+			if seen[k] {
+				t.Fatalf("LineKey collision at (%d,%d)", ok, ln)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPackPSKeyPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized supplier key should panic")
+		}
+	}()
+	packPSKey(1, 1<<24)
+}
+
+func TestOrderTotalsMatchLineitems(t *testing.T) {
+	// The generator computes o_totalprice as the sum of its lineitems'
+	// charges; check the invariant the way Q1 computes charges.
+	d := testDataset(t)
+	one := decimal.FromInt64(1)
+	totals := make(map[int64]decimal.Dec128)
+	for _, l := range d.Lineitems {
+		charge := l.ExtendedPrice.Mul(one.Sub(l.Discount)).Mul(one.Add(l.Tax))
+		totals[l.OrderKey] = totals[l.OrderKey].Add(charge)
+	}
+	for _, o := range d.Orders {
+		if totals[o.Key] != o.TotalPrice {
+			t.Fatalf("order %d total %v, lineitems sum %v", o.Key, o.TotalPrice, totals[o.Key])
+		}
+	}
+}
+
+func TestOrderStatusConsistent(t *testing.T) {
+	d := testDataset(t)
+	status := make(map[int64][2]bool) // anyF, anyO
+	for _, l := range d.Lineitems {
+		st := status[l.OrderKey]
+		if l.LineStatus == 'F' {
+			st[0] = true
+		} else {
+			st[1] = true
+		}
+		status[l.OrderKey] = st
+	}
+	for _, o := range d.Orders {
+		st := status[o.Key]
+		switch {
+		case st[0] && !st[1]:
+			if o.OrderStatus != 'F' {
+				t.Fatalf("order %d all-F but status %c", o.Key, o.OrderStatus)
+			}
+		case st[0] && st[1]:
+			if o.OrderStatus != 'P' {
+				t.Fatalf("order %d mixed but status %c", o.Key, o.OrderStatus)
+			}
+		default:
+			if o.OrderStatus != 'O' {
+				t.Fatalf("order %d all-O but status %c", o.Key, o.OrderStatus)
+			}
+		}
+	}
+}

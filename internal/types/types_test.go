@@ -1,0 +1,190 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+	"unsafe"
+)
+
+func TestRefSizeAndNil(t *testing.T) {
+	if s := unsafe.Sizeof(Ref{}); s != 16 {
+		t.Fatalf("Ref size = %d, want 16", s)
+	}
+	var r Ref
+	if !r.IsNil() {
+		t.Fatal("zero Ref must be nil")
+	}
+	if !Nil.IsNil() {
+		t.Fatal("Nil must be nil")
+	}
+}
+
+func TestStrRefPacking(t *testing.T) {
+	cases := []struct {
+		addr uintptr
+		n    int
+	}{
+		{0x1000, 0},
+		{0x7fffdeadb000, 17},
+		{0xffffffffffff, MaxStringLen},
+	}
+	for _, c := range cases {
+		s := PackStrRef(c.addr, c.n)
+		if s.Addr() != c.addr || s.Len() != c.n {
+			t.Errorf("pack(%#x,%d) round-trip got (%#x,%d)", c.addr, c.n, s.Addr(), s.Len())
+		}
+	}
+	if !StrRef(0).IsNil() {
+		t.Fatal("zero StrRef must be nil")
+	}
+	if StrRef(0).String() != "" {
+		t.Fatal("nil StrRef must read as empty string")
+	}
+}
+
+func TestStrRefPackingPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("addr too big", func() { PackStrRef(1<<48, 1) })
+	mustPanic("len too big", func() { PackStrRef(0x1000, MaxStringLen+1) })
+	mustPanic("negative len", func() { PackStrRef(0x1000, -1) })
+}
+
+func TestStrRefBytes(t *testing.T) {
+	buf := []byte("hello, off-heap world")
+	addr := uintptr(unsafe.Pointer(&buf[0]))
+	if addr >= 1<<48 {
+		t.Skip("test address does not fit 48 bits on this platform")
+	}
+	s := PackStrRef(addr, len(buf))
+	if got := s.String(); got != string(buf) {
+		t.Fatalf("StrRef.String() = %q, want %q", got, buf)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"1970-01-01", "1992-01-01", "1995-03-15", "1996-12-31",
+		"1998-12-31", "2000-02-29", "1900-02-28", "2024-02-29",
+	} {
+		d := MustDate(s)
+		if d.String() != s {
+			t.Errorf("round-trip %s -> %s", s, d.String())
+		}
+	}
+	if MustDate("1970-01-01") != 0 {
+		t.Error("epoch must be day 0")
+	}
+	if MustDate("1970-01-02") != 1 {
+		t.Error("epoch+1 must be day 1")
+	}
+}
+
+func TestDateAgainstTimePackage(t *testing.T) {
+	// Cross-check the civil-date conversion against the standard library
+	// for every day in the TPC-H range.
+	start := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 7*366; i += 7 {
+		tm := start.AddDate(0, 0, i)
+		d := MakeDate(tm.Year(), int(tm.Month()), tm.Day())
+		want := int32(tm.Unix() / 86400)
+		if int32(d) != want {
+			t.Fatalf("MakeDate(%v) = %d, want %d", tm, d, want)
+		}
+		y, m, dd := d.Civil()
+		if y != tm.Year() || m != int(tm.Month()) || dd != tm.Day() {
+			t.Fatalf("Civil(%d) = %d-%d-%d, want %v", d, y, m, dd, tm)
+		}
+	}
+}
+
+func TestDateAddMonths(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"1995-01-31", 1, "1995-02-28"},
+		{"1996-01-31", 1, "1996-02-29"},
+		{"1995-12-01", 3, "1996-03-01"},
+		{"1995-03-15", -3, "1994-12-15"},
+		{"1993-10-01", 3, "1994-01-01"},
+	}
+	for _, c := range cases {
+		if got := MustDate(c.in).AddMonths(c.n); got.String() != c.want {
+			t.Errorf("%s + %dmo = %s, want %s", c.in, c.n, got, c.want)
+		}
+	}
+	if got := MustDate("1996-02-29").AddYears(1); got.String() != "1997-02-28" {
+		t.Errorf("leap-year clamp got %s", got)
+	}
+}
+
+func TestDateQuickRoundTrip(t *testing.T) {
+	f := func(off int32) bool {
+		d := Date(off % 200000) // ~±547 years around epoch
+		y, m, dd := d.Civil()
+		return MakeDate(y, m, dd) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, s := range []string{"not-a-date", "1995-13-01", "1995-02-30", "1995-00-10"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDate on a bad literal should panic")
+		}
+	}()
+	MustDate("1995-02-31")
+}
+
+func TestDateYearAndAddDays(t *testing.T) {
+	d := MustDate("1995-03-15")
+	if d.Year() != 1995 {
+		t.Fatalf("Year = %d", d.Year())
+	}
+	if got := d.AddDays(17); got.String() != "1995-04-01" {
+		t.Fatalf("AddDays = %s", got)
+	}
+	if got := d.AddDays(-74); got.String() != "1994-12-31" {
+		t.Fatalf("AddDays negative = %s", got)
+	}
+	// Year boundaries, leap and non-leap.
+	if MustDate("1996-12-31").Year() != 1996 || MustDate("1997-01-01").Year() != 1997 {
+		t.Fatal("Year at boundary wrong")
+	}
+	f := func(off int32) bool {
+		d := Date(off % 200000)
+		y, _, _ := d.Civil()
+		return d.Year() == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunderAddrRoundTrip(t *testing.T) {
+	buf := []byte{42}
+	a := uintptr(unsafe.Pointer(&buf[0]))
+	if *(*byte)(LaunderAddr(a)) != 42 {
+		t.Fatal("LaunderAddr did not round-trip the address")
+	}
+}
