@@ -1,0 +1,27 @@
+GO ?= go
+SF ?= 0.05
+REPS ?= 5
+
+.PHONY: build vet test race-stress bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The parallel-scan stress tests (exactly-once under churn + compaction)
+# under the race detector.
+race-stress:
+	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/tpch
+
+# Emit the parallel-scan scaling figure as BENCH_parallel.json for the
+# perf trajectory.
+bench:
+	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json BENCH_parallel.json
+
+clean:
+	rm -f BENCH_parallel.json

@@ -10,13 +10,15 @@
 // 8 (refresh streams), 9 (GC timeouts), 10 (enumeration), 11 (TPC-H vs
 // managed), 12 (direct/columnar), 13 (vs column store), linq (LINQ vs
 // compiled). Beyond-paper extensions: ext (TPC-H Q7–Q10 across all
-// engines), ablation (design-choice ablations).
+// engines), ablation (design-choice ablations), par (parallel scan
+// scaling over 1..NumCPU workers; -json writes BENCH_parallel.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -24,18 +26,33 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation or 'all'")
-		sf   = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed = flag.Uint64("seed", 42, "generator seed")
-		reps = flag.Int("reps", 3, "repetitions per measurement (median)")
-		heap = flag.Bool("heap-backend", false, "force the portable off-heap backend")
+		fig      = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par or 'all'")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		reps     = flag.Int("reps", 3, "repetitions per measurement (median)")
+		heap     = flag.Bool("heap-backend", false, "force the portable off-heap backend")
+		jsonPath = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the 'par' figure (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{SF: *sf, Seed: *seed, Reps: *reps, HeapBackend: *heap}
+	// -workers applies to the 'par' figure only; Figures 7/8 keep their
+	// own default thread sweep.
+	var parWorkers []int
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "smcbench: bad -workers entry %q\n", w)
+				os.Exit(2)
+			}
+			parWorkers = append(parWorkers, n)
+		}
+	}
 	want := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation"} {
+		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par"} {
 			want[f] = true
 		}
 	} else {
@@ -127,6 +144,29 @@ func main() {
 		}
 		for _, tbl := range r.Render() {
 			tbl.Render(os.Stdout)
+		}
+	}
+	if want["par"] {
+		parOpts := opts
+		parOpts.Threads = parWorkers
+		r, err := bench.FigureParallel(parOpts)
+		if err != nil {
+			fail("par", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail("par", err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				fail("par", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("par", err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 	}
 }

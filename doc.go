@@ -10,4 +10,31 @@
 // (tabular layouts). See README.md for the architecture overview,
 // DESIGN.md for the paper-to-code map and EXPERIMENTS.md for the
 // reproduced evaluation.
+//
+// # Parallel scan engine
+//
+// Beyond the paper, queries can fan a full-collection scan out over all
+// cores (internal/mem.ParallelScan, internal/core.ParallelForEach and
+// ParallelAggregate, and the Q1Par/Q6Par compiled kernels in
+// internal/tpch). The block/slot-directory design makes blocks
+// independent scan units, so the engine needs exactly one piece of
+// shared coordination:
+//
+//   - One decision pass: a coordinator session snapshots the block order
+//     and makes every §5.2 compaction-group pre/post decision exactly
+//     once per enumeration — never per worker — pinning pre-state groups
+//     and helping moving ones, which yields one resolved block list with
+//     exactly-once visitation semantics.
+//   - Pinned coordinator epoch: the coordinator's critical section stays
+//     at the snapshot epoch (no refresh) until the scan closes, so a
+//     compaction planned mid-scan can never reach its moving phase (its
+//     epoch waits stall and it aborts harmlessly) and the resolved list
+//     stays authoritative.
+//   - N worker sessions: each worker runs in its own registered session
+//     and critical section, claiming block indices from an atomic cursor
+//     (work stealing), folding into per-worker partial accumulators that
+//     merge after the scan.
+//
+// The `par` figure of cmd/smcbench (and `make bench`, which writes
+// BENCH_parallel.json) sweeps the engine over 1..NumCPU workers.
 package repro

@@ -174,6 +174,12 @@ type DB struct {
 	PartSupp PartSuppCols
 	Nation   NationCols
 	Region   RegionCols
+
+	// q1Slot is Q1's dense group-table scratch (64K 16-bit keys),
+	// allocated once and reset per query by zeroing only the touched
+	// entries. Like the executor itself (see package comment), it is
+	// single-threaded state.
+	q1Slot []int32
 }
 
 // Load builds the column store from a generated dataset, sorting the fact

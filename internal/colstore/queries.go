@@ -17,19 +17,32 @@ func (db *DB) Q1(p tpch.Params) []tpch.Q1Row {
 	lc := &db.Lineitem
 	// shipdate <= cutoff  ⇔  rows [0, hi) of the clustered order.
 	hi := dateLowerBound(lc.ShipDate, cutoff+1)
-	type acc = struct {
+	type acc struct {
+		rf, ls                              int32
 		sumQty, sumBase, sumDisc, sumCharge decimal.Dec128
 		count                               int64
 	}
-	groups := make(map[int64]*acc, 8)
+	// RetFlag and LineStatus are single bytes, so the combined group key
+	// fits 16 bits: a dense slot table replaces the hash-map lookup in
+	// the tightest loop of the executor. slot holds index+1 so the zeroed
+	// table means "no group yet"; the table lives on the DB and only the
+	// touched entries are re-zeroed at the end, so repeated queries pay
+	// no per-call allocation.
+	if db.q1Slot == nil {
+		db.q1Slot = make([]int32, 1<<16)
+	}
+	slot := db.q1Slot
+	accs := make([]acc, 0, 8)
 	one := decimal.FromInt64(1)
 	for i := 0; i < hi; i++ {
-		k := int64(lc.RetFlag[i])<<8 | int64(lc.LineStatus[i])
-		a := groups[k]
-		if a == nil {
-			a = &acc{}
-			groups[k] = a
+		k := uint16(lc.RetFlag[i])<<8 | uint16(lc.LineStatus[i])
+		j := slot[k]
+		if j == 0 {
+			accs = append(accs, acc{rf: lc.RetFlag[i], ls: lc.LineStatus[i]})
+			j = int32(len(accs))
+			slot[k] = j
 		}
+		a := &accs[j-1]
 		a.sumQty = a.sumQty.Add(lc.Quantity[i])
 		a.sumBase = a.sumBase.Add(lc.ExtPrice[i])
 		a.sumDisc = a.sumDisc.Add(lc.Discount[i])
@@ -37,11 +50,13 @@ func (db *DB) Q1(p tpch.Params) []tpch.Q1Row {
 		a.sumCharge = a.sumCharge.Add(disc.Mul(one.Add(lc.Tax[i])))
 		a.count++
 	}
-	rows := make([]tpch.Q1Row, 0, len(groups))
-	for k, a := range groups {
+	rows := make([]tpch.Q1Row, 0, len(accs))
+	for i := range accs {
+		a := &accs[i]
+		slot[uint16(a.rf)<<8|uint16(a.ls)] = 0 // reset for the next call
 		rows = append(rows, tpch.Q1Row{
-			ReturnFlag: int32(k >> 8),
-			LineStatus: int32(k & 0xff),
+			ReturnFlag: a.rf,
+			LineStatus: a.ls,
 			SumQty:     a.sumQty,
 			SumBase:    a.sumBase,
 			SumDisc:    a.sumDisc,

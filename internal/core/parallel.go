@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/mem"
+)
+
+// Parallel typed scans over a collection: the compiled-query-style
+// fan-out of mem.ScanParallel lifted to the collection API. One §5.2
+// decision pass resolves the block list, then per-worker sessions scan
+// disjoint blocks claimed from an atomic cursor; typed aggregates fold
+// into per-worker partial accumulators that are merged at the end.
+
+// ParallelBlocks shards the collection's resolved block list across
+// `workers` goroutines for compiled-query-style callers that scan slot
+// directories themselves. fn runs once per block with the worker's index
+// and session; returning mem.ErrStopScan ends the scan early and
+// cleanly. fn must not share mutable state across workers without its
+// own synchronization — index per-worker state by the worker argument.
+func (c *Collection[T]) ParallelBlocks(s *Session, workers int, fn func(worker int, ws *Session, b *mem.Block) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	wrappers := make([]*Session, workers)
+	return c.ctx.ScanParallel(s.ms, workers, func(w int, ws *mem.Session, b *mem.Block) error {
+		cs := wrappers[w]
+		if cs == nil {
+			if ws == s.ms {
+				cs = s
+			} else {
+				cs = &Session{ms: ws}
+			}
+			wrappers[w] = cs
+		}
+		return fn(w, cs, b)
+	})
+}
+
+// padded wraps per-worker state so adjacent workers' values never share
+// a cache line in the hot fold loop (the compiled tpch kernels pad their
+// accumulators the same way).
+type padded[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// ParallelForEach invokes fn for every object in the collection from
+// `workers` goroutines, each inside its own session and critical
+// section. Visitation has the enumerator's exactly-once bag semantics:
+// the compaction-group decisions are made once for the whole scan, so an
+// object is seen either in its pre-relocation block or its target, never
+// both. fn returning false stops the scan across all workers. fn must be
+// safe for concurrent invocation; v is a per-worker scratch value that is
+// only valid for the duration of the call.
+func (c *Collection[T]) ParallelForEach(s *Session, workers int, fn func(worker int, ref Ref[T], v *T) bool) error {
+	if workers < 1 {
+		workers = 1
+	}
+	tmps := make([]padded[T], workers)
+	return c.ParallelBlocks(s, workers, func(w int, ws *Session, b *mem.Block) error {
+		tmp := &tmps[w].v
+		n := b.Capacity()
+		for slot := 0; slot < n; slot++ {
+			if !b.SlotIsValid(slot) {
+				continue
+			}
+			obj := mem.Obj{Blk: b, Slot: slot}
+			if c.layout != mem.Columnar {
+				obj.Ptr = b.SlotData(slot)
+			}
+			c.unmarshal(ws, obj, tmp)
+			if !fn(w, Ref[T]{R: c.ctx.MakeRef(b, slot)}, tmp) {
+				return mem.ErrStopScan
+			}
+		}
+		return nil
+	})
+}
+
+// ParallelAggregate scans c with `workers` goroutines, folding every
+// object into a per-worker partial accumulator and merging the partials
+// once the scan completes. init builds a worker's accumulator lazily (it
+// is only called for workers that receive blocks), fold absorbs one
+// object, and merge combines two partials; merge is called in worker
+// order, so order-sensitive accumulators see a deterministic merge
+// sequence for a quiesced collection. An empty collection returns
+// init(0).
+func ParallelAggregate[T, A any](c *Collection[T], s *Session, workers int,
+	init func(worker int) A,
+	fold func(acc A, ref Ref[T], v *T) A,
+	merge func(into, from A) A,
+) (A, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type workerAcc struct {
+		acc    A
+		inited bool
+	}
+	accs := make([]padded[workerAcc], workers)
+	err := c.ParallelForEach(s, workers, func(w int, ref Ref[T], v *T) bool {
+		a := &accs[w].v
+		if !a.inited {
+			a.acc = init(w)
+			a.inited = true
+		}
+		a.acc = fold(a.acc, ref, v)
+		return true
+	})
+	if err != nil {
+		var zero A
+		return zero, err
+	}
+	var out A
+	first := true
+	for w := range accs {
+		if !accs[w].v.inited {
+			continue
+		}
+		if first {
+			out = accs[w].v.acc
+			first = false
+		} else {
+			out = merge(out, accs[w].v.acc)
+		}
+	}
+	if first {
+		out = init(0)
+	}
+	return out, nil
+}

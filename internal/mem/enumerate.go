@@ -28,6 +28,14 @@ type Enumerator struct {
 	pinned    []*CompactionGroup
 	inSnap    map[*Block]bool
 	closed    bool
+
+	// noRefresh pins the session's published epoch for the whole walk
+	// instead of refreshing between blocks. The parallel-scan resolution
+	// pass uses it: with the coordinator pinned at the snapshot epoch, a
+	// compaction planned after the snapshot can never reach its moving
+	// phase (its epoch waits cannot complete), so the one-shot block list
+	// and group decisions stay authoritative for the scan's lifetime.
+	noRefresh bool
 }
 
 // NewEnumerator snapshots the context's block order for enumeration.
@@ -47,7 +55,7 @@ func (e *Enumerator) NextBlock() (*Block, bool) {
 	for e.i < len(e.blocks) {
 		b := e.blocks[e.i]
 		e.i++
-		if e.i > 1 {
+		if e.i > 1 && !e.noRefresh {
 			// Re-publish our epoch between blocks unless we pinned a
 			// group in its pre-state: the pin (not the epoch) is what
 			// protects pinned originals, so refreshing stays safe.
@@ -55,6 +63,9 @@ func (e *Enumerator) NextBlock() (*Block, bool) {
 		}
 		if g := b.group.Load(); g != nil {
 			if e.decidePre(g) {
+				if b.validCount.Load() == 0 {
+					continue // pinned but empty: nothing to scan
+				}
 				return b, true // pre-state: scan the original
 			}
 			continue // post-state: objects reappear in the target
@@ -63,7 +74,17 @@ func (e *Enumerator) NextBlock() (*Block, bool) {
 			if e.decidePre(g) {
 				continue // pre-state: originals cover these objects
 			}
+			if b.validCount.Load() == 0 {
+				continue // empty target: the group moved nothing
+			}
 			return b, true // post-state: scan the target
+		}
+		// Empty-block fast path: a block with no valid slots and no group
+		// involvement has nothing for the query — skip it before the
+		// caller touches its slot directory. Under bag semantics a racing
+		// Publish into such a block linearizes after this scan.
+		if b.validCount.Load() == 0 {
+			continue
 		}
 		return b, true
 	}

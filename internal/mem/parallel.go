@@ -1,0 +1,191 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel block-sharded scans. The block/slot-directory design is
+// embarrassingly parallel by construction: blocks are independent scan
+// units, and the §5.2 compaction protocol synchronizes on compaction
+// groups, not on individual readers. A parallel scan therefore needs
+// exactly one piece of shared coordination — the enumeration's view of
+// the world — and can fan the actual block work out to any number of
+// workers.
+//
+// Protocol ("one decision pass, N worker sessions, merge step"):
+//
+//  1. A coordinator session takes one block-order snapshot and makes the
+//     §5.2 pre/post decision for every compaction group it encounters,
+//     exactly once per enumeration — never per worker — pinning pre-state
+//     groups and waiting out (helping) moving ones. The result is one
+//     resolved block list with exactly-once semantics.
+//  2. The coordinator's critical section stays pinned at the snapshot
+//     epoch (no Refresh) until the scan closes. That pin is load-bearing:
+//     a compaction planned after our snapshot can never complete its
+//     freezing/relocation epoch waits while we hold it, so it aborts
+//     without moving anything (§5.1's bail-out path) and the resolved
+//     list stays authoritative. It also keeps every snapshot block's
+//     memory mapped: burials ripen two epochs after the pin, which the
+//     pinned epoch can never reach.
+//  3. Workers — each with its own registered Session in its own critical
+//     section — claim block indices from an atomic cursor (work
+//     stealing: fast workers drain the tail, no static partitioning
+//     imbalance).
+//
+// ErrStopScan is the cooperative early-stop signal: a worker returning it
+// stops the whole scan without reporting an error.
+var ErrStopScan = errors.New("mem: scan stopped early")
+
+// ParallelScan is a resolved, shardable enumeration of one context. It is
+// created by NewParallelScan, drained from any number of goroutines via
+// Next, and must be Closed to release its group pins and the
+// coordinator's critical section.
+type ParallelScan struct {
+	coord  *Session
+	blocks []*Block
+	pinned []*CompactionGroup
+	cursor atomic.Int64
+	stop   atomic.Bool
+	closed bool
+}
+
+// NewParallelScan snapshots the context's block order and resolves every
+// §5.2 compaction-group decision once, returning a scan whose block list
+// can be drained concurrently. It enters a critical section on the
+// coordinator session and holds it — without refreshing — until Close;
+// the caller must not Refresh the coordinator while the scan is open.
+func (c *Context) NewParallelScan(s *Session) *ParallelScan {
+	s.Enter()
+	e := &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), noRefresh: true}
+	var blocks []*Block
+	for {
+		b, ok := e.NextBlock()
+		if !ok {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	ps := &ParallelScan{coord: s, blocks: blocks, pinned: e.pinned}
+	// Steal the enumerator's pins: they now belong to the scan and are
+	// released by ParallelScan.Close, not by the resolution pass.
+	e.pinned = nil
+	e.closed = true
+	return ps
+}
+
+// NumBlocks returns the number of resolved blocks the scan will visit.
+func (ps *ParallelScan) NumBlocks() int { return len(ps.blocks) }
+
+// Next claims the next unscanned block for a worker, or returns false
+// when the list is drained (or the scan was stopped). ws is the calling
+// worker's session; it is refreshed between blocks (pass nil to skip,
+// e.g. when driving the scan on the pinned coordinator session).
+func (ps *ParallelScan) Next(ws *Session) (*Block, bool) {
+	if ps.stop.Load() {
+		return nil, false
+	}
+	i := int(ps.cursor.Add(1)) - 1
+	if i >= len(ps.blocks) {
+		return nil, false
+	}
+	if ws != nil && i > 0 {
+		ws.Refresh()
+	}
+	return ps.blocks[i], true
+}
+
+// Stop makes all subsequent Next calls return false, ending the scan
+// early across every worker.
+func (ps *ParallelScan) Stop() { ps.stop.Store(true) }
+
+// Close releases the scan's group pins and the coordinator's critical
+// section. Always call it (defer) once the scan ends.
+func (ps *ParallelScan) Close() {
+	if ps.closed {
+		return
+	}
+	ps.closed = true
+	for _, g := range ps.pinned {
+		g.pins.Add(-1)
+	}
+	ps.pinned = nil
+	ps.coord.Exit()
+}
+
+// ScanParallel resolves the context once and shards its blocks across
+// `workers` goroutines, each with its own freshly registered Session
+// inside its own critical section. fn is invoked once per resolved block;
+// returning ErrStopScan stops the scan cleanly, any other error stops it
+// and is returned. With workers <= 1 (or a single resolved block) the
+// scan runs inline on the coordinator session with zero goroutine
+// overhead, which keeps 1-worker baselines honest.
+func (c *Context) ScanParallel(coord *Session, workers int, fn func(worker int, ws *Session, b *Block) error) error {
+	ps := c.NewParallelScan(coord)
+	defer ps.Close()
+	if workers > len(ps.blocks) {
+		workers = len(ps.blocks)
+	}
+	if workers <= 1 {
+		for {
+			b, ok := ps.Next(nil)
+			if !ok {
+				return nil
+			}
+			if err := fn(0, coord, b); err != nil {
+				if errors.Is(err, ErrStopScan) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+
+	sessions := make([]*Session, workers)
+	for i := range sessions {
+		ws, err := c.mgr.NewSession()
+		if err != nil {
+			for _, s := range sessions[:i] {
+				_ = s.Close()
+			}
+			return fmt.Errorf("mem: parallel scan worker session: %w", err)
+		}
+		sessions[i] = ws
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := sessions[w]
+			ws.Enter()
+			defer ws.Exit()
+			for {
+				b, ok := ps.Next(ws)
+				if !ok {
+					return
+				}
+				if err := fn(w, ws, b); err != nil {
+					ps.Stop()
+					if !errors.Is(err, ErrStopScan) {
+						errs[w] = err
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, s := range sessions {
+		_ = s.Close()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

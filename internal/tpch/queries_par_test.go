@@ -1,0 +1,39 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelQueriesMatchSerial: Q1Par/Q6Par must produce the serial
+// kernels' exact results at every worker count and layout.
+func TestParallelQueriesMatchSerial(t *testing.T) {
+	d := testDataset(t)
+	p := DefaultParams()
+	for _, layout := range []core.Layout{core.RowIndirect, core.RowDirect, core.Columnar} {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			rt := core.MustRuntime(core.Options{HeapBackend: true})
+			defer rt.Close()
+			s := rt.MustSession()
+			defer s.Close()
+			sdb, err := LoadSMC(rt, s, d, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := NewSMCQueries(sdb)
+			wantQ1 := q.Q1(s, p)
+			wantQ6 := q.Q6(s, p)
+			for _, workers := range []int{1, 2, 4} {
+				if got := q.Q1Par(s, p, workers); !reflect.DeepEqual(got, wantQ1) {
+					t.Fatalf("Q1Par(workers=%d) diverges from Q1:\n got %+v\nwant %+v", workers, got, wantQ1)
+				}
+				if got := q.Q6Par(s, p, workers); got != wantQ6 {
+					t.Fatalf("Q6Par(workers=%d) = %v, want %v", workers, got, wantQ6)
+				}
+			}
+		})
+	}
+}

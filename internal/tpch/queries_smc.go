@@ -199,123 +199,23 @@ func (q *SMCQueries) deref(s *core.Session, fr *core.FieldRef, o mem.Obj) (mem.O
 func (q *SMCQueries) Q1(s *core.Session, p Params) []Q1Row {
 	cutoff := p.Q1Cutoff()
 	// Dense accumulator table indexed by (returnflag, linestatus) pairs:
-	// the query compiler knows both are single chars.
-	type acc struct {
-		q1Acc
-		used bool
-	}
-	var accs [4]acc // R/F, A/F, N/F, N/O
-	idx := func(rf, ls int32) int {
-		switch {
-		case rf == 'A':
-			return 0
-		case rf == 'N' && ls == 'F':
-			return 1
-		case rf == 'N':
-			return 2
-		default:
-			return 3 // 'R'
-		}
-	}
-	one := decimal.FromInt64(1)
+	// the query compiler knows both are single chars. The per-block
+	// kernel is shared with Q1Par (queries_smc_par.go).
+	var d q1Dense
+	columnar := q.db.Layout == core.Columnar
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
-	columnar := q.db.Layout == core.Columnar
 	for {
 		blk, ok := en.NextBlock()
 		if !ok {
 			break
 		}
-		n := blk.Capacity()
-		if columnar {
-			shipBase := blk.ColBase(q.lShip)
-			qtyBase := blk.ColBase(q.lQty)
-			extBase := blk.ColBase(q.lExt)
-			discBase := blk.ColBase(q.lDisc)
-			taxBase := blk.ColBase(q.lTax)
-			retBase := blk.ColBase(q.lRet)
-			statBase := blk.ColBase(q.lStat)
-			for i := 0; i < n; i++ {
-				if !blk.SlotIsValid(i) {
-					continue
-				}
-				if *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4)) > cutoff {
-					continue
-				}
-				rf := *(*int32)(unsafe.Add(retBase, uintptr(i)*4))
-				ls := *(*int32)(unsafe.Add(statBase, uintptr(i)*4))
-				a := &accs[idx(rf, ls)]
-				a.used = true
-				qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
-				ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
-				dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
-				tax := (*decimal.Dec128)(unsafe.Add(taxBase, uintptr(i)*16))
-				decimal.AddAssign(&a.sumQty, qty)
-				decimal.AddAssign(&a.sumBase, ext)
-				decimal.AddAssign(&a.sumDisc, dsc)
-				disc := ext.Mul(one.Sub(*dsc))
-				charge := disc.Mul(one.Add(*tax))
-				decimal.AddAssign(&a.sumCharge, &charge)
-				a.count++
-			}
-			continue
-		}
-		shipOff := q.lShip.Offset
-		qtyOff := q.lQty.Offset
-		extOff := q.lExt.Offset
-		discOff := q.lDisc.Offset
-		taxOff := q.lTax.Offset
-		retOff := q.lRet.Offset
-		statOff := q.lStat.Offset
-		for i := 0; i < n; i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			base := blk.SlotData(i)
-			if *(*types.Date)(unsafe.Add(base, shipOff)) > cutoff {
-				continue
-			}
-			rf := *(*int32)(unsafe.Add(base, retOff))
-			ls := *(*int32)(unsafe.Add(base, statOff))
-			a := &accs[idx(rf, ls)]
-			a.used = true
-			qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
-			ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
-			dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
-			tax := (*decimal.Dec128)(unsafe.Add(base, taxOff))
-			decimal.AddAssign(&a.sumQty, qty)
-			decimal.AddAssign(&a.sumBase, ext)
-			decimal.AddAssign(&a.sumDisc, dsc)
-			disc := ext.Mul(one.Sub(*dsc))
-			charge := disc.Mul(one.Add(*tax))
-			decimal.AddAssign(&a.sumCharge, &charge)
-			a.count++
-		}
+		q.q1Block(blk, cutoff, columnar, &d)
 	}
 	en.Close()
 	s.Exit()
-
-	groups := make(map[int64]*q1Acc, 4)
-	for i := range accs {
-		if !accs[i].used {
-			continue
-		}
-		var rf, ls int32
-		switch i {
-		case 0:
-			rf, ls = 'A', 'F'
-		case 1:
-			rf, ls = 'N', 'F'
-		case 2:
-			rf, ls = 'N', 'O'
-		default:
-			rf, ls = 'R', 'F'
-		}
-		a := accs[i].q1Acc
-		groups[q1Key(rf, ls)] = &a
-	}
-	return q1Finish(groups)
+	return q1Finish(d.groups())
 }
 
 // Q2 — minimum-cost supplier, reference joins through partsupp.
@@ -702,71 +602,21 @@ func (q *SMCQueries) Q6(s *core.Session, p Params) decimal.Dec128 {
 	hi := p.Q6Date.AddYears(1)
 	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
 	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
-	var sum decimal.Dec128
+	columnar := q.db.Layout == core.Columnar
+	var sum q6Sum
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
-	columnar := q.db.Layout == core.Columnar
 	for {
 		blk, ok := en.NextBlock()
 		if !ok {
 			break
 		}
-		n := blk.Capacity()
-		if columnar {
-			shipBase := blk.ColBase(q.lShip)
-			qtyBase := blk.ColBase(q.lQty)
-			extBase := blk.ColBase(q.lExt)
-			discBase := blk.ColBase(q.lDisc)
-			for i := 0; i < n; i++ {
-				if !blk.SlotIsValid(i) {
-					continue
-				}
-				ship := *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4))
-				if ship < p.Q6Date || ship >= hi {
-					continue
-				}
-				dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
-				if dsc.Less(lo) || hiD.Less(*dsc) {
-					continue
-				}
-				qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
-				if !qty.Less(p.Q6Quantity) {
-					continue
-				}
-				ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
-				decimal.MulAdd(&sum, ext, dsc)
-			}
-			continue
-		}
-		shipOff := q.lShip.Offset
-		qtyOff := q.lQty.Offset
-		extOff := q.lExt.Offset
-		discOff := q.lDisc.Offset
-		for i := 0; i < n; i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			base := blk.SlotData(i)
-			ship := *(*types.Date)(unsafe.Add(base, shipOff))
-			if ship < p.Q6Date || ship >= hi {
-				continue
-			}
-			dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
-			if dsc.Less(lo) || hiD.Less(*dsc) {
-				continue
-			}
-			qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
-			if !qty.Less(p.Q6Quantity) {
-				continue
-			}
-			ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
-			decimal.MulAdd(&sum, ext, dsc)
-		}
+		q.q6Block(blk, p, hi, lo, hiD, columnar, &sum)
 	}
 	en.Close()
 	s.Exit()
-	return sum
+	return sum.sum
 }
 
 // All runs Q1–Q6.

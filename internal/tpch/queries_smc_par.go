@@ -1,0 +1,267 @@
+package tpch
+
+import (
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/mem"
+	"repro/internal/types"
+)
+
+// Parallel compiled queries: the scan-dominated kernels (Q1, Q6) fanned
+// out over mem.ScanParallel. Each worker folds into its own accumulator
+// set (cache-line padded against false sharing) and the partials merge
+// after the scan — the paper's per-thread generated query state, one per
+// worker instead of one per stream. The per-block kernels are shared
+// with the serial Q1/Q6, so serial and parallel execute byte-identical
+// inner loops.
+
+// q1Dense is the dense (returnflag, linestatus) accumulator table of the
+// compiled Q1 kernel: the query compiler knows both grouping attributes
+// are single chars, so four slots cover TPC-H's domain.
+type q1Dense struct {
+	accs [4]struct {
+		q1Acc
+		used bool
+	}
+	_ [64]byte // pad: adjacent workers' tables must not share a line
+}
+
+// q1DenseIdx maps the (returnflag, linestatus) domain onto table slots.
+func q1DenseIdx(rf, ls int32) int {
+	switch {
+	case rf == 'A':
+		return 0
+	case rf == 'N' && ls == 'F':
+		return 1
+	case rf == 'N':
+		return 2
+	default:
+		return 3 // 'R'
+	}
+}
+
+// groups converts the dense table into the shared q1Acc map keyed like
+// every other Q1 implementation, for q1Finish.
+func (d *q1Dense) groups() map[int64]*q1Acc {
+	groups := make(map[int64]*q1Acc, 4)
+	for i := range d.accs {
+		if !d.accs[i].used {
+			continue
+		}
+		var rf, ls int32
+		switch i {
+		case 0:
+			rf, ls = 'A', 'F'
+		case 1:
+			rf, ls = 'N', 'F'
+		case 2:
+			rf, ls = 'N', 'O'
+		default:
+			rf, ls = 'R', 'F'
+		}
+		a := d.accs[i].q1Acc
+		groups[q1Key(rf, ls)] = &a
+	}
+	return groups
+}
+
+// mergeFrom folds another worker's partial table into d.
+func (d *q1Dense) mergeFrom(o *q1Dense) {
+	for i := range d.accs {
+		if !o.accs[i].used {
+			continue
+		}
+		a, b := &d.accs[i], &o.accs[i]
+		a.used = true
+		decimal.AddAssign(&a.sumQty, &b.sumQty)
+		decimal.AddAssign(&a.sumBase, &b.sumBase)
+		decimal.AddAssign(&a.sumDisc, &b.sumDisc)
+		decimal.AddAssign(&a.sumCharge, &b.sumCharge)
+		a.count += b.count
+	}
+}
+
+// q1Block scans one block into a dense accumulator table: the compiled
+// per-block Q1 kernel, shared by the serial and parallel drivers.
+func (q *SMCQueries) q1Block(blk *mem.Block, cutoff types.Date, columnar bool, d *q1Dense) {
+	one := decimal.FromInt64(1)
+	n := blk.Capacity()
+	if columnar {
+		shipBase := blk.ColBase(q.lShip)
+		qtyBase := blk.ColBase(q.lQty)
+		extBase := blk.ColBase(q.lExt)
+		discBase := blk.ColBase(q.lDisc)
+		taxBase := blk.ColBase(q.lTax)
+		retBase := blk.ColBase(q.lRet)
+		statBase := blk.ColBase(q.lStat)
+		for i := 0; i < n; i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4)) > cutoff {
+				continue
+			}
+			rf := *(*int32)(unsafe.Add(retBase, uintptr(i)*4))
+			ls := *(*int32)(unsafe.Add(statBase, uintptr(i)*4))
+			a := &d.accs[q1DenseIdx(rf, ls)]
+			a.used = true
+			qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
+			ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+			dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+			tax := (*decimal.Dec128)(unsafe.Add(taxBase, uintptr(i)*16))
+			decimal.AddAssign(&a.sumQty, qty)
+			decimal.AddAssign(&a.sumBase, ext)
+			decimal.AddAssign(&a.sumDisc, dsc)
+			disc := ext.Mul(one.Sub(*dsc))
+			charge := disc.Mul(one.Add(*tax))
+			decimal.AddAssign(&a.sumCharge, &charge)
+			a.count++
+		}
+		return
+	}
+	shipOff := q.lShip.Offset
+	qtyOff := q.lQty.Offset
+	extOff := q.lExt.Offset
+	discOff := q.lDisc.Offset
+	taxOff := q.lTax.Offset
+	retOff := q.lRet.Offset
+	statOff := q.lStat.Offset
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		base := blk.SlotData(i)
+		if *(*types.Date)(unsafe.Add(base, shipOff)) > cutoff {
+			continue
+		}
+		rf := *(*int32)(unsafe.Add(base, retOff))
+		ls := *(*int32)(unsafe.Add(base, statOff))
+		a := &d.accs[q1DenseIdx(rf, ls)]
+		a.used = true
+		qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
+		ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+		dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+		tax := (*decimal.Dec128)(unsafe.Add(base, taxOff))
+		decimal.AddAssign(&a.sumQty, qty)
+		decimal.AddAssign(&a.sumBase, ext)
+		decimal.AddAssign(&a.sumDisc, dsc)
+		disc := ext.Mul(one.Sub(*dsc))
+		charge := disc.Mul(one.Add(*tax))
+		decimal.AddAssign(&a.sumCharge, &charge)
+		a.count++
+	}
+}
+
+// q6Sum is one worker's Q6 partial, padded against false sharing.
+type q6Sum struct {
+	sum decimal.Dec128
+	_   [48]byte
+}
+
+// q6Block scans one block into a partial revenue sum: the compiled
+// per-block Q6 kernel, shared by the serial and parallel drivers.
+func (q *SMCQueries) q6Block(blk *mem.Block, p Params, hi types.Date, lo, hiD decimal.Dec128, columnar bool, out *q6Sum) {
+	n := blk.Capacity()
+	if columnar {
+		shipBase := blk.ColBase(q.lShip)
+		qtyBase := blk.ColBase(q.lQty)
+		extBase := blk.ColBase(q.lExt)
+		discBase := blk.ColBase(q.lDisc)
+		for i := 0; i < n; i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ship := *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4))
+			if ship < p.Q6Date || ship >= hi {
+				continue
+			}
+			dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+			if dsc.Less(lo) || hiD.Less(*dsc) {
+				continue
+			}
+			qty := (*decimal.Dec128)(unsafe.Add(qtyBase, uintptr(i)*16))
+			if !qty.Less(p.Q6Quantity) {
+				continue
+			}
+			ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+			decimal.MulAdd(&out.sum, ext, dsc)
+		}
+		return
+	}
+	shipOff := q.lShip.Offset
+	qtyOff := q.lQty.Offset
+	extOff := q.lExt.Offset
+	discOff := q.lDisc.Offset
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		base := blk.SlotData(i)
+		ship := *(*types.Date)(unsafe.Add(base, shipOff))
+		if ship < p.Q6Date || ship >= hi {
+			continue
+		}
+		dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+		if dsc.Less(lo) || hiD.Less(*dsc) {
+			continue
+		}
+		qty := (*decimal.Dec128)(unsafe.Add(base, qtyOff))
+		if !qty.Less(p.Q6Quantity) {
+			continue
+		}
+		ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+		decimal.MulAdd(&out.sum, ext, dsc)
+	}
+}
+
+// Q1Par is Q1 fanned out over `workers` block-sharded scan workers.
+// Results are identical to Q1 on a quiesced collection; under concurrent
+// mutation both have the enumerator's bag semantics.
+func (q *SMCQueries) Q1Par(s *core.Session, p Params, workers int) []Q1Row {
+	if workers < 1 {
+		workers = 1
+	}
+	cutoff := p.Q1Cutoff()
+	columnar := q.db.Layout == core.Columnar
+	dense := make([]q1Dense, workers)
+	err := q.db.Lineitems.Context().ScanParallel(s.Mem(), workers, func(w int, _ *mem.Session, blk *mem.Block) error {
+		q.q1Block(blk, cutoff, columnar, &dense[w])
+		return nil
+	})
+	if err != nil {
+		// Worker sessions were unavailable (slot exhaustion): degrade to
+		// the serial kernel rather than failing the query.
+		return q.Q1(s, p)
+	}
+	total := &dense[0]
+	for w := 1; w < workers; w++ {
+		total.mergeFrom(&dense[w])
+	}
+	return q1Finish(total.groups())
+}
+
+// Q6Par is Q6 fanned out over `workers` block-sharded scan workers.
+func (q *SMCQueries) Q6Par(s *core.Session, p Params, workers int) decimal.Dec128 {
+	if workers < 1 {
+		workers = 1
+	}
+	hi := p.Q6Date.AddYears(1)
+	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
+	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
+	columnar := q.db.Layout == core.Columnar
+	sums := make([]q6Sum, workers)
+	err := q.db.Lineitems.Context().ScanParallel(s.Mem(), workers, func(w int, _ *mem.Session, blk *mem.Block) error {
+		q.q6Block(blk, p, hi, lo, hiD, columnar, &sums[w])
+		return nil
+	})
+	if err != nil {
+		return q.Q6(s, p)
+	}
+	out := sums[0].sum
+	for w := 1; w < workers; w++ {
+		decimal.AddAssign(&out, &sums[w].sum)
+	}
+	return out
+}
