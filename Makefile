@@ -2,7 +2,7 @@ GO ?= go
 SF ?= 0.05
 REPS ?= 5
 
-.PHONY: build vet test race-stress bench clean
+.PHONY: build vet test race-stress bench bench-joins clean
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,21 @@ vet:
 test: build
 	$(GO) test ./...
 
-# The parallel-scan stress tests (exactly-once under churn + compaction)
-# under the race detector.
+# The parallel-scan and parallel-join stress tests (exactly-once and
+# exact serial results under churn + compaction) under the race
+# detector.
 race-stress:
-	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/tpch
+	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
 bench:
 	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json BENCH_parallel.json
 
+# Emit the parallel-join scaling figure (Q3/Q5/Q10 over the arena-lease +
+# partitioned-table subsystem) as BENCH_joins.json.
+bench-joins:
+	$(GO) run ./cmd/smcbench -fig joins -sf $(SF) -reps $(REPS) -json-joins BENCH_joins.json
+
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_joins.json

@@ -11,12 +11,15 @@
 // managed), 12 (direct/columnar), 13 (vs column store), linq (LINQ vs
 // compiled). Beyond-paper extensions: ext (TPC-H Q7–Q10 across all
 // engines), ablation (design-choice ablations), par (parallel scan
-// scaling over 1..NumCPU workers; -json writes BENCH_parallel.json).
+// scaling over 1..NumCPU workers; -json writes BENCH_parallel.json),
+// joins (parallel join scaling for Q3/Q5/Q10 over the arena-lease +
+// partitioned-table subsystem; -json-joins writes BENCH_joins.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,19 +29,20 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par or 'all'")
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed     = flag.Uint64("seed", 42, "generator seed")
-		reps     = flag.Int("reps", 3, "repetitions per measurement (median)")
-		heap     = flag.Bool("heap-backend", false, "force the portable off-heap backend")
-		jsonPath = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
-		workers  = flag.String("workers", "", "comma-separated worker counts for the 'par' figure (default 1,2,4..NumCPU)")
+		fig       = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins or 'all'")
+		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		reps      = flag.Int("reps", 3, "repetitions per measurement (median)")
+		heap      = flag.Bool("heap-backend", false, "force the portable off-heap backend")
+		jsonPath  = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
+		joinsPath = flag.String("json-joins", "", "write the 'joins' figure's result as JSON to this path")
+		workers   = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins' figures (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{SF: *sf, Seed: *seed, Reps: *reps, HeapBackend: *heap}
-	// -workers applies to the 'par' figure only; Figures 7/8 keep their
-	// own default thread sweep.
+	// -workers applies to the 'par' and 'joins' figures; Figures 7/8 keep
+	// their own default thread sweep.
 	var parWorkers []int
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -52,7 +56,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par"} {
+		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins"} {
 			want[f] = true
 		}
 	} else {
@@ -64,6 +68,20 @@ func main() {
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "smcbench: figure %s: %v\n", name, err)
 		os.Exit(1)
+	}
+	writeJSONFile := func(name, path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(name, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fail(name, err)
+		}
+		if err := f.Close(); err != nil {
+			fail(name, err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 
 	fmt.Printf("smcbench: sf=%v seed=%d reps=%d\n", *sf, *seed, *reps)
@@ -155,18 +173,19 @@ func main() {
 		}
 		r.Render().Render(os.Stdout)
 		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fail("par", err)
-			}
-			if err := r.WriteJSON(f); err != nil {
-				f.Close()
-				fail("par", err)
-			}
-			if err := f.Close(); err != nil {
-				fail("par", err)
-			}
-			fmt.Printf("wrote %s\n", *jsonPath)
+			writeJSONFile("par", *jsonPath, r.WriteJSON)
+		}
+	}
+	if want["joins"] {
+		joinOpts := opts
+		joinOpts.Threads = parWorkers
+		r, err := bench.FigureJoins(joinOpts)
+		if err != nil {
+			fail("joins", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *joinsPath != "" {
+			writeJSONFile("joins", *joinsPath, r.WriteJSON)
 		}
 	}
 }

@@ -37,4 +37,33 @@
 //
 // The `par` figure of cmd/smcbench (and `make bench`, which writes
 // BENCH_parallel.json) sweeps the engine over 1..NumCPU workers.
+//
+// # Concurrent query-memory subsystem
+//
+// The paper's §7 unsafe-query optimization — region-allocated
+// intermediates discarded wholesale — is rethought for multi-core so
+// the reference-join queries scale with cores too:
+//
+//   - Arena leases: internal/region.ArenaPool replaces the old
+//     one-arena-per-query-stream design. Every query (and every scan
+//     worker of a parallel join) leases a private arena and returns it
+//     when done; the pool recycles arenas under a bounded retained
+//     footprint, and Arena.Reset itself decays retained chunks to the
+//     previous cycle's working set, so one huge query no longer pins
+//     peak memory forever. Concurrent queries on one query object never
+//     share mutable region state.
+//   - Partitioned region tables: internal/region.PartitionedTable
+//     splits the open-addressing region table into hash partitions with
+//     a deterministic partition-by-partition MergeInto, so per-worker
+//     group/join state merges once, in worker order, after the scan.
+//   - Parallel joins: the tpch Q3Par/Q5Par/Q10Par drivers share their
+//     per-block join kernels with the serial Q3/Q5/Q10 (exactly as
+//     Q1Par/Q6Par do) and ride the parallel scan engine; worker
+//     sessions come from a pool keyed by the memory manager
+//     (mem.Manager.LeaseSession), so small scans do not pay per-scan
+//     session registration. internal/core.ParallelGroupBy exposes the
+//     partial-states-then-ordered-merge pattern to typed callers.
+//
+// The `joins` figure of cmd/smcbench (and `make bench-joins`, which
+// writes BENCH_joins.json) sweeps Q3/Q5/Q10 over 1..NumCPU workers.
 package repro

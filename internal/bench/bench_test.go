@@ -205,3 +205,49 @@ func TestMedian(t *testing.T) {
 		t.Fatalf("median %v implausibly small", d)
 	}
 }
+
+func TestFigureParallel(t *testing.T) {
+	r, err := FigureParallel(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.Q1RowMs <= 0 || pt.Q6RowMs <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+	renderOK(t, r.Render())
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"workers\": 1") {
+		t.Fatalf("JSON missing worker points: %s", sb.String())
+	}
+}
+
+func TestFigureJoins(t *testing.T) {
+	r, err := FigureJoins(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.Q3IndMs <= 0 || pt.Q5DirMs <= 0 || pt.Q10IndMs <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+	renderOK(t, r.Render())
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"q3_ind_ms\"") {
+		t.Fatalf("JSON missing join timings: %s", sb.String())
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+// JoinsPoint is one worker count's join-query measurements
+// (milliseconds), on the indirect and direct-pointer row layouts.
+type JoinsPoint struct {
+	Workers  int     `json:"workers"`
+	Q3IndMs  float64 `json:"q3_ind_ms"`
+	Q3DirMs  float64 `json:"q3_dir_ms"`
+	Q5IndMs  float64 `json:"q5_ind_ms"`
+	Q5DirMs  float64 `json:"q5_dir_ms"`
+	Q10IndMs float64 `json:"q10_ind_ms"`
+	Q10DirMs float64 `json:"q10_dir_ms"`
+}
+
+// JoinsResult is the parallel-join scaling figure (beyond-paper): the
+// concurrent query-memory subsystem — arena leases plus partitioned
+// region tables — swept over worker counts on the reference-join queries
+// Q3, Q5 and Q10.
+type JoinsResult struct {
+	SF     float64      `json:"sf"`
+	CPUs   int          `json:"cpus"`
+	Reps   int          `json:"reps"`
+	Points []JoinsPoint `json:"points"`
+}
+
+// FigureJoins measures the parallel join drivers Q3Par/Q5Par/Q10Par
+// (row-indirect and row-direct layouts — the join-heavy queries are
+// where §6 direct pointers matter) swept over worker counts. The
+// 1-worker point runs the scan inline on the coordinator session with
+// the same shared per-block kernels as the serial queries, so it is an
+// honest serial baseline for the lease/partition refactor.
+func FigureJoins(o Options) (*JoinsResult, error) {
+	explicit := len(o.Threads) > 0
+	o = o.WithDefaults()
+	data := tpch.Generate(o.SF, o.Seed)
+	p := tpch.DefaultParams()
+
+	load := func(layout core.Layout) (*core.Runtime, *core.Session, *tpch.SMCQueries, error) {
+		rt, err := core.NewRuntime(core.Options{HeapBackend: o.HeapBackend})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s := rt.MustSession()
+		db, err := tpch.LoadSMC(rt, s, data, layout)
+		if err != nil {
+			s.Close()
+			rt.Close()
+			return nil, nil, nil, err
+		}
+		return rt, s, tpch.NewSMCQueries(db), nil
+	}
+	rtInd, sInd, qInd, err := load(core.RowIndirect)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { sInd.Close(); rtInd.Close() }()
+	rtDir, sDir, qDir, err := load(core.RowDirect)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { sDir.Close(); rtDir.Close() }()
+
+	sweep := workerSweep(o.Threads, explicit)
+
+	res := &JoinsResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps}
+	for _, workers := range sweep {
+		w := workers
+		pt := JoinsPoint{Workers: w}
+		pt.Q3IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q3Par(sInd, p, w) }))
+		pt.Q3DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q3Par(sDir, p, w) }))
+		pt.Q5IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q5Par(sInd, p, w) }))
+		pt.Q5DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q5Par(sDir, p, w) }))
+		pt.Q10IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q10Par(sInd, p, w) }))
+		pt.Q10DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q10Par(sDir, p, w) }))
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render emits the scaling table with speedups relative to the lowest
+// measured worker count.
+func (r *JoinsResult) Render() *Table {
+	var base JoinsPoint
+	if len(r.Points) > 0 {
+		base = r.Points[0]
+		for _, pt := range r.Points {
+			if pt.Workers < base.Workers {
+				base = pt
+			}
+		}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Parallel join scaling — SF=%v, %d CPUs (ms, ×=speedup vs %d worker(s))", r.SF, r.CPUs, base.Workers),
+		Columns: []string{"workers", "Q3 ind", "×", "Q3 dir", "×", "Q5 ind", "×", "Q5 dir", "×", "Q10 ind", "×", "Q10 dir", "×"},
+		Notes: []string{
+			"per-worker leased arenas + partitioned region tables, ordered merge",
+			"speedup requires free cores: GOMAXPROCS=" + fmt.Sprint(runtime.GOMAXPROCS(0)),
+		},
+	}
+	sp := func(b, v float64) string {
+		if v <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", b/v)
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(pt.Workers),
+			fmtMs(pt.Q3IndMs), sp(base.Q3IndMs, pt.Q3IndMs),
+			fmtMs(pt.Q3DirMs), sp(base.Q3DirMs, pt.Q3DirMs),
+			fmtMs(pt.Q5IndMs), sp(base.Q5IndMs, pt.Q5IndMs),
+			fmtMs(pt.Q5DirMs), sp(base.Q5DirMs, pt.Q5DirMs),
+			fmtMs(pt.Q10IndMs), sp(base.Q10IndMs, pt.Q10IndMs),
+			fmtMs(pt.Q10DirMs), sp(base.Q10DirMs, pt.Q10DirMs),
+		})
+	}
+	return t
+}
+
+// WriteJSON emits the machine-readable result (BENCH_joins.json).
+func (r *JoinsResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -11,6 +11,31 @@ import (
 	"repro/internal/tpch"
 )
 
+// workerSweep builds a figure's worker-count list: an explicitly
+// configured list is used verbatim, while the default list is extended
+// by doubling up to the machine's cores (plus NumCPU itself) so the
+// figure shows the full scaling curve.
+func workerSweep(threads []int, explicit bool) []int {
+	sweep := append([]int(nil), threads...)
+	if explicit {
+		return sweep
+	}
+	maxW := 1
+	for _, w := range sweep {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for w := maxW * 2; w <= runtime.NumCPU(); w *= 2 {
+		sweep = append(sweep, w)
+		maxW = w
+	}
+	if n := runtime.NumCPU(); maxW < n {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
 // ParallelPoint is one worker count's measurements (milliseconds).
 type ParallelPoint struct {
 	Workers int     `json:"workers"`
@@ -69,24 +94,7 @@ func FigureParallel(o Options) (*ParallelResult, error) {
 	}
 	defer func() { sCol.Close(); rtCol.Close() }()
 
-	// Default sweep 1..NumCPU: extend the default thread list up to the
-	// machine's cores so the figure shows the full scaling curve.
-	sweep := append([]int(nil), o.Threads...)
-	if !explicit {
-		maxW := 1
-		for _, w := range sweep {
-			if w > maxW {
-				maxW = w
-			}
-		}
-		for w := maxW * 2; w <= runtime.NumCPU(); w *= 2 {
-			sweep = append(sweep, w)
-			maxW = w
-		}
-		if n := runtime.NumCPU(); maxW < n {
-			sweep = append(sweep, n)
-		}
-	}
+	sweep := workerSweep(o.Threads, explicit)
 
 	res := &ParallelResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps}
 	for _, workers := range sweep {

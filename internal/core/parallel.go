@@ -128,3 +128,50 @@ func ParallelAggregate[T, A any](c *Collection[T], s *Session, workers int,
 	}
 	return out, nil
 }
+
+// ParallelGroupBy generalizes ParallelAggregate to keyed partial states:
+// each worker folds the objects it scans into a private map of per-group
+// accumulators (zero shared mutable state in the hot loop), and the
+// partial maps merge after the scan. key selects an object's group and
+// may reject the object (ok=false) to keep filtered rows out of the
+// maps; fold absorbs one object into its group's accumulator, starting
+// from A's zero value; merge combines two partials for the same key and
+// is applied in worker order, so the merged state is deterministic for a
+// quiesced collection whenever merge itself is.
+func ParallelGroupBy[T any, K comparable, A any](c *Collection[T], s *Session, workers int,
+	key func(ref Ref[T], v *T) (K, bool),
+	fold func(acc A, ref Ref[T], v *T) A,
+	merge func(into, from A) A,
+) (map[K]A, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	groups := make([]padded[map[K]A], workers)
+	err := c.ParallelForEach(s, workers, func(w int, ref Ref[T], v *T) bool {
+		k, ok := key(ref, v)
+		if !ok {
+			return true
+		}
+		g := groups[w].v
+		if g == nil {
+			g = make(map[K]A)
+			groups[w].v = g
+		}
+		g[k] = fold(g[k], ref, v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]A)
+	for w := range groups {
+		for k, a := range groups[w].v {
+			if cur, ok := out[k]; ok {
+				out[k] = merge(cur, a)
+			} else {
+				out[k] = a
+			}
+		}
+	}
+	return out, nil
+}

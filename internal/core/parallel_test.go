@@ -250,3 +250,80 @@ func TestParallelForEachStress(t *testing.T) {
 		})
 	}
 }
+
+// TestParallelGroupBy: keyed partial states must match a serial group-by
+// exactly, at every layout and worker count, including filtered rows.
+func TestParallelGroupBy(t *testing.T) {
+	for _, layout := range allLayoutsPar() {
+		t.Run(layout.String(), func(t *testing.T) {
+			rt := testRuntime(t)
+			s := rt.MustSession()
+			defer s.Close()
+			coll := MustCollection[scanRow](rt, "rows", layout)
+			const n = 3000
+			type agg struct {
+				sum   int64
+				count int64
+			}
+			want := make(map[int64]agg)
+			for i := 0; i < n; i++ {
+				coll.MustAdd(s, &scanRow{ID: int64(i), Val: int64(i * 2)})
+				if i%5 == 0 {
+					continue // filtered below
+				}
+				k := int64(i % 17)
+				a := want[k]
+				a.sum += int64(i * 2)
+				a.count++
+				want[k] = a
+			}
+			for _, workers := range []int{1, 3, 4} {
+				got, err := ParallelGroupBy(coll, s, workers,
+					func(_ Ref[scanRow], v *scanRow) (int64, bool) {
+						if v.ID%5 == 0 {
+							return 0, false
+						}
+						return v.ID % 17, true
+					},
+					func(acc agg, _ Ref[scanRow], v *scanRow) agg {
+						acc.sum += v.Val
+						acc.count++
+						return acc
+					},
+					func(a, b agg) agg { return agg{sum: a.sum + b.sum, count: a.count + b.count} },
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d groups, want %d", workers, len(got), len(want))
+				}
+				for k, w := range want {
+					if got[k] != w {
+						t.Fatalf("workers=%d: group %d = %+v, want %+v", workers, k, got[k], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGroupByEmpty: an empty collection yields an empty map, not
+// nil panics.
+func TestParallelGroupByEmpty(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := MustCollection[scanRow](rt, "rows", RowIndirect)
+	got, err := ParallelGroupBy(coll, s, 4,
+		func(_ Ref[scanRow], v *scanRow) (int64, bool) { return v.ID, true },
+		func(acc int64, _ Ref[scanRow], v *scanRow) int64 { return acc + v.Val },
+		func(a, b int64) int64 { return a + b },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty group-by returned %d groups", len(got))
+	}
+}

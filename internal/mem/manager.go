@@ -132,8 +132,21 @@ type Manager struct {
 	retiredMu      sync.Mutex
 	retiredEntries []retiredEntry
 
+	// sessPool parks idle worker sessions between parallel scans so a
+	// small scan does not pay N session registrations (epoch slot churn,
+	// cache map allocation) per invocation. Pooled sessions stay
+	// registered; the pool is bounded and drained on Close.
+	sessMu      sync.Mutex
+	sessPool    []*Session
+	sessPoolOff bool
+
 	stats Stats
 }
+
+// maxPooledSessions bounds how many idle sessions a manager parks; epoch
+// session slots are a fixed global resource (epoch.MaxSessions), so the
+// pool must never hoard them.
+const maxPooledSessions = 64
 
 // retiredEntry records one overflowed indirection entry and the context
 // whose object it last named (the rescue scan walks that context's
@@ -169,6 +182,10 @@ type Stats struct {
 	SlotsRescued   atomic.Int64
 	RefsNulled     atomic.Int64
 	OverflowScans  atomic.Int64
+
+	// Worker-session pooling (parallel scans).
+	SessionsLeased atomic.Int64
+	SessionsReused atomic.Int64
 }
 
 // NewManager builds a Manager from the configuration.
@@ -340,6 +357,17 @@ func (m *Manager) Close() error {
 	copy(ctxs, m.contexts)
 	m.mu.Unlock()
 
+	// Drain the worker-session pool while the contexts and indirection
+	// table are still alive (Session.Close returns caches to them).
+	m.sessMu.Lock()
+	pooled := m.sessPool
+	m.sessPool = nil
+	m.sessPoolOff = true
+	m.sessMu.Unlock()
+	for _, s := range pooled {
+		_ = s.Close()
+	}
+
 	m.graveMu.Lock()
 	graves := m.graveyard
 	m.graveyard = nil
@@ -379,6 +407,63 @@ func (m *Manager) NewSession() (*Session, error) {
 		allocBlocks: make(map[uint32]*Block),
 		strChunks:   make(map[uint32]*strChunk),
 	}, nil
+}
+
+// LeaseSession returns a parked idle session, or registers a fresh one
+// when the pool is empty. Pair it with ReturnSession; a leased session
+// has the exact same contract as one from NewSession (single goroutine,
+// not in a critical section).
+func (m *Manager) LeaseSession() (*Session, error) {
+	m.sessMu.Lock()
+	if n := len(m.sessPool); n > 0 {
+		s := m.sessPool[n-1]
+		m.sessPool = m.sessPool[:n-1]
+		m.sessMu.Unlock()
+		m.stats.SessionsLeased.Add(1)
+		m.stats.SessionsReused.Add(1)
+		return s, nil
+	}
+	m.sessMu.Unlock()
+	s, err := m.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	m.stats.SessionsLeased.Add(1)
+	return s, nil
+}
+
+// ReturnSession parks a session for the next LeaseSession; if the pool is
+// full (or the manager closed), the session is closed instead. The
+// session must not be inside a critical section.
+func (m *Manager) ReturnSession(s *Session) {
+	if s == nil {
+		return
+	}
+	m.sessMu.Lock()
+	if !m.sessPoolOff && len(m.sessPool) < maxPooledSessions {
+		m.sessPool = append(m.sessPool, s)
+		m.sessMu.Unlock()
+		return
+	}
+	m.sessMu.Unlock()
+	_ = s.Close()
+}
+
+// SetSessionPooling toggles worker-session pooling (on by default); when
+// turned off the current pool is drained. Benchmarks use it to measure
+// the register-per-scan cost the pool removes.
+func (m *Manager) SetSessionPooling(on bool) {
+	m.sessMu.Lock()
+	m.sessPoolOff = !on
+	var drain []*Session
+	if !on {
+		drain = m.sessPool
+		m.sessPool = nil
+	}
+	m.sessMu.Unlock()
+	for _, s := range drain {
+		_ = s.Close()
+	}
 }
 
 // Close unregisters the session, returning its caches to global pools.

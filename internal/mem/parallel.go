@@ -143,12 +143,15 @@ func (c *Context) ScanParallel(coord *Session, workers int, fn func(worker int, 
 		}
 	}
 
+	// Worker sessions come from the manager's session pool: a small scan
+	// must not pay N epoch-slot registrations per invocation, and the
+	// sessions' entry/string caches stay warm across scans.
 	sessions := make([]*Session, workers)
 	for i := range sessions {
-		ws, err := c.mgr.NewSession()
+		ws, err := c.mgr.LeaseSession()
 		if err != nil {
 			for _, s := range sessions[:i] {
-				_ = s.Close()
+				c.mgr.ReturnSession(s)
 			}
 			return fmt.Errorf("mem: parallel scan worker session: %w", err)
 		}
@@ -180,7 +183,7 @@ func (c *Context) ScanParallel(coord *Session, workers int, fn func(worker int, 
 	}
 	wg.Wait()
 	for _, s := range sessions {
-		_ = s.Close()
+		c.mgr.ReturnSession(s)
 	}
 	for _, err := range errs {
 		if err != nil {

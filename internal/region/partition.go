@@ -1,0 +1,111 @@
+package region
+
+// PartitionedTable is a Table[V] split into P hash partitions, the
+// building block of the concurrent query-memory subsystem: every scan
+// worker owns a private PartitionedTable in its own leased arena and
+// writes group/join state with zero shared mutable state; when the scan
+// ends the coordinator folds the workers' tables together with MergeInto.
+// Because every table routes a key with the same partition function, a
+// key lives in the same partition index everywhere, so the merge is a
+// cheap partition-by-partition fold (and could itself be parallelized
+// per partition).
+//
+// Partition routing uses the upper hash bits, in-partition probing the
+// lower ones, so partitioning does not degrade probe distribution. Like
+// Table, a PartitionedTable is single-goroutine; concurrency comes from
+// one-table-per-worker, not from sharing.
+type PartitionedTable[V any] struct {
+	parts []*Table[V]
+	mask  uint64
+}
+
+// NewPartitionedTable creates a table with parts partitions (rounded up
+// to a power of two, minimum 1) sized for about capHint total entries,
+// all storage in a.
+func NewPartitionedTable[V any](a *Arena, parts, capHint int) *PartitionedTable[V] {
+	p := 1
+	for p < parts {
+		p <<= 1
+	}
+	per := capHint / p
+	if per < 8 {
+		per = 8
+	}
+	t := &PartitionedTable[V]{parts: make([]*Table[V], p), mask: uint64(p - 1)}
+	for i := range t.parts {
+		t.parts[i] = NewTable[V](a, per)
+	}
+	return t
+}
+
+// partition routes a key to its partition index (upper hash bits).
+func (t *PartitionedTable[V]) partition(key int64) *Table[V] {
+	return t.parts[(hash(key)>>32)&t.mask]
+}
+
+// At returns a pointer to the value for key, inserting a zero value if
+// absent; same in-place accumulation contract as Table.At.
+func (t *PartitionedTable[V]) At(key int64) *V { return t.partition(key).At(key) }
+
+// Get returns a pointer to the value for key, or nil if absent.
+func (t *PartitionedTable[V]) Get(key int64) *V { return t.partition(key).Get(key) }
+
+// Len returns the number of entries across all partitions.
+func (t *PartitionedTable[V]) Len() int {
+	n := 0
+	for _, p := range t.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Parts returns the partition count.
+func (t *PartitionedTable[V]) Parts() int { return len(t.parts) }
+
+// Range calls fn for every entry until fn returns false, walking
+// partitions in index order.
+func (t *PartitionedTable[V]) Range(fn func(key int64, v *V) bool) {
+	for _, p := range t.parts {
+		stopped := false
+		p.Range(func(k int64, v *V) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// MergeInto folds every entry of t into dst, partition by partition:
+// merge is called with dst's value slot (zero-initialized when the key is
+// new there) and t's value. Both tables must have the same partition
+// count — workers built from the same coordinator spec always do. The
+// coordinator calls MergeInto once per worker in worker order, which
+// makes the merged state deterministic whenever merge itself is (for a
+// quiesced collection the workers' multiset of entries is fixed; worker
+// order fixes the fold order).
+func (t *PartitionedTable[V]) MergeInto(dst *PartitionedTable[V], merge func(dst, src *V)) {
+	if len(t.parts) != len(dst.parts) {
+		panic("region: MergeInto across mismatched partition counts")
+	}
+	for i, p := range t.parts {
+		d := dst.parts[i]
+		p.Range(func(k int64, v *V) bool {
+			merge(d.At(k), v)
+			return true
+		})
+	}
+}
+
+// Bytes returns the total arena storage footprint of all partitions.
+func (t *PartitionedTable[V]) Bytes() int64 {
+	var n int64
+	for _, p := range t.parts {
+		n += p.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package region
+
+import (
+	"testing"
+)
+
+func TestPartitionedTableBasics(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	pt := NewPartitionedTable[int64](a, 4, 64)
+	if pt.Parts() != 4 {
+		t.Fatalf("Parts() = %d, want 4", pt.Parts())
+	}
+	const n = 5000
+	for i := int64(0); i < n; i++ {
+		*pt.At(i) += i
+		*pt.At(i) += 1
+	}
+	if pt.Len() != n {
+		t.Fatalf("Len = %d, want %d", pt.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		v := pt.Get(i)
+		if v == nil || *v != i+1 {
+			t.Fatalf("Get(%d) = %v, want %d", i, v, i+1)
+		}
+	}
+	if pt.Get(n+1) != nil {
+		t.Fatal("Get of absent key not nil")
+	}
+	seen := 0
+	pt.Range(func(k int64, v *int64) bool {
+		if *v != k+1 {
+			t.Fatalf("Range(%d) = %d, want %d", k, *v, k+1)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Fatalf("Range visited %d, want %d", seen, n)
+	}
+}
+
+// TestPartitionedTableRoundsParts: partition counts round up to a power
+// of two with a floor of one.
+func TestPartitionedTableRoundsParts(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}} {
+		if got := NewPartitionedTable[int64](a, tc.in, 16).Parts(); got != tc.want {
+			t.Fatalf("parts(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// mergeRun simulates `workers` scan workers filling private partitioned
+// tables from a deterministic key stream (interleaved by `stride` to vary
+// per-worker interleaving) and merging them in worker order.
+func mergeRun(t *testing.T, a *Arena, workers, parts, stride int) map[int64]int64 {
+	t.Helper()
+	tables := make([]*PartitionedTable[int64], workers)
+	for w := range tables {
+		tables[w] = NewPartitionedTable[int64](a, parts, 32)
+	}
+	// A fixed stream of contributions: which worker absorbs a given
+	// contribution depends on workers and stride, but the multiset of
+	// (key, value) contributions never does.
+	const keys = 512
+	for i := 0; i < keys*4; i++ {
+		w := (i / stride) % workers
+		k := int64(i % keys)
+		*tables[w].At(k) += int64(k + 1)
+	}
+	dst := NewPartitionedTable[int64](a, parts, 32)
+	for _, src := range tables {
+		src.MergeInto(dst, func(d, s *int64) { *d += *s })
+	}
+	out := make(map[int64]int64, dst.Len())
+	dst.Range(func(k int64, v *int64) bool {
+		out[k] = *v
+		return true
+	})
+	return out
+}
+
+// TestPartitionedTableMergeDeterminism: the merged state must not depend
+// on how rows were interleaved across workers — only on the multiset of
+// contributions — and repeated merges of the same inputs are identical.
+func TestPartitionedTableMergeDeterminism(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	want := mergeRun(t, a, 4, 4, 1)
+	for _, tc := range []struct{ workers, parts, stride int }{
+		{4, 4, 7}, {4, 4, 13}, {2, 4, 3}, {8, 4, 5}, {1, 4, 1},
+	} {
+		got := mergeRun(t, a, tc.workers, tc.parts, tc.stride)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d keys, want %d", tc, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%+v: key %d = %d, want %d", tc, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestPartitionedTableMergeMismatchPanics: merging across different
+// partition counts is a programming error and must fail loudly.
+func TestPartitionedTableMergeMismatchPanics(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	src := NewPartitionedTable[int64](a, 2, 16)
+	dst := NewPartitionedTable[int64](a, 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched MergeInto did not panic")
+		}
+	}()
+	src.MergeInto(dst, func(d, s *int64) { *d += *s })
+}

@@ -1,0 +1,104 @@
+package region
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaPoolLeaseReturnReuses(t *testing.T) {
+	p := NewArenaPool(nil, 1024, 1<<20)
+	defer p.Close()
+	a := p.Lease()
+	a.Alloc(512, 8)
+	p.Return(a)
+	if got := p.RetainedBytes(); got != 1024 {
+		t.Fatalf("retained after return = %d, want 1024", got)
+	}
+	b := p.Lease()
+	if b != a {
+		t.Fatal("second lease did not reuse the returned arena")
+	}
+	if b.Used() != 0 {
+		t.Fatalf("reused arena not reset: used=%d", b.Used())
+	}
+	leases, reuses := p.Stats()
+	if leases != 2 || reuses != 1 {
+		t.Fatalf("stats = (%d leases, %d reuses), want (2, 1)", leases, reuses)
+	}
+	p.Return(b)
+}
+
+// TestArenaPoolBoundsRetainedFootprint: returned arenas past the bound
+// are released, not parked, so the idle set's footprint stays bounded no
+// matter how large the queries were.
+func TestArenaPoolBoundsRetainedFootprint(t *testing.T) {
+	const chunk = 1024
+	p := NewArenaPool(nil, chunk, 3*chunk)
+	defer p.Close()
+	arenas := make([]*Arena, 8)
+	for i := range arenas {
+		arenas[i] = p.Lease()
+		arenas[i].Alloc(512, 8) // one chunk each
+	}
+	for _, a := range arenas {
+		p.Return(a)
+	}
+	if got := p.RetainedBytes(); got > 3*chunk {
+		t.Fatalf("retained %d bytes, bound is %d", got, 3*chunk)
+	}
+	if got := p.RetainedBytes(); got != 3*chunk {
+		t.Fatalf("retained %d bytes, want the full bound %d", got, 3*chunk)
+	}
+}
+
+func TestArenaPoolReturnNil(t *testing.T) {
+	p := NewArenaPool(nil, 0, 0)
+	defer p.Close()
+	p.Return(nil) // must not panic: callers defer Return unconditionally
+}
+
+func TestArenaPoolClose(t *testing.T) {
+	p := NewArenaPool(nil, 1024, 1<<20)
+	a := p.Lease()
+	a.Alloc(100, 8)
+	p.Return(a)
+	p.Close()
+	if got := p.RetainedBytes(); got != 0 {
+		t.Fatalf("retained after Close = %d, want 0", got)
+	}
+	// Pool stays usable after Close.
+	b := p.Lease()
+	b.Alloc(100, 8)
+	p.Return(b)
+	p.Close()
+}
+
+// TestArenaPoolParallelLease: concurrent lease/return must hand every
+// goroutine a private arena — the race detector plus overlap checks catch
+// any sharing.
+func TestArenaPoolParallelLease(t *testing.T) {
+	p := NewArenaPool(nil, 4096, 1<<20)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := p.Lease()
+				s := NewSlice[int64](a, 64)
+				for j := range s {
+					s[j] = int64(g)
+				}
+				for j := range s {
+					if s[j] != int64(g) {
+						t.Errorf("arena shared across goroutines")
+						break
+					}
+				}
+				p.Return(a)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

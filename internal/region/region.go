@@ -110,14 +110,29 @@ func (a *Arena) Alloc(size, align uintptr) unsafe.Pointer {
 	}
 }
 
-// Reset recycles all bump chunks for reuse and returns dedicated
-// (oversized) chunks to the OS: the arena is empty again. Pointers
-// previously handed out become invalid.
+// Reset empties the arena: pointers previously handed out become
+// invalid. Dedicated (oversized) chunks go back to the OS, and the
+// retained bump chunks decay to what the cycle since the previous Reset
+// actually touched (floor: one chunk). A single huge query therefore no
+// longer pins its peak footprint for the process lifetime — the retained
+// memory tracks the working set of the most recent cycle.
 func (a *Arena) Reset() {
 	for _, r := range a.big {
 		_ = a.alloc.Free(r)
 	}
 	a.big = nil
+	// Decay: chunks [0, cur] were bumped since the last Reset; everything
+	// past them is idle capacity from an earlier, larger cycle.
+	keep := a.cur + 1
+	if keep < 1 {
+		keep = 1
+	}
+	if keep < len(a.chunks) {
+		for _, r := range a.chunks[keep:] {
+			_ = a.alloc.Free(r)
+		}
+		a.chunks = a.chunks[:keep]
+	}
 	a.cur = -1
 	a.off = 0
 	a.used = 0

@@ -92,6 +92,47 @@ func TestArenaResetRecyclesChunks(t *testing.T) {
 	}
 }
 
+// TestArenaResetDecaysFootprint is the footprint-retention regression
+// test: one large cycle must not pin peak memory forever. Reset retains
+// what the previous cycle touched, so after a large cycle followed by a
+// small one the footprint decays back to a single chunk.
+func TestArenaResetDecaysFootprint(t *testing.T) {
+	const chunk = 1024
+	a := NewArena(nil, chunk)
+	defer a.Release()
+	for i := 0; i < 200; i++ {
+		a.Alloc(512, 8)
+	}
+	peak := a.Footprint()
+	if peak < 100*chunk {
+		t.Fatalf("peak footprint %d unexpectedly small", peak)
+	}
+	// First reset still retains the peak working set (it was all touched
+	// last cycle)...
+	a.Reset()
+	if a.Footprint() != peak {
+		t.Fatalf("footprint after first Reset = %d, want the working set %d", a.Footprint(), peak)
+	}
+	// ...a small cycle then decays retention to what it used.
+	a.Alloc(512, 8)
+	a.Reset()
+	if fp := a.Footprint(); fp != chunk {
+		t.Fatalf("footprint after small cycle = %d, want one chunk (%d)", fp, chunk)
+	}
+	// An idle cycle (no allocations at all) keeps the one-chunk floor.
+	a.Reset()
+	if fp := a.Footprint(); fp != chunk {
+		t.Fatalf("footprint after idle cycle = %d, want one chunk (%d)", fp, chunk)
+	}
+	// The arena stays fully usable after decay.
+	p := (*[512]byte)(a.Alloc(512, 8))
+	for i := range p {
+		if p[i] != 0 {
+			t.Fatal("post-decay allocation not zeroed")
+		}
+	}
+}
+
 func TestArenaBadAlignPanics(t *testing.T) {
 	a := NewArena(nil, 1024)
 	defer a.Release()

@@ -2,7 +2,11 @@ package tpch
 
 import (
 	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -35,5 +39,222 @@ func TestParallelQueriesMatchSerial(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// joinWorkerCounts sweeps 1..NumCPU (and at least 1..4 so block-sharded
+// merge paths are exercised even on small CI machines).
+func joinWorkerCounts() []int {
+	max := runtime.NumCPU()
+	if max < 4 {
+		max = 4
+	}
+	ws := make([]int, 0, max)
+	for w := 1; w <= max; w++ {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestParallelJoinQueriesMatchSerial: Q3Par/Q5Par/Q10Par must produce
+// exactly the serial rows at every worker count and layout — the join
+// kernels are shared, the parallel drivers only change who scans which
+// block and where the group state lives.
+func TestParallelJoinQueriesMatchSerial(t *testing.T) {
+	d := testDataset(t)
+	p := DefaultParams()
+	for _, layout := range []core.Layout{core.RowIndirect, core.RowDirect, core.Columnar} {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			rt := core.MustRuntime(core.Options{HeapBackend: true})
+			defer rt.Close()
+			s := rt.MustSession()
+			defer s.Close()
+			sdb, err := LoadSMC(rt, s, d, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := NewSMCQueries(sdb)
+			wantQ3 := q.Q3(s, p)
+			wantQ5 := q.Q5(s, p)
+			wantQ10 := q.Q10(s, p)
+			if len(wantQ3) == 0 || len(wantQ5) == 0 || len(wantQ10) == 0 {
+				t.Fatalf("serial baselines empty (Q3=%d Q5=%d Q10=%d rows): dataset too small to exercise the joins",
+					len(wantQ3), len(wantQ5), len(wantQ10))
+			}
+			for _, workers := range joinWorkerCounts() {
+				if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
+					t.Fatalf("Q3Par(workers=%d) diverges from Q3:\n got %+v\nwant %+v", workers, got, wantQ3)
+				}
+				if got := q.Q5Par(s, p, workers); !reflect.DeepEqual(got, wantQ5) {
+					t.Fatalf("Q5Par(workers=%d) diverges from Q5:\n got %+v\nwant %+v", workers, got, wantQ5)
+				}
+				if got := q.Q10Par(s, p, workers); !reflect.DeepEqual(got, wantQ10) {
+					t.Fatalf("Q10Par(workers=%d) diverges from Q10:\n got %+v\nwant %+v", workers, got, wantQ10)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelJoinConcurrentSerialQueries: concurrent *serial* queries
+// on one SMCQueries must not race — each leases its own region from the
+// pool (the old shared q.arena design made this a data race).
+func TestParallelJoinConcurrentSerialQueries(t *testing.T) {
+	d := testDataset(t)
+	p := DefaultParams()
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSMCQueries(sdb)
+	wantQ3, wantQ4 := q.Q3(s, p), q.Q4(s, p)
+	wantQ5, wantQ9, wantQ10 := q.Q5(s, p), q.Q9(s, p), q.Q10(s, p)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gs := rt.MustSession()
+			defer gs.Close()
+			for i := 0; i < 3; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					if got := q.Q3(gs, p); !reflect.DeepEqual(got, wantQ3) {
+						t.Errorf("concurrent Q3 diverged")
+					}
+				case 1:
+					if got := q.Q4(gs, p); !reflect.DeepEqual(got, wantQ4) {
+						t.Errorf("concurrent Q4 diverged")
+					}
+				case 2:
+					if got := q.Q5(gs, p); !reflect.DeepEqual(got, wantQ5) {
+						t.Errorf("concurrent Q5 diverged")
+					}
+				case 3:
+					if got := q.Q9(gs, p); !reflect.DeepEqual(got, wantQ9) {
+						t.Errorf("concurrent Q9 diverged")
+					}
+				default:
+					if got := q.Q10(gs, p); !reflect.DeepEqual(got, wantQ10) {
+						t.Errorf("concurrent Q10 diverged")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelJoinStress runs the parallel join queries against
+// concurrent add/remove churn and an active compactor. The churned
+// lineitems are crafted to fail every query's filters (null order
+// references, zero ship dates, non-'R' return flags), so the stable rows
+// fully determine the answers: every parallel run must return exactly
+// the serial baseline while blocks appear, empty and compact underneath
+// it.
+func TestParallelJoinStress(t *testing.T) {
+	d := testDataset(t)
+	p := DefaultParams()
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSMCQueries(sdb)
+	wantQ3, wantQ5, wantQ10 := q.Q3(s, p), q.Q5(s, p), q.Q10(s, p)
+
+	stop := make(chan struct{})
+	var fail atomic.Value
+	var wg sync.WaitGroup
+
+	// Churners: transient lineitems invisible to Q3/Q5/Q10.
+	const churners = 2
+	for w := 0; w < churners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cs, err := rt.NewSession()
+			if err != nil {
+				fail.Store(err.Error())
+				return
+			}
+			defer cs.Close()
+			var pool []core.Ref[SLineitem]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ref, err := sdb.Lineitems.Add(cs, &SLineitem{
+					OrderKey:   int64(1)<<40 | int64(w),
+					ReturnFlag: 'N',
+					LineStatus: 'F',
+				})
+				if err != nil {
+					fail.Store(err.Error())
+					return
+				}
+				pool = append(pool, ref)
+				if len(pool) > 16 {
+					victim := pool[0]
+					pool = pool[1:]
+					if err := sdb.Lineitems.Remove(cs, victim); err != nil {
+						fail.Store(err.Error())
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Compactor loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := rt.CompactNow(); err != nil {
+					fail.Store(err.Error())
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	runs := 0
+	for time.Now().Before(deadline) && fail.Load() == nil {
+		workers := 1 + runs%4
+		if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
+			t.Fatalf("run %d: Q3Par(workers=%d) diverged under churn", runs, workers)
+		}
+		if got := q.Q5Par(s, p, workers); !reflect.DeepEqual(got, wantQ5) {
+			t.Fatalf("run %d: Q5Par(workers=%d) diverged under churn", runs, workers)
+		}
+		if got := q.Q10Par(s, p, workers); !reflect.DeepEqual(got, wantQ10) {
+			t.Fatalf("run %d: Q10Par(workers=%d) diverged under churn", runs, workers)
+		}
+		runs++
+	}
+	close(stop)
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if runs == 0 {
+		t.Fatal("no parallel join runs completed")
 	}
 }

@@ -23,17 +23,19 @@ import (
 // enumerator (§4).
 
 // SMCQueries caches the resolved field handles ("compiled" offsets) for
-// one SMCDB, plus the per-query-stream memory region its intermediates
-// live in ("use memory regions for all intermediate data during query
-// processing", §7). Build it once, run queries many times; queries on the
-// same SMCQueries must not run concurrently (the region is reused — give
-// each worker its own SMCQueries, as each paper thread has its own
-// generated query state).
+// one SMCDB, plus the arena pool its query intermediates lease from
+// ("use memory regions for all intermediate data during query
+// processing", §7 — rethought for multi-core). Build it once, run
+// queries many times; unlike the old one-arena-per-stream design, every
+// query leases private region state from the pool, so concurrent queries
+// on one SMCQueries — serial ones on separate sessions, or the *Par
+// drivers' scan workers — never share mutable intermediates.
 type SMCQueries struct {
 	db *SMCDB
-	// arena holds query intermediates; reset at the start of each query
-	// that uses region-backed state.
-	arena *region.Arena
+	// arenas leases per-query (and, in the *Par drivers, per-worker)
+	// regions for intermediates; returned arenas are reset and recycled
+	// under the pool's bounded retained footprint.
+	arenas *region.ArenaPool
 	// rowFast enables the open-coded indirect fast path (row targets).
 	rowFast bool
 
@@ -79,7 +81,7 @@ func NewSMCQueries(db *SMCDB) *SMCQueries {
 	ps := db.PartSupps.Schema()
 	return &SMCQueries{
 		db:        db,
-		arena:     region.NewArena(nil, 0),
+		arenas:    region.NewArenaPool(nil, 0, 0),
 		rowFast:   db.Layout != core.Columnar,
 		lShip:     l.MustField("ShipDate"),
 		lCommit:   l.MustField("CommitDate"),
@@ -338,14 +340,15 @@ type q3Acc struct {
 }
 
 // Q3 — shipping priority, lineitem→order→customer reference joins. The
-// group-by state lives in a memory region (§7's unsafe-query
+// group-by state lives in a leased memory region (§7's unsafe-query
 // optimization): one table in arena memory, discarded wholesale when the
-// query ends.
+// query ends. The per-block kernel is shared with Q3Par
+// (queries_smc_joins.go).
 func (q *SMCQueries) Q3(s *core.Session, p Params) []Q3Row {
-	q.arena.Reset()
-	groups := region.NewTable[q3Acc](q.arena, 1024)
+	a := q.arenas.Lease()
+	defer q.arenas.Return(a)
+	groups := region.NewPartitionedTable[q3Acc](a, 1, joinTableHint)
 	segment := []byte(p.Q3Segment)
-	one := decimal.FromInt64(1)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -354,48 +357,11 @@ func (q *SMCQueries) Q3(s *core.Session, p Params) []Q3Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			if dateAt(blk, i, q.lShip) <= p.Q3Date {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			if *(*types.Date)(oobj.Field(q.oDate)) >= p.Q3Date {
-				continue
-			}
-			cobj, err := q.deref(s, &q.frOCust, oobj)
-			if err != nil {
-				continue
-			}
-			if !bytes.Equal(objStr(cobj, q.cSeg), segment) {
-				continue
-			}
-			ok64 := *(*int64)(oobj.Field(q.oKey))
-			a := groups.At(ok64)
-			if !a.seen {
-				a.seen = true
-				a.date = *(*types.Date)(oobj.Field(q.oDate))
-				a.sprio = *(*int32)(oobj.Field(q.oSprio))
-			}
-			rev := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			decimal.AddAssign(&a.rev, &rev)
-		}
+		q.q3Block(s, blk, p.Q3Date, segment, groups)
 	}
 	en.Close()
 	s.Exit()
-
-	rows := make([]Q3Row, 0, groups.Len())
-	groups.Range(func(k int64, a *q3Acc) bool {
-		rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
-		return true
-	})
-	return SortQ3(rows)
+	return q3Rows(groups)
 }
 
 // Q3MapIntermediates is the ablation variant of Q3 with Go-heap map
@@ -461,8 +427,9 @@ func (q *SMCQueries) Q3MapIntermediates(s *core.Session, p Params) []Q3Row {
 // key set is region-backed (§7).
 func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
 	hi := p.Q4Date.AddMonths(3)
-	q.arena.Reset()
-	late := region.NewSet(q.arena, 1024)
+	a := q.arenas.Lease()
+	defer q.arenas.Return(a)
+	late := region.NewSet(a, 1024)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -522,12 +489,16 @@ func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
 	return rows
 }
 
-// Q5 — local supplier volume: five-way reference join.
+// Q5 — local supplier volume: five-way reference join. The revenue
+// accumulators live in a leased region keyed by nation key (pointer-free,
+// §7); names resolve in a finishing pass over the tiny nation collection.
+// The per-block kernel is shared with Q5Par (queries_smc_joins.go).
 func (q *SMCQueries) Q5(s *core.Session, p Params) []Q5Row {
-	hi := p.Q5Date.AddYears(1)
-	region := []byte(p.Q5Region)
-	rev := make(map[string]*decimal.Dec128)
-	one := decimal.FromInt64(1)
+	a := q.arenas.Lease()
+	defer q.arenas.Return(a)
+	rev := region.NewPartitionedTable[decimal.Dec128](a, 1, 64)
+	lo, hi := p.Q5Date, p.Q5Date.AddYears(1)
+	regionName := []byte(p.Q5Region)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -536,65 +507,11 @@ func (q *SMCQueries) Q5(s *core.Session, p Params) []Q5Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			od := *(*types.Date)(oobj.Field(q.oDate))
-			if od < p.Q5Date || od >= hi {
-				continue
-			}
-			sobj, err := q.deref(s, &q.frLSupp, l)
-			if err != nil {
-				continue
-			}
-			snobj, err := q.deref(s, &q.frSNation, sobj)
-			if err != nil {
-				continue
-			}
-			robj, err := q.deref(s, &q.frNRegion, snobj)
-			if err != nil {
-				continue
-			}
-			if !bytes.Equal(objStr(robj, q.rName), region) {
-				continue
-			}
-			cobj, err := q.deref(s, &q.frOCust, oobj)
-			if err != nil {
-				continue
-			}
-			cnobj, err := q.deref(s, &q.frCNation, cobj)
-			if err != nil {
-				continue
-			}
-			if *(*int64)(cnobj.Field(q.nKey)) !=
-				*(*int64)(snobj.Field(q.nKey)) {
-				continue
-			}
-			name := string(objStr(snobj, q.nName))
-			a := rev[name]
-			if a == nil {
-				a = &decimal.Dec128{}
-				rev[name] = a
-			}
-			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			decimal.AddAssign(a, &r)
-		}
+		q.q5Block(s, blk, lo, hi, regionName, rev)
 	}
 	en.Close()
 	s.Exit()
-
-	rows := make([]Q5Row, 0, len(rev))
-	for n, v := range rev {
-		rows = append(rows, Q5Row{Nation: n, Revenue: *v})
-	}
-	SortQ5(rows)
-	return rows
+	return q.q5Finish(s, rev)
 }
 
 // Q6 — forecasting revenue change: pure scan with decimal predicates.

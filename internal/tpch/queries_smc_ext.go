@@ -193,11 +193,12 @@ func packPSKey(part, supp int64) int64 {
 func (q *SMCQueries) Q9(s *core.Session, p Params) []Q9Row {
 	color := []byte(p.Q9Color)
 	one := decimal.FromInt64(1)
-	q.arena.Reset()
+	ar := q.arenas.Lease()
+	defer q.arenas.Return(ar)
 
 	s.Enter()
 	// Build the (partkey, suppkey) -> supplycost table in the region.
-	cost := region.NewTable[decimal.Dec128](q.arena, 4096)
+	cost := region.NewTable[decimal.Dec128](ar, 4096)
 	en := q.db.PartSupps.Enumerate(s)
 	for {
 		blk, ok := en.NextBlock()
@@ -295,77 +296,30 @@ func (q *SMCQueries) Q9(s *core.Session, p Params) []Q9Row {
 }
 
 // Q10 — returned-item report: group returned lineitems of one quarter by
-// customer. Group keys are customer object locations, valid for the whole
-// critical section; the output rows copy the customer fields out before
-// the section ends, as the paper's generated code materializes result
-// objects before returning control (§4).
+// customer. Revenue accumulators live in a leased region keyed by
+// customer key (pointer-free, §7); the finishing pass joins the table
+// back to the customer collection and materializes the output rows
+// inside its critical section, as the paper's generated code
+// materializes result objects before returning control (§4). The
+// per-block kernel is shared with Q10Par (queries_smc_joins.go).
 func (q *SMCQueries) Q10(s *core.Session, p Params) []Q10Row {
-	hi := p.Q10Date.AddMonths(3)
-	one := decimal.FromInt64(1)
+	ar := q.arenas.Lease()
+	defer q.arenas.Return(ar)
+	rev := region.NewPartitionedTable[decimal.Dec128](ar, 1, joinTableHint)
+	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
 
 	s.Enter()
-	type acc struct {
-		rev  decimal.Dec128
-		cust mem.Obj
-	}
-	rev := make(map[int64]*acc)
 	en := q.db.Lineitems.Enumerate(s)
 	for {
 		blk, ok := en.NextBlock()
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			if i32At(blk, i, q.lRet) != 'R' {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			od := *(*types.Date)(oobj.Field(q.oDate))
-			if od < p.Q10Date || od >= hi {
-				continue
-			}
-			cobj, err := q.deref(s, &q.frOCust, oobj)
-			if err != nil {
-				continue
-			}
-			ck := *(*int64)(cobj.Field(q.cKey))
-			a := rev[ck]
-			if a == nil {
-				a = &acc{cust: cobj}
-				rev[ck] = a
-			}
-			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			decimal.AddAssign(&a.rev, &r)
-		}
+		q.q10Block(s, blk, lo, hi, rev)
 	}
 	en.Close()
-
-	rows := make([]Q10Row, 0, len(rev))
-	for ck, a := range rev {
-		c := a.cust
-		row := Q10Row{
-			CustKey: ck,
-			Name:    string(objStr(c, q.cName)),
-			Revenue: a.rev,
-			AcctBal: *(*decimal.Dec128)(c.Field(q.cBal)),
-			Address: string(objStr(c, q.cAddr)),
-			Phone:   string(objStr(c, q.cPhone)),
-			Comment: string(objStr(c, q.cCmnt)),
-		}
-		if cnobj, err := q.deref(s, &q.frCNation, c); err == nil {
-			row.Nation = string(objStr(cnobj, q.nName))
-		}
-		rows = append(rows, row)
-	}
 	s.Exit()
-	return SortQ10(rows)
+	return q.q10Finish(s, rev)
 }
 
 // AllX runs Q7–Q10.

@@ -1,0 +1,384 @@
+package tpch
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/mem"
+	"repro/internal/region"
+	"repro/internal/types"
+)
+
+// Parallel compiled join queries (Q3, Q5, Q10) over the concurrent
+// query-memory subsystem. The §7 unsafe-query optimization — region-
+// allocated intermediates discarded wholesale — is rethought for
+// multi-core:
+//
+//   - every scan worker leases a private arena from the query object's
+//     ArenaPool and builds a region.PartitionedTable of group state in
+//     it, so the hot join loop writes zero shared mutable state;
+//   - the per-block kernels (q3Block, q5Block, q10Block) are shared
+//     verbatim between the serial queries and the *Par drivers, exactly
+//     as Q1Par/Q6Par share q1Block/q6Block;
+//   - after the scan the coordinator folds the workers' tables together
+//     partition by partition in worker order (deterministic merge) and
+//     emits rows from the merged state.
+//
+// The drivers ride mem.ScanParallel (via Collection.ParallelBlocks for
+// the per-worker core.Session wrappers the deref fast path needs): one
+// §5.2 decision pass, N pooled worker sessions, atomic-cursor work
+// stealing.
+
+// joinTableHint sizes a worker's partitioned group table.
+const joinTableHint = 1024
+
+// mergeWorkerTables folds the non-nil worker tables into the lowest-
+// indexed one, in worker order, and returns it (nil when no worker built
+// state). Worker order makes the fold deterministic for a quiesced
+// collection.
+func mergeWorkerTables[V any](tables []*region.PartitionedTable[V], merge func(dst, src *V)) *region.PartitionedTable[V] {
+	var dst *region.PartitionedTable[V]
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		if dst == nil {
+			dst = t
+			continue
+		}
+		t.MergeInto(dst, merge)
+	}
+	return dst
+}
+
+// mergeDec accumulates one worker's revenue partial into the merged
+// state; decimal addition is exact, so merge order cannot change results.
+func mergeDec(dst, src *decimal.Dec128) { decimal.AddAssign(dst, src) }
+
+// mergeQ3Acc folds one worker's Q3 group partial into the merged state.
+// date and sprio are functionally dependent on the group key (they come
+// from the one order with that key), so first-wins is deterministic.
+func mergeQ3Acc(dst, src *q3Acc) {
+	if !dst.seen {
+		dst.seen, dst.date, dst.sprio = src.seen, src.date, src.sprio
+	}
+	decimal.AddAssign(&dst.rev, &src.rev)
+}
+
+// q3Block scans one lineitem block into a Q3 group table: the compiled
+// per-block join kernel (lineitem→order→customer), shared by the serial
+// and parallel drivers. s must be the session whose critical section
+// covers blk.
+func (q *SMCQueries) q3Block(s *core.Session, blk *mem.Block, date types.Date, segment []byte, groups *region.PartitionedTable[q3Acc]) {
+	one := decimal.FromInt64(1)
+	n := blk.Capacity()
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		if dateAt(blk, i, q.lShip) <= date {
+			continue
+		}
+		l := mem.Obj{Blk: blk, Slot: i}
+		oobj, err := q.deref(s, &q.frLOrder, l)
+		if err != nil {
+			continue
+		}
+		if *(*types.Date)(oobj.Field(q.oDate)) >= date {
+			continue
+		}
+		cobj, err := q.deref(s, &q.frOCust, oobj)
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(objStr(cobj, q.cSeg), segment) {
+			continue
+		}
+		a := groups.At(*(*int64)(oobj.Field(q.oKey)))
+		if !a.seen {
+			a.seen = true
+			a.date = *(*types.Date)(oobj.Field(q.oDate))
+			a.sprio = *(*int32)(oobj.Field(q.oSprio))
+		}
+		rev := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+		decimal.AddAssign(&a.rev, &rev)
+	}
+}
+
+// q3Rows materializes the (merged) Q3 group state; nil means no group
+// survived the filters.
+func q3Rows(groups *region.PartitionedTable[q3Acc]) []Q3Row {
+	var rows []Q3Row
+	if groups != nil {
+		rows = make([]Q3Row, 0, groups.Len())
+		groups.Range(func(k int64, a *q3Acc) bool {
+			rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
+			return true
+		})
+	} else {
+		rows = make([]Q3Row, 0)
+	}
+	return SortQ3(rows)
+}
+
+// q5Block scans one lineitem block into a Q5 revenue table keyed by the
+// supplier's nation key: the compiled per-block five-way join kernel,
+// shared by the serial and parallel drivers.
+func (q *SMCQueries) q5Block(s *core.Session, blk *mem.Block, lo, hi types.Date, regionName []byte, rev *region.PartitionedTable[decimal.Dec128]) {
+	one := decimal.FromInt64(1)
+	n := blk.Capacity()
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		l := mem.Obj{Blk: blk, Slot: i}
+		oobj, err := q.deref(s, &q.frLOrder, l)
+		if err != nil {
+			continue
+		}
+		od := *(*types.Date)(oobj.Field(q.oDate))
+		if od < lo || od >= hi {
+			continue
+		}
+		sobj, err := q.deref(s, &q.frLSupp, l)
+		if err != nil {
+			continue
+		}
+		snobj, err := q.deref(s, &q.frSNation, sobj)
+		if err != nil {
+			continue
+		}
+		robj, err := q.deref(s, &q.frNRegion, snobj)
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(objStr(robj, q.rName), regionName) {
+			continue
+		}
+		cobj, err := q.deref(s, &q.frOCust, oobj)
+		if err != nil {
+			continue
+		}
+		cnobj, err := q.deref(s, &q.frCNation, cobj)
+		if err != nil {
+			continue
+		}
+		snKey := *(*int64)(snobj.Field(q.nKey))
+		if *(*int64)(cnobj.Field(q.nKey)) != snKey {
+			continue
+		}
+		r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+		decimal.AddAssign(rev.At(snKey), &r)
+	}
+}
+
+// q5Finish resolves nation keys to names by scanning the (tiny) nation
+// collection and emits the ordered Q5 rows. It runs in its own critical
+// section, after the lineitem scan's sections have closed: on a quiesced
+// collection results are exactly the pre-refactor rows, while under
+// concurrent mutation a nation removed in the gap between the two
+// sections is simply not emitted — the removed-object semantics (§2)
+// the rest of the query surface already has, and the price of sharing
+// this pass with the parallel drivers (whose scan pins are already
+// released by the time the merge completes).
+func (q *SMCQueries) q5Finish(s *core.Session, rev *region.PartitionedTable[decimal.Dec128]) []Q5Row {
+	rows := make([]Q5Row, 0)
+	if rev != nil && rev.Len() > 0 {
+		s.Enter()
+		en := q.db.Nations.Enumerate(s)
+		for {
+			blk, ok := en.NextBlock()
+			if !ok {
+				break
+			}
+			for i := 0; i < blk.Capacity(); i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				if v := rev.Get(i64At(blk, i, q.nKey)); v != nil {
+					rows = append(rows, Q5Row{Nation: string(strAt(blk, i, q.nName)), Revenue: *v})
+				}
+			}
+		}
+		en.Close()
+		s.Exit()
+	}
+	SortQ5(rows)
+	return rows
+}
+
+// q10Block scans one lineitem block into a Q10 revenue table keyed by
+// customer key: the compiled per-block join kernel for the returned-item
+// report, shared by the serial and parallel drivers.
+func (q *SMCQueries) q10Block(s *core.Session, blk *mem.Block, lo, hi types.Date, rev *region.PartitionedTable[decimal.Dec128]) {
+	one := decimal.FromInt64(1)
+	n := blk.Capacity()
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		if i32At(blk, i, q.lRet) != 'R' {
+			continue
+		}
+		l := mem.Obj{Blk: blk, Slot: i}
+		oobj, err := q.deref(s, &q.frLOrder, l)
+		if err != nil {
+			continue
+		}
+		od := *(*types.Date)(oobj.Field(q.oDate))
+		if od < lo || od >= hi {
+			continue
+		}
+		cobj, err := q.deref(s, &q.frOCust, oobj)
+		if err != nil {
+			continue
+		}
+		r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
+		decimal.AddAssign(rev.At(*(*int64)(cobj.Field(q.cKey))), &r)
+	}
+}
+
+// q10Finish joins the revenue table back to the customer collection
+// (scanning customers is how the group attributes are materialized — the
+// group state itself stays pointer-free in the region) and emits the
+// ordered rows. Like q5Finish it runs in its own critical section after
+// the scan: a customer removed in the gap is not emitted (removed-object
+// semantics, §2), where the old single-section serial Q10 would have
+// emitted its captured fields — both are valid outcomes of a query
+// racing a remove, and on quiesced data the rows are identical.
+func (q *SMCQueries) q10Finish(s *core.Session, rev *region.PartitionedTable[decimal.Dec128]) []Q10Row {
+	rows := make([]Q10Row, 0)
+	if rev != nil && rev.Len() > 0 {
+		s.Enter()
+		en := q.db.Customers.Enumerate(s)
+		for {
+			blk, ok := en.NextBlock()
+			if !ok {
+				break
+			}
+			for i := 0; i < blk.Capacity(); i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				ck := i64At(blk, i, q.cKey)
+				v := rev.Get(ck)
+				if v == nil {
+					continue
+				}
+				c := mem.Obj{Blk: blk, Slot: i}
+				row := Q10Row{
+					CustKey: ck,
+					Name:    string(objStr(c, q.cName)),
+					Revenue: *v,
+					AcctBal: *(*decimal.Dec128)(c.Field(q.cBal)),
+					Address: string(objStr(c, q.cAddr)),
+					Phone:   string(objStr(c, q.cPhone)),
+					Comment: string(objStr(c, q.cCmnt)),
+				}
+				if cnobj, err := q.deref(s, &q.frCNation, c); err == nil {
+					row.Nation = string(objStr(cnobj, q.nName))
+				}
+				rows = append(rows, row)
+			}
+		}
+		en.Close()
+		s.Exit()
+	}
+	return SortQ10(rows)
+}
+
+// joinScan fans the lineitem scan out over `workers`, each building group
+// state of type V in a private partitioned table inside a leased arena,
+// and returns the merged table (nil if no worker saw qualifying rows).
+// The returned release func gives every leased arena back to the pool —
+// call it after the merged table has been fully consumed.
+func joinScan[V any](q *SMCQueries, s *core.Session, workers int,
+	kernel func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[V]),
+	merge func(dst, src *V),
+) (merged *region.PartitionedTable[V], release func(), err error) {
+	// Every worker table (and the merge destination) is built with the
+	// same parts argument, so NewPartitionedTable's power-of-two rounding
+	// keeps MergeInto's equal-partition-count invariant for free, with at
+	// least one partition per worker.
+	parts := workers
+	arenas := make([]*region.Arena, workers)
+	tables := make([]*region.PartitionedTable[V], workers)
+	release = func() {
+		for _, a := range arenas {
+			q.arenas.Return(a)
+		}
+	}
+	err = q.db.Lineitems.ParallelBlocks(s, workers, func(w int, ws *core.Session, blk *mem.Block) error {
+		t := tables[w]
+		if t == nil {
+			arenas[w] = q.arenas.Lease()
+			t = region.NewPartitionedTable[V](arenas[w], parts, joinTableHint)
+			tables[w] = t
+		}
+		kernel(ws, blk, t)
+		return nil
+	})
+	if err != nil {
+		release()
+		return nil, func() {}, err
+	}
+	return mergeWorkerTables(tables, merge), release, nil
+}
+
+// Q3Par is Q3 fanned out over `workers` block-sharded scan workers with
+// per-worker leased arenas and an ordered partition merge. Results are
+// identical to Q3 on a quiesced collection; under concurrent mutation
+// both have the enumerator's bag semantics.
+func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
+	if workers < 1 {
+		workers = 1
+	}
+	segment := []byte(p.Q3Segment)
+	merged, release, err := joinScan(q, s, workers,
+		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[q3Acc]) {
+			q.q3Block(ws, blk, p.Q3Date, segment, t)
+		}, mergeQ3Acc)
+	if err != nil {
+		// Worker sessions were unavailable (slot exhaustion): degrade to
+		// the serial driver rather than failing the query.
+		return q.Q3(s, p)
+	}
+	defer release()
+	return q3Rows(merged)
+}
+
+// Q5Par is Q5 fanned out over `workers` block-sharded scan workers.
+func (q *SMCQueries) Q5Par(s *core.Session, p Params, workers int) []Q5Row {
+	if workers < 1 {
+		workers = 1
+	}
+	lo, hi := p.Q5Date, p.Q5Date.AddYears(1)
+	regionName := []byte(p.Q5Region)
+	merged, release, err := joinScan(q, s, workers,
+		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
+			q.q5Block(ws, blk, lo, hi, regionName, t)
+		}, mergeDec)
+	if err != nil {
+		return q.Q5(s, p)
+	}
+	defer release()
+	return q.q5Finish(s, merged)
+}
+
+// Q10Par is Q10 fanned out over `workers` block-sharded scan workers.
+func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
+	if workers < 1 {
+		workers = 1
+	}
+	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
+	merged, release, err := joinScan(q, s, workers,
+		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
+			q.q10Block(ws, blk, lo, hi, t)
+		}, mergeDec)
+	if err != nil {
+		return q.Q10(s, p)
+	}
+	defer release()
+	return q.q10Finish(s, merged)
+}
