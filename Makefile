@@ -10,22 +10,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: build
+test: build vet
 	$(GO) test ./...
 
-# The parallel-scan and parallel-join stress tests (exactly-once and
-# exact serial results under churn + compaction) under the race
-# detector.
+# The parallel-scan, pipeline and parallel-join stress tests
+# (exactly-once and exact serial results under churn + compaction) under
+# the race detector.
 race-stress:
-	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/tpch ./internal/region
+	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
 bench:
 	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json BENCH_parallel.json
 
-# Emit the parallel-join scaling figure (Q3/Q5/Q10 over the arena-lease +
-# partitioned-table subsystem) as BENCH_joins.json.
+# Emit the parallel-join scaling figure (Q3/Q5/Q7/Q8/Q9/Q10 over the
+# unified query-pipeline layer) as BENCH_joins.json.
 bench-joins:
 	$(GO) run ./cmd/smcbench -fig joins -sf $(SF) -reps $(REPS) -json-joins BENCH_joins.json
 

@@ -12,8 +12,10 @@
 // compiled). Beyond-paper extensions: ext (TPC-H Q7–Q10 across all
 // engines), ablation (design-choice ablations), par (parallel scan
 // scaling over 1..NumCPU workers; -json writes BENCH_parallel.json),
-// joins (parallel join scaling for Q3/Q5/Q10 over the arena-lease +
-// partitioned-table subsystem; -json-joins writes BENCH_joins.json).
+// joins (parallel join scaling for Q3/Q5/Q7/Q8/Q9/Q10 over the unified
+// query-pipeline layer; -json-joins writes BENCH_joins.json). JSON
+// output is stamped with GOMAXPROCS, NumCPU and the Go version so
+// curves are self-describing.
 package main
 
 import (

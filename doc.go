@@ -64,6 +64,42 @@
 //     session registration. internal/core.ParallelGroupBy exposes the
 //     partial-states-then-ordered-merge pattern to typed callers.
 //
+// # Unified parallel query pipeline
+//
+// internal/query extracts the fan-out/merge/finish scaffolding those
+// drivers repeated into one reusable layer, and upgrades its two serial
+// bottlenecks:
+//
+//   - A Pipeline owns one parallel query's lifecycle: the coordinator
+//     session, the worker count, and every arena leased from a
+//     region.ArenaPool on the query's behalf (returned wholesale by
+//     Close — the §7 region discipline, now scaffolding-free).
+//   - Composable stages: Table (fan-out scan building per-worker
+//     partitioned region tables), Accum (padded plain accumulators),
+//     Rows (block-sharded finishing scans over dimension collections)
+//     and ForEachPartition/PartitionRows (partition-sharded walks of
+//     merged state). Stages feed each other: Q9's partsupp cost table —
+//     a serial pre-pass before this layer — is a first Table stage whose
+//     merged result the main lineitem scan probes read-only.
+//   - Parallel merge: region.ParallelMergeInto folds worker tables per
+//     partition in parallel under a worker-order-deterministic schedule
+//     (shard goroutines own disjoint partition sets, each allocating
+//     from its own arena), with destination partitions pre-sized so the
+//     merge almost never grows. The finishing passes shard too.
+//
+// All parallel TPC-H drivers — Q1/Q6 (Accum), Q3/Q5/Q10 and the
+// pipeline-native Q7/Q8/Q9 (Table + parallel finish) — are kernel +
+// finish closures over this layer, sharing per-block kernels with the
+// serial queries, which remain the oracle: results are byte-identical
+// at every worker count. Q7–Q9's group state moved from Go-heap maps
+// into region tables keyed by packed integers to get there.
+// core.Runtime.StatsSnapshot surfaces the arena-pool lease/retained
+// metrics and the mem session-pool hit/miss counters for production
+// observability.
+//
 // The `joins` figure of cmd/smcbench (and `make bench-joins`, which
-// writes BENCH_joins.json) sweeps Q3/Q5/Q10 over 1..NumCPU workers.
+// writes BENCH_joins.json) sweeps Q3/Q5/Q7/Q8/Q9/Q10 over 1..NumCPU
+// workers; both figure JSONs are stamped with GOMAXPROCS/NumCPU/Go
+// version. examples/query_pipeline shows a custom (non-TPC-H)
+// aggregation on the pipeline.
 package repro

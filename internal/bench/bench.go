@@ -51,6 +51,24 @@ func (o Options) WithDefaults() Options {
 	return o
 }
 
+// Meta stamps a figure's machine-readable output with the environment it
+// was measured in, so a scaling curve is self-describing: a flat curve
+// recorded on a 1-CPU container reads as "1 CPU", not as a regression.
+type Meta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CurrentMeta captures the measuring environment.
+func CurrentMeta() Meta {
+	return Meta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
 // median runs fn reps times and returns the median duration.
 func median(reps int, fn func()) time.Duration {
 	times := make([]time.Duration, 0, reps)

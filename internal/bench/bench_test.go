@@ -219,6 +219,9 @@ func TestFigureParallel(t *testing.T) {
 			t.Fatalf("degenerate point %+v", pt)
 		}
 	}
+	if r.Meta.GOMAXPROCS < 1 || r.Meta.NumCPU < 1 || r.Meta.GoVersion == "" {
+		t.Fatalf("missing environment metadata: %+v", r.Meta)
+	}
 	renderOK(t, r.Render())
 	var sb strings.Builder
 	if err := r.WriteJSON(&sb); err != nil {
@@ -226,6 +229,9 @@ func TestFigureParallel(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "\"workers\": 1") {
 		t.Fatalf("JSON missing worker points: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "\"go_version\"") {
+		t.Fatalf("JSON missing environment metadata: %s", sb.String())
 	}
 }
 
@@ -241,6 +247,12 @@ func TestFigureJoins(t *testing.T) {
 		if pt.Q3IndMs <= 0 || pt.Q5DirMs <= 0 || pt.Q10IndMs <= 0 {
 			t.Fatalf("degenerate point %+v", pt)
 		}
+		if pt.Q7IndMs <= 0 || pt.Q8DirMs <= 0 || pt.Q9IndMs <= 0 {
+			t.Fatalf("degenerate Q7–Q9 point %+v", pt)
+		}
+	}
+	if r.Meta.GOMAXPROCS < 1 || r.Meta.NumCPU < 1 || r.Meta.GoVersion == "" {
+		t.Fatalf("missing environment metadata: %+v", r.Meta)
 	}
 	renderOK(t, r.Render())
 	var sb strings.Builder
@@ -249,5 +261,11 @@ func TestFigureJoins(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "\"q3_ind_ms\"") {
 		t.Fatalf("JSON missing join timings: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "\"q9_dir_ms\"") {
+		t.Fatalf("JSON missing Q7–Q9 timings: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "\"go_version\"") {
+		t.Fatalf("JSON missing environment metadata: %s", sb.String())
 	}
 }

@@ -18,27 +18,35 @@ type JoinsPoint struct {
 	Q3DirMs  float64 `json:"q3_dir_ms"`
 	Q5IndMs  float64 `json:"q5_ind_ms"`
 	Q5DirMs  float64 `json:"q5_dir_ms"`
+	Q7IndMs  float64 `json:"q7_ind_ms"`
+	Q7DirMs  float64 `json:"q7_dir_ms"`
+	Q8IndMs  float64 `json:"q8_ind_ms"`
+	Q8DirMs  float64 `json:"q8_dir_ms"`
+	Q9IndMs  float64 `json:"q9_ind_ms"`
+	Q9DirMs  float64 `json:"q9_dir_ms"`
 	Q10IndMs float64 `json:"q10_ind_ms"`
 	Q10DirMs float64 `json:"q10_dir_ms"`
 }
 
 // JoinsResult is the parallel-join scaling figure (beyond-paper): the
-// concurrent query-memory subsystem — arena leases plus partitioned
-// region tables — swept over worker counts on the reference-join queries
-// Q3, Q5 and Q10.
+// unified query pipeline — arena leases, partitioned region tables,
+// parallel per-partition merge, parallel finish — swept over worker
+// counts on the reference-join queries Q3, Q5, Q7, Q8, Q9 and Q10.
 type JoinsResult struct {
 	SF     float64      `json:"sf"`
 	CPUs   int          `json:"cpus"`
 	Reps   int          `json:"reps"`
+	Meta   Meta         `json:"meta"`
 	Points []JoinsPoint `json:"points"`
 }
 
-// FigureJoins measures the parallel join drivers Q3Par/Q5Par/Q10Par
-// (row-indirect and row-direct layouts — the join-heavy queries are
-// where §6 direct pointers matter) swept over worker counts. The
-// 1-worker point runs the scan inline on the coordinator session with
-// the same shared per-block kernels as the serial queries, so it is an
-// honest serial baseline for the lease/partition refactor.
+// FigureJoins measures the parallel join drivers Q3Par/Q5Par/Q10Par and
+// the pipeline-native Q7Par/Q8Par/Q9Par (row-indirect and row-direct
+// layouts — the join-heavy queries are where §6 direct pointers matter)
+// swept over worker counts. The 1-worker point runs the scan inline on
+// the coordinator session with the same shared per-block kernels as the
+// serial queries, so it is an honest serial baseline for the pipeline
+// refactor.
 func FigureJoins(o Options) (*JoinsResult, error) {
 	explicit := len(o.Threads) > 0
 	o = o.WithDefaults()
@@ -72,7 +80,7 @@ func FigureJoins(o Options) (*JoinsResult, error) {
 
 	sweep := workerSweep(o.Threads, explicit)
 
-	res := &JoinsResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps}
+	res := &JoinsResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps, Meta: CurrentMeta()}
 	for _, workers := range sweep {
 		w := workers
 		pt := JoinsPoint{Workers: w}
@@ -80,6 +88,12 @@ func FigureJoins(o Options) (*JoinsResult, error) {
 		pt.Q3DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q3Par(sDir, p, w) }))
 		pt.Q5IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q5Par(sInd, p, w) }))
 		pt.Q5DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q5Par(sDir, p, w) }))
+		pt.Q7IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q7Par(sInd, p, w) }))
+		pt.Q7DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q7Par(sDir, p, w) }))
+		pt.Q8IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q8Par(sInd, p, w) }))
+		pt.Q8DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q8Par(sDir, p, w) }))
+		pt.Q9IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q9Par(sInd, p, w) }))
+		pt.Q9DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q9Par(sDir, p, w) }))
 		pt.Q10IndMs = msF(median(o.Reps, func() { sinkAny = qInd.Q10Par(sInd, p, w) }))
 		pt.Q10DirMs = msF(median(o.Reps, func() { sinkAny = qDir.Q10Par(sDir, p, w) }))
 		res.Points = append(res.Points, pt)
@@ -101,10 +115,10 @@ func (r *JoinsResult) Render() *Table {
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Parallel join scaling — SF=%v, %d CPUs (ms, ×=speedup vs %d worker(s))", r.SF, r.CPUs, base.Workers),
-		Columns: []string{"workers", "Q3 ind", "×", "Q3 dir", "×", "Q5 ind", "×", "Q5 dir", "×", "Q10 ind", "×", "Q10 dir", "×"},
+		Columns: []string{"workers", "Q3 ind", "×", "Q3 dir", "×", "Q5 ind", "×", "Q5 dir", "×", "Q7 ind", "×", "Q7 dir", "×", "Q8 ind", "×", "Q8 dir", "×", "Q9 ind", "×", "Q9 dir", "×", "Q10 ind", "×", "Q10 dir", "×"},
 		Notes: []string{
-			"per-worker leased arenas + partitioned region tables, ordered merge",
-			"speedup requires free cores: GOMAXPROCS=" + fmt.Sprint(runtime.GOMAXPROCS(0)),
+			"unified pipeline: per-worker leased arenas + partitioned tables, parallel per-partition merge + finish",
+			fmt.Sprintf("speedup requires free cores: GOMAXPROCS=%d, %s", r.Meta.GOMAXPROCS, r.Meta.GoVersion),
 		},
 	}
 	sp := func(b, v float64) string {
@@ -120,6 +134,12 @@ func (r *JoinsResult) Render() *Table {
 			fmtMs(pt.Q3DirMs), sp(base.Q3DirMs, pt.Q3DirMs),
 			fmtMs(pt.Q5IndMs), sp(base.Q5IndMs, pt.Q5IndMs),
 			fmtMs(pt.Q5DirMs), sp(base.Q5DirMs, pt.Q5DirMs),
+			fmtMs(pt.Q7IndMs), sp(base.Q7IndMs, pt.Q7IndMs),
+			fmtMs(pt.Q7DirMs), sp(base.Q7DirMs, pt.Q7DirMs),
+			fmtMs(pt.Q8IndMs), sp(base.Q8IndMs, pt.Q8IndMs),
+			fmtMs(pt.Q8DirMs), sp(base.Q8DirMs, pt.Q8DirMs),
+			fmtMs(pt.Q9IndMs), sp(base.Q9IndMs, pt.Q9IndMs),
+			fmtMs(pt.Q9DirMs), sp(base.Q9DirMs, pt.Q9DirMs),
 			fmtMs(pt.Q10IndMs), sp(base.Q10IndMs, pt.Q10IndMs),
 			fmtMs(pt.Q10DirMs), sp(base.Q10DirMs, pt.Q10DirMs),
 		})

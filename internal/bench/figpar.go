@@ -53,6 +53,7 @@ type ParallelResult struct {
 	SF     float64         `json:"sf"`
 	CPUs   int             `json:"cpus"`
 	Reps   int             `json:"reps"`
+	Meta   Meta            `json:"meta"`
 	Points []ParallelPoint `json:"points"`
 }
 
@@ -96,7 +97,7 @@ func FigureParallel(o Options) (*ParallelResult, error) {
 
 	sweep := workerSweep(o.Threads, explicit)
 
-	res := &ParallelResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps}
+	res := &ParallelResult{SF: o.SF, CPUs: runtime.NumCPU(), Reps: o.Reps, Meta: CurrentMeta()}
 	for _, workers := range sweep {
 		w := workers
 		pt := ParallelPoint{Workers: w}

@@ -46,12 +46,18 @@ type Runtime struct {
 
 	mu      sync.Mutex
 	colls   []namedColl
+	pools   []namedPool   // arena pools registered for stats (stats.go)
 	pending []*refBinding // ref fields awaiting their target collection
 }
 
 type namedColl struct {
 	name string
 	ctx  *mem.Context
+}
+
+type namedPool struct {
+	name string
+	p    PoolMetrics
 }
 
 // Options configures a Runtime; zero values select the defaults

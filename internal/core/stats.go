@@ -1,0 +1,102 @@
+package core
+
+// Production observability for the query-memory subsystem: the runtime
+// aggregates its memory manager's counters with the lease/retained-
+// footprint metrics of every registered arena pool into one snapshot,
+// so a serving process can export a single stats struct instead of
+// crawling per-query-object pools.
+
+// PoolMetrics is the metrics surface an arena pool exposes to the
+// runtime (region.ArenaPool implements it; the interface keeps core free
+// of a region dependency).
+type PoolMetrics interface {
+	// Stats reports lifetime lease and reuse counts.
+	Stats() (leases, reuses int64)
+	// RetainedBytes reports the chunk footprint currently parked idle.
+	RetainedBytes() int64
+}
+
+// ArenaPoolStats is one registered pool's point-in-time metrics.
+type ArenaPoolStats struct {
+	// Name identifies the pool (e.g. "tpch.SMCQueries").
+	Name string
+	// Leases counts lifetime Lease calls; Reuses counts how many of them
+	// were served from the idle set rather than a fresh arena.
+	Leases, Reuses int64
+	// RetainedBytes is the idle footprint currently held for reuse.
+	RetainedBytes int64
+}
+
+// RuntimeStats is a point-in-time snapshot of the runtime's query-memory
+// counters.
+type RuntimeStats struct {
+	// Worker-session pooling (parallel scans): lifetime session leases
+	// and how many were pool hits (misses registered a fresh session).
+	SessionsLeased, SessionsReused int64
+	// Block registry churn.
+	BlocksAllocated, BlocksReleased int64
+	// Compaction activity.
+	Compactions, ObjectsMoved int64
+	// Per-registered-pool arena lease metrics, in registration order.
+	ArenaPools []ArenaPoolStats
+}
+
+// ArenaLeases sums lease counts across all registered pools.
+func (s *RuntimeStats) ArenaLeases() int64 {
+	var n int64
+	for _, p := range s.ArenaPools {
+		n += p.Leases
+	}
+	return n
+}
+
+// ArenaRetainedBytes sums the idle footprint across all registered
+// pools.
+func (s *RuntimeStats) ArenaRetainedBytes() int64 {
+	var n int64
+	for _, p := range s.ArenaPools {
+		n += p.RetainedBytes
+	}
+	return n
+}
+
+// RegisterArenaPool adds a pool to the runtime's stats surface. Query
+// objects register the pools they lease intermediates from at
+// construction; registration is append-only (pools live as long as
+// their query objects, which live as long as the runtime in practice).
+func (rt *Runtime) RegisterArenaPool(name string, p PoolMetrics) {
+	rt.mu.Lock()
+	rt.pools = append(rt.pools, namedPool{name, p})
+	rt.mu.Unlock()
+}
+
+// StatsSnapshot captures the runtime's query-memory counters: the
+// memory manager's session-pool hit/miss and block/compaction counters
+// plus every registered arena pool's lease and retained-footprint
+// metrics.
+func (rt *Runtime) StatsSnapshot() RuntimeStats {
+	ms := rt.mgr.Stats()
+	out := RuntimeStats{
+		SessionsLeased:  ms.SessionsLeased.Load(),
+		SessionsReused:  ms.SessionsReused.Load(),
+		BlocksAllocated: ms.BlocksAllocated.Load(),
+		BlocksReleased:  ms.BlocksReleased.Load(),
+		Compactions:     ms.Compactions.Load(),
+		ObjectsMoved:    ms.ObjectsMoved.Load(),
+	}
+	rt.mu.Lock()
+	pools := make([]namedPool, len(rt.pools))
+	copy(pools, rt.pools)
+	rt.mu.Unlock()
+	out.ArenaPools = make([]ArenaPoolStats, 0, len(pools))
+	for _, np := range pools {
+		leases, reuses := np.p.Stats()
+		out.ArenaPools = append(out.ArenaPools, ArenaPoolStats{
+			Name:          np.name,
+			Leases:        leases,
+			Reuses:        reuses,
+			RetainedBytes: np.p.RetainedBytes(),
+		})
+	}
+	return out
+}

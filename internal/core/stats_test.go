@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+// TestRuntimeStatsCountersMove: the runtime snapshot must reflect both
+// the mem session pool (hit/miss across parallel scans) and registered
+// arena pools (lease/reuse/retained footprint) — and the counters must
+// actually move when the subsystems run.
+func TestRuntimeStatsCountersMove(t *testing.T) {
+	rt := MustRuntime(Options{BlockSize: 1 << 13, HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	rt.RegisterArenaPool("test-pool", pool)
+
+	base := rt.StatsSnapshot()
+	if len(base.ArenaPools) != 1 || base.ArenaPools[0].Name != "test-pool" {
+		t.Fatalf("registered pools = %+v, want one named test-pool", base.ArenaPools)
+	}
+	if base.ArenaLeases() != 0 {
+		t.Fatalf("fresh pool reports %d leases", base.ArenaLeases())
+	}
+
+	// Arena leases: two lease/return cycles — the second must be a reuse,
+	// and the retained footprint must become visible.
+	a := pool.Lease()
+	region.NewSlice[int64](a, 1024)
+	pool.Return(a)
+	pool.Return(pool.Lease())
+	st := rt.StatsSnapshot()
+	if got := st.ArenaPools[0]; got.Leases != 2 || got.Reuses != 1 {
+		t.Fatalf("pool stats after two cycles: %+v", got)
+	}
+	if st.ArenaRetainedBytes() == 0 {
+		t.Fatal("retained footprint did not move after returning a used arena")
+	}
+
+	// Session pool: a multi-worker parallel scan leases worker sessions
+	// from the manager pool; a second scan must reuse them.
+	coll := MustCollection[scanRow](rt, "rows", RowIndirect)
+	for i := 0; i < 4000; i++ {
+		coll.MustAdd(s, &scanRow{ID: int64(i), Val: int64(i)})
+	}
+	for pass := 0; pass < 2; pass++ {
+		if err := coll.ParallelForEach(s, 4, func(int, Ref[scanRow], *scanRow) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = rt.StatsSnapshot()
+	if st.SessionsLeased == base.SessionsLeased {
+		t.Fatal("SessionsLeased did not move across parallel scans")
+	}
+	if st.SessionsReused == base.SessionsReused {
+		t.Fatal("SessionsReused did not move across repeated parallel scans")
+	}
+	if st.BlocksAllocated == 0 {
+		t.Fatal("BlocksAllocated did not move after loading a collection")
+	}
+}

@@ -1,0 +1,279 @@
+// Package query is the unified parallel query-pipeline layer: the
+// fan-out/merge/finish scaffolding every parallel compiled query shares,
+// extracted from the hand-rolled Par drivers it replaced.
+//
+// The paper's query-dominated design generates per-thread query state
+// and merges it after the scan; a pipeline stage is exactly that shape,
+// made reusable:
+//
+//   - Fan-out: a stage drives the source's block-sharded parallel scan
+//     (mem.ScanParallel underneath — one §5.2 decision pass, pooled
+//     worker sessions, atomic-cursor work stealing). Each worker builds
+//     private state: a region.PartitionedTable in a leased arena
+//     (Table), a padded plain accumulator (Accum), or a row buffer
+//     (Rows). The hot loop writes zero shared mutable state.
+//   - Merge: worker tables fold together per partition in parallel
+//     (region.ParallelMergeInto) under a worker-order-deterministic
+//     schedule; plain accumulators fold in worker order. Group state
+//     stays in region tables — it never spills back into Go-heap maps.
+//   - Finish: dimension-resolution passes shard over the dimension
+//     collection's blocks (Rows) or over the merged table's partitions
+//     (ForEachPartition / PartitionRows), both parallel.
+//
+// A Pipeline owns the memory lifecycle: every arena any stage leases
+// from the region.ArenaPool is tracked and returned by Close, so a
+// driver is "lease-free": build a pipeline, compose stages, defer
+// Close. Stages may feed each other (a merged table from one Table
+// stage can be probed read-only by the next stage's kernel — Q9's
+// partsupp cost table feeding its lineitem scan is the canonical use).
+package query
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+// Source is the scan side of a pipeline stage: anything that can shard
+// its resolved block list across workers. *core.Collection[T] implements
+// it for every element type.
+type Source interface {
+	ParallelBlocks(s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error
+}
+
+// Pipeline carries one parallel query's execution state: the
+// coordinator session, the worker count, and every arena leased on the
+// query's behalf. It is single-goroutine (the driver's), like the
+// session it wraps; the concurrency lives inside the stages.
+type Pipeline struct {
+	s       *core.Session
+	pool    *region.ArenaPool
+	workers int
+
+	mu     sync.Mutex
+	arenas []*region.Arena
+}
+
+// New builds a pipeline over the coordinator session s, leasing query
+// memory from pool, fanning stages out over `workers` (floored at 1).
+func New(s *core.Session, pool *region.ArenaPool, workers int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pipeline{s: s, pool: pool, workers: workers}
+}
+
+// Workers returns the pipeline's worker count.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// Session returns the coordinator session.
+func (p *Pipeline) Session() *core.Session { return p.s }
+
+// Lease leases an arena from the pipeline's pool and tracks it for
+// Close. Safe to call from stage workers concurrently.
+func (p *Pipeline) Lease() *region.Arena {
+	a := p.pool.Lease()
+	p.mu.Lock()
+	p.arenas = append(p.arenas, a)
+	p.mu.Unlock()
+	return a
+}
+
+// Close returns every leased arena to the pool. The pipeline's tables
+// die with their arenas, so call it only after the query's rows have
+// been fully materialized. Idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	arenas := p.arenas
+	p.arenas = nil
+	p.mu.Unlock()
+	for _, a := range arenas {
+		p.pool.Return(a)
+	}
+}
+
+// padded wraps per-worker state so adjacent workers never share a cache
+// line in the hot fold loop.
+type padded[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// Table runs a table-building stage: every scan worker leases a private
+// arena and folds blocks into a private region.PartitionedTable[V] via
+// kernel, and after the scan the workers' tables merge per partition in
+// parallel (region.ParallelMergeInto) into merge-shard arenas, in worker
+// order within each partition — deterministic whenever merge itself is.
+// The returned table lives in pipeline-tracked arenas (valid until
+// p.Close); it is nil when no worker saw a qualifying row. A non-nil
+// error means worker sessions were unavailable (epoch-slot exhaustion) —
+// callers typically degrade to their serial driver.
+func Table[V any](p *Pipeline, src Source, capHint int,
+	kernel func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[V]),
+	merge func(dst, src *V),
+) (*region.PartitionedTable[V], error) {
+	// Every worker table (and the merge destination) uses the same parts
+	// argument, so NewPartitionedTable's power-of-two rounding keeps the
+	// equal-partition-count invariant for free.
+	parts := p.workers
+	tables := make([]padded[*region.PartitionedTable[V]], p.workers)
+	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+		t := tables[w].v
+		if t == nil {
+			t = region.NewPartitionedTable[V](p.Lease(), parts, capHint)
+			tables[w].v = t
+		}
+		kernel(ws, blk, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	built := make([]*region.PartitionedTable[V], 0, p.workers)
+	for _, t := range tables {
+		if t.v != nil {
+			built = append(built, t.v)
+		}
+	}
+	switch len(built) {
+	case 0:
+		return nil, nil
+	case 1:
+		// One worker built state: its table is the merged state, and the
+		// 1-worker baseline pays zero merge overhead.
+		return built[0], nil
+	}
+	shards := p.workers
+	if n := built[0].Parts(); shards > n {
+		shards = n
+	}
+	arenas := make([]*region.Arena, shards)
+	for i := range arenas {
+		arenas[i] = p.Lease()
+	}
+	return region.ParallelMergeInto(arenas, built, merge), nil
+}
+
+// Accum runs a plain-accumulator stage: every scan worker folds blocks
+// into a private cache-line-padded A via kernel, and the partials merge
+// in worker order after the scan (only workers that received blocks
+// participate — A's zero value never reaches merge). The returned
+// pointer addresses the merged accumulator; when no worker received a
+// block it addresses A's zero value.
+func Accum[A any](p *Pipeline, src Source,
+	kernel func(w int, ws *core.Session, blk *mem.Block, acc *A),
+	merge func(dst, src *A),
+) (*A, error) {
+	type wacc struct {
+		acc  A
+		used bool
+	}
+	accs := make([]padded[wacc], p.workers)
+	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+		a := &accs[w].v
+		a.used = true
+		kernel(w, ws, blk, &a.acc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out *A
+	for w := range accs {
+		if !accs[w].v.used {
+			continue
+		}
+		if out == nil {
+			out = &accs[w].v.acc
+		} else {
+			merge(out, &accs[w].v.acc)
+		}
+	}
+	if out == nil {
+		out = &accs[0].v.acc
+	}
+	return out, nil
+}
+
+// Rows runs a finishing/dimension-resolution stage: the source's blocks
+// shard across the pipeline's workers, each emitting into a private row
+// buffer, and the buffers concatenate in worker order. Block-to-worker
+// assignment is work-stealing, so the concatenation order is not
+// deterministic — callers sort with a total order, as every compiled
+// query's finish already does. emit runs inside the worker's critical
+// section (dereferences and string reads are safe). The result is
+// always non-nil.
+func Rows[R any](p *Pipeline, src Source,
+	emit func(ws *core.Session, blk *mem.Block, out *[]R),
+) ([]R, error) {
+	bufs := make([]padded[[]R], p.workers)
+	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+		emit(ws, blk, &bufs[w].v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]R, 0)
+	for w := range bufs {
+		out = append(out, bufs[w].v...)
+	}
+	return out, nil
+}
+
+// ForEachPartition walks the merged table's partitions sharded across
+// the pipeline's workers: fn(i, partition) runs exactly once per
+// partition, concurrently across shards. fn must treat the table as
+// read-only (partitions are disjoint, so per-partition reads race with
+// nothing) and must not touch collections — partition walks need no
+// session. A nil table is a no-op.
+func ForEachPartition[V any](p *Pipeline, t *region.PartitionedTable[V], fn func(part int, pt *region.Table[V])) {
+	if t == nil {
+		return
+	}
+	parts := t.Parts()
+	shards := p.workers
+	if shards > parts {
+		shards = parts
+	}
+	if shards <= 1 {
+		for i := 0; i < parts; i++ {
+			fn(i, t.Partition(i))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < shards; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < parts; i += shards {
+				fn(i, t.Partition(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// PartitionRows materializes rows from a merged table, one private
+// buffer per partition in parallel, concatenated in partition order —
+// deterministic given the merged table, unlike a Rows scan. The result
+// is always non-nil.
+func PartitionRows[V, R any](p *Pipeline, t *region.PartitionedTable[V],
+	emit func(pt *region.Table[V], out *[]R),
+) []R {
+	out := make([]R, 0)
+	if t == nil {
+		return out
+	}
+	bufs := make([]padded[[]R], t.Parts())
+	ForEachPartition(p, t, func(i int, pt *region.Table[V]) {
+		emit(pt, &bufs[i].v)
+	})
+	for i := range bufs {
+		out = append(out, bufs[i].v...)
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package query_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/query"
+	"repro/internal/region"
+	"repro/internal/schema"
+)
+
+type row struct {
+	Key int64
+	Val int64
+}
+
+// churnBit marks transient rows the churn test's kernels must ignore.
+const churnBit = int64(1) << 40
+
+func testRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt := core.MustRuntime(core.Options{BlockSize: 1 << 13, HeapBackend: true})
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// sumKernel folds a block into a per-key sum table, skipping churn rows.
+func sumKernel(key, val *schema.Field) func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[int64]) {
+	return func(_ *core.Session, blk *mem.Block, t *region.PartitionedTable[int64]) {
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			k := *(*int64)(blk.FieldPtr(i, key))
+			if k&churnBit != 0 {
+				continue
+			}
+			*t.At(k) += *(*int64)(blk.FieldPtr(i, val))
+		}
+	}
+}
+
+func addI64(dst, src *int64) { *dst += *src }
+
+// tableToMap flattens a merged table for comparison.
+func tableToMap(t *region.PartitionedTable[int64]) map[int64]int64 {
+	out := make(map[int64]int64)
+	if t == nil {
+		return out
+	}
+	t.Range(func(k int64, v *int64) bool {
+		out[k] = *v
+		return true
+	})
+	return out
+}
+
+// TestParallelPipelineTable: the Table stage must produce exactly the
+// serial per-key sums at every worker count — the fan-out, the leases
+// and the parallel per-partition merge are invisible to the result.
+func TestParallelPipelineTable(t *testing.T) {
+	for _, layout := range []core.Layout{core.RowIndirect, core.RowDirect, core.Columnar} {
+		t.Run(layout.String(), func(t *testing.T) {
+			rt := testRuntime(t)
+			s := rt.MustSession()
+			defer s.Close()
+			coll := core.MustCollection[row](rt, "rows", layout)
+			const n = 4000
+			want := make(map[int64]int64)
+			for i := 0; i < n; i++ {
+				k := int64(i % 37)
+				coll.MustAdd(s, &row{Key: k, Val: int64(i)})
+				want[k] += int64(i)
+			}
+			pool := region.NewArenaPool(nil, 0, 0)
+			defer pool.Close()
+			sch := coll.Schema()
+			kernel := sumKernel(sch.MustField("Key"), sch.MustField("Val"))
+			for _, workers := range []int{1, 2, 3, 4, 8} {
+				p := query.New(s, pool, workers)
+				merged, err := query.Table(p, coll, 64, kernel, addI64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := tableToMap(merged)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d keys, want %d", workers, len(got), len(want))
+				}
+				for k, v := range want {
+					if got[k] != v {
+						t.Fatalf("workers=%d: key %d = %d, want %d", workers, k, got[k], v)
+					}
+				}
+				// PartitionRows is deterministic: two emissions of the same
+				// merged table are identical element-for-element.
+				emit := func(pt *region.Table[int64], out *[]int64) {
+					pt.Range(func(k int64, v *int64) bool {
+						*out = append(*out, k<<32|*v&0xffffffff)
+						return true
+					})
+				}
+				r1 := query.PartitionRows(p, merged, emit)
+				r2 := query.PartitionRows(p, merged, emit)
+				if len(r1) != len(want) || len(r1) != len(r2) {
+					t.Fatalf("workers=%d: PartitionRows %d/%d rows, want %d", workers, len(r1), len(r2), len(want))
+				}
+				for i := range r1 {
+					if r1[i] != r2[i] {
+						t.Fatalf("workers=%d: PartitionRows not deterministic at %d", workers, i)
+					}
+				}
+				p.Close()
+			}
+			// Every leased arena went back to the pool.
+			leases, _ := pool.Stats()
+			if leases == 0 {
+				t.Fatal("pipeline leased no arenas")
+			}
+		})
+	}
+}
+
+// TestParallelPipelineTableEmpty: no qualifying rows → nil table, and
+// the pipeline still closes cleanly.
+func TestParallelPipelineTableEmpty(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	sch := coll.Schema()
+	p := query.New(s, pool, 4)
+	defer p.Close()
+	merged, err := query.Table(p, coll, 16, sumKernel(sch.MustField("Key"), sch.MustField("Val")), addI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != nil {
+		t.Fatalf("empty scan built a table with %d entries", merged.Len())
+	}
+	if rows := query.PartitionRows(p, merged, func(pt *region.Table[int64], out *[]int64) {}); rows == nil || len(rows) != 0 {
+		t.Fatalf("PartitionRows(nil) = %v, want empty non-nil", rows)
+	}
+}
+
+// TestParallelPipelineAccum: plain accumulators merge in worker order
+// and match the serial sum; an empty collection yields the zero value.
+func TestParallelPipelineAccum(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	const n = 3000
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		coll.MustAdd(s, &row{Key: int64(i), Val: int64(i)})
+		want += int64(i)
+	}
+	sch := coll.Schema()
+	val := sch.MustField("Val")
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	kernel := func(_ int, _ *core.Session, blk *mem.Block, acc *int64) {
+		for i := 0; i < blk.Capacity(); i++ {
+			if blk.SlotIsValid(i) {
+				*acc += *(*int64)(blk.FieldPtr(i, val))
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := query.New(s, pool, workers)
+		got, err := query.Accum(p, coll, kernel, addI64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, *got, want)
+		}
+		p.Close()
+	}
+	empty := core.MustCollection[row](rt, "empty", core.RowIndirect)
+	p := query.New(s, pool, 4)
+	defer p.Close()
+	got, err := query.Accum(p, empty, kernel, addI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != 0 {
+		t.Fatalf("empty Accum = %d, want 0", *got)
+	}
+}
+
+// TestParallelPipelineRows: the finishing scan emits every qualifying
+// row exactly once at every worker count.
+func TestParallelPipelineRows(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	const n = 2500
+	for i := 0; i < n; i++ {
+		coll.MustAdd(s, &row{Key: int64(i), Val: int64(i * 2)})
+	}
+	sch := coll.Schema()
+	key, val := sch.MustField("Key"), sch.MustField("Val")
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	for _, workers := range []int{1, 2, 4} {
+		p := query.New(s, pool, workers)
+		rows, err := query.Rows(p, coll, func(_ *core.Session, blk *mem.Block, out *[]int64) {
+			for i := 0; i < blk.Capacity(); i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				if k := *(*int64)(blk.FieldPtr(i, key)); k%3 == 0 {
+					*out = append(*out, *(*int64)(blk.FieldPtr(i, val)))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int64]bool, len(rows))
+		for _, v := range rows {
+			if seen[v] {
+				t.Fatalf("workers=%d: duplicate row %d", workers, v)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < n; i += 3 {
+			if !seen[int64(i*2)] {
+				t.Fatalf("workers=%d: missing row for key %d", workers, i)
+			}
+		}
+		if want := (n + 2) / 3; len(rows) != want {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), want)
+		}
+		p.Close()
+	}
+}
+
+// TestParallelPipelineChurn is the -race variant: Table pipelines run
+// against concurrent add/remove churn and an active compactor. Churned
+// rows carry the churn bit the kernel filters on, so the stable rows
+// fully determine the sums; every run must return exactly the quiesced
+// answer while blocks appear, empty and compact underneath it.
+func TestParallelPipelineChurn(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	const stable = 800
+	want := make(map[int64]int64)
+	for i := 0; i < stable; i++ {
+		k := int64(i % 23)
+		coll.MustAdd(s, &row{Key: k, Val: int64(i)})
+		want[k] += int64(i)
+	}
+	sch := coll.Schema()
+	kernel := sumKernel(sch.MustField("Key"), sch.MustField("Val"))
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+
+	stopCompactor := rt.StartCompactor(time.Millisecond)
+	defer stopCompactor()
+
+	stop := make(chan struct{})
+	var fail atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cs, err := rt.NewSession()
+			if err != nil {
+				fail.Store(err.Error())
+				return
+			}
+			defer cs.Close()
+			var refs []core.Ref[row]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ref, err := coll.Add(cs, &row{Key: churnBit | int64(w), Val: 1})
+				if err != nil {
+					fail.Store(err.Error())
+					return
+				}
+				refs = append(refs, ref)
+				if len(refs) > 12 {
+					victim := refs[0]
+					refs = refs[1:]
+					if err := coll.Remove(cs, victim); err != nil {
+						fail.Store(err.Error())
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	runs := 0
+	for time.Now().Before(deadline) && fail.Load() == nil {
+		workers := 1 + runs%4
+		p := query.New(s, pool, workers)
+		merged, err := query.Table(p, coll, 64, kernel, addI64)
+		if err != nil {
+			t.Fatalf("run %d: %v", runs, err)
+		}
+		got := tableToMap(merged)
+		if len(got) != len(want) {
+			t.Fatalf("run %d (workers=%d): %d keys, want %d", runs, workers, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("run %d (workers=%d): key %d = %d, want %d", runs, workers, k, got[k], v)
+			}
+		}
+		p.Close()
+		runs++
+	}
+	close(stop)
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if runs == 0 {
+		t.Fatal("no pipeline runs completed")
+	}
+}
+
+// TestParallelPipelineCloseIdempotent: double Close must not
+// double-return arenas.
+func TestParallelPipelineCloseIdempotent(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	p := query.New(s, pool, 2)
+	a := p.Lease()
+	if a == nil {
+		t.Fatal("Lease returned nil")
+	}
+	p.Close()
+	p.Close()
+	leases, reuses := pool.Stats()
+	if leases != 1 || reuses != 0 {
+		t.Fatalf("pool stats after double close: leases=%d reuses=%d", leases, reuses)
+	}
+}

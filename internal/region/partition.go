@@ -1,5 +1,7 @@
 package region
 
+import "sync"
+
 // PartitionedTable is a Table[V] split into P hash partitions, the
 // building block of the concurrent query-memory subsystem: every scan
 // worker owns a private PartitionedTable in its own leased arena and
@@ -62,6 +64,11 @@ func (t *PartitionedTable[V]) Len() int {
 // Parts returns the partition count.
 func (t *PartitionedTable[V]) Parts() int { return len(t.parts) }
 
+// Partition returns partition i. Distinct partitions are disjoint key
+// spaces, so read-only consumers (finishing passes, row emission) may
+// walk different partitions from different goroutines concurrently.
+func (t *PartitionedTable[V]) Partition(i int) *Table[V] { return t.parts[i] }
+
 // Range calls fn for every entry until fn returns false, walking
 // partitions in index order.
 func (t *PartitionedTable[V]) Range(fn func(key int64, v *V) bool) {
@@ -99,6 +106,87 @@ func (t *PartitionedTable[V]) MergeInto(dst *PartitionedTable[V], merge func(dst
 			return true
 		})
 	}
+}
+
+// ParallelMergeInto folds the non-nil worker tables in srcs into a fresh
+// merged table, partition by partition in parallel. Every source
+// partition i is folded — in worker (slice) order — into destination
+// partition i, so the merged state is exactly what the serial
+// worker-order MergeInto fold produces whenever merge itself is
+// deterministic: partitions are disjoint key spaces, and within a
+// partition the fold order is the worker order regardless of which
+// goroutine runs it.
+//
+// Arenas are single-owner, so the shard schedule and the arena
+// assignment must coincide; this function owns that invariant. Shard
+// goroutine g builds destination partitions {i : i mod G == g}, G =
+// len(arenas), allocating all of them from arenas[g] (pass one arena to
+// merge serially with zero goroutine overhead). Each destination
+// partition is pre-sized to the sum of its source partitions' entry
+// counts, so the merge itself almost never grows.
+//
+// All srcs must share one partition count (workers built from the same
+// spec always do). Returns nil when every source is nil.
+func ParallelMergeInto[V any](arenas []*Arena, srcs []*PartitionedTable[V], merge func(dst, src *V)) *PartitionedTable[V] {
+	if len(arenas) == 0 {
+		panic("region: ParallelMergeInto needs at least one arena")
+	}
+	var first *PartitionedTable[V]
+	for _, t := range srcs {
+		if t == nil {
+			continue
+		}
+		if first == nil {
+			first = t
+		} else if t.Parts() != first.Parts() {
+			panic("region: ParallelMergeInto across mismatched partition counts")
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	parts := first.Parts()
+	shards := len(arenas)
+	if shards > parts {
+		shards = parts
+	}
+	dst := &PartitionedTable[V]{parts: make([]*Table[V], parts), mask: first.mask}
+	mergeShard := func(g int) {
+		a := arenas[g]
+		for i := g; i < parts; i += shards {
+			hint := 0
+			for _, t := range srcs {
+				if t != nil {
+					hint += t.parts[i].Len()
+				}
+			}
+			d := NewTable[V](a, hint)
+			dst.parts[i] = d
+			for _, t := range srcs {
+				if t == nil {
+					continue
+				}
+				t.parts[i].Range(func(k int64, v *V) bool {
+					merge(d.At(k), v)
+					return true
+				})
+			}
+		}
+	}
+	if shards == 1 {
+		mergeShard(0)
+		return dst
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < shards; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mergeShard(g)
+		}(g)
+	}
+	wg.Wait()
+	return dst
 }
 
 // Bytes returns the total arena storage footprint of all partitions.

@@ -105,6 +105,92 @@ func TestPartitionedTableMergeDeterminism(t *testing.T) {
 	}
 }
 
+// buildWorkerTables fills `workers` private tables from a deterministic
+// contribution stream (the same stream mergeRun uses).
+func buildWorkerTables(a *Arena, workers, parts, stride, keys int) []*PartitionedTable[int64] {
+	tables := make([]*PartitionedTable[int64], workers)
+	for w := range tables {
+		tables[w] = NewPartitionedTable[int64](a, parts, 32)
+	}
+	for i := 0; i < keys*4; i++ {
+		w := (i / stride) % workers
+		k := int64(i % keys)
+		*tables[w].At(k) += int64(k + 1)
+	}
+	return tables
+}
+
+// TestParallelMergeIntoMatchesSerial: the parallel per-partition merge
+// must produce exactly the serial worker-order MergeInto fold — same
+// keys, same values — for every shard count, including shard counts
+// exceeding the partition count and nil worker slots.
+func TestParallelMergeIntoMatchesSerial(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	add := func(d, s *int64) { *d += *s }
+	for _, tc := range []struct{ workers, parts, stride, shards int }{
+		{4, 4, 7, 1}, {4, 4, 7, 2}, {4, 4, 7, 4}, {4, 4, 7, 8},
+		{2, 8, 3, 3}, {8, 2, 5, 4}, {1, 4, 1, 2}, {3, 16, 11, 5},
+	} {
+		tables := buildWorkerTables(a, tc.workers, tc.parts, tc.stride, 512)
+		// Serial oracle: worker-order MergeInto fold into a fresh table.
+		serial := NewPartitionedTable[int64](a, tc.parts, 32)
+		for _, src := range tables {
+			src.MergeInto(serial, add)
+		}
+		// Nil slots must be skipped (workers that saw no blocks).
+		withNil := append([]*PartitionedTable[int64]{nil}, tables...)
+		withNil = append(withNil, nil)
+		arenas := make([]*Arena, tc.shards)
+		for i := range arenas {
+			arenas[i] = NewArena(nil, 0)
+			defer arenas[i].Release()
+		}
+		merged := ParallelMergeInto(arenas, withNil, add)
+		if merged == nil {
+			t.Fatalf("%+v: nil merged table", tc)
+		}
+		if merged.Parts() != serial.Parts() {
+			t.Fatalf("%+v: merged parts %d, want %d", tc, merged.Parts(), serial.Parts())
+		}
+		if merged.Len() != serial.Len() {
+			t.Fatalf("%+v: merged %d entries, want %d", tc, merged.Len(), serial.Len())
+		}
+		serial.Range(func(k int64, v *int64) bool {
+			got := merged.Get(k)
+			if got == nil || *got != *v {
+				t.Fatalf("%+v: key %d = %v, want %d", tc, k, got, *v)
+			}
+			return true
+		})
+	}
+}
+
+// TestParallelMergeIntoAllNil: no worker built state → nil result.
+func TestParallelMergeIntoAllNil(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	if got := ParallelMergeInto([]*Arena{a}, []*PartitionedTable[int64]{nil, nil}, func(d, s *int64) { *d += *s }); got != nil {
+		t.Fatalf("merged = %v, want nil", got)
+	}
+}
+
+// TestParallelMergeIntoMismatchPanics mirrors the MergeInto guard.
+func TestParallelMergeIntoMismatchPanics(t *testing.T) {
+	a := NewArena(nil, 0)
+	defer a.Release()
+	srcs := []*PartitionedTable[int64]{
+		NewPartitionedTable[int64](a, 2, 16),
+		NewPartitionedTable[int64](a, 4, 16),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched ParallelMergeInto did not panic")
+		}
+	}()
+	ParallelMergeInto([]*Arena{a}, srcs, func(d, s *int64) { *d += *s })
+}
+
 // TestPartitionedTableMergeMismatchPanics: merging across different
 // partition counts is a programming error and must fail loudly.
 func TestPartitionedTableMergeMismatchPanics(t *testing.T) {

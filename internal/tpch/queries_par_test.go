@@ -56,12 +56,14 @@ func joinWorkerCounts() []int {
 	return ws
 }
 
-// TestParallelJoinQueriesMatchSerial: Q3Par/Q5Par/Q10Par must produce
-// exactly the serial rows at every worker count and layout — the join
-// kernels are shared, the parallel drivers only change who scans which
-// block and where the group state lives.
+// TestParallelJoinQueriesMatchSerial: Q3Par/Q5Par/Q10Par and the
+// pipeline-native Q7Par/Q8Par/Q9Par must produce exactly the serial rows
+// at every worker count and layout — the join kernels are shared, the
+// parallel drivers only change who scans which block, where the group
+// state lives and how it merges. Uses the ext dataset so the extended
+// queries' selective predicates produce non-empty baselines.
 func TestParallelJoinQueriesMatchSerial(t *testing.T) {
-	d := testDataset(t)
+	d := extDataset(t)
 	p := DefaultParams()
 	for _, layout := range []core.Layout{core.RowIndirect, core.RowDirect, core.Columnar} {
 		layout := layout
@@ -78,9 +80,16 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 			wantQ3 := q.Q3(s, p)
 			wantQ5 := q.Q5(s, p)
 			wantQ10 := q.Q10(s, p)
+			wantQ7 := q.Q7(s, p)
+			wantQ8 := q.Q8(s, p)
+			wantQ9 := q.Q9(s, p)
 			if len(wantQ3) == 0 || len(wantQ5) == 0 || len(wantQ10) == 0 {
 				t.Fatalf("serial baselines empty (Q3=%d Q5=%d Q10=%d rows): dataset too small to exercise the joins",
 					len(wantQ3), len(wantQ5), len(wantQ10))
+			}
+			if len(wantQ7) == 0 || len(wantQ8) == 0 || len(wantQ9) == 0 {
+				t.Fatalf("serial baselines empty (Q7=%d Q8=%d Q9=%d rows): dataset too small to exercise the extended joins",
+					len(wantQ7), len(wantQ8), len(wantQ9))
 			}
 			for _, workers := range joinWorkerCounts() {
 				if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
@@ -92,8 +101,66 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 				if got := q.Q10Par(s, p, workers); !reflect.DeepEqual(got, wantQ10) {
 					t.Fatalf("Q10Par(workers=%d) diverges from Q10:\n got %+v\nwant %+v", workers, got, wantQ10)
 				}
+				if got := q.Q7Par(s, p, workers); !reflect.DeepEqual(got, wantQ7) {
+					t.Fatalf("Q7Par(workers=%d) diverges from Q7:\n got %+v\nwant %+v", workers, got, wantQ7)
+				}
+				if got := q.Q8Par(s, p, workers); !reflect.DeepEqual(got, wantQ8) {
+					t.Fatalf("Q8Par(workers=%d) diverges from Q8:\n got %+v\nwant %+v", workers, got, wantQ8)
+				}
+				if got := q.Q9Par(s, p, workers); !reflect.DeepEqual(got, wantQ9) {
+					t.Fatalf("Q9Par(workers=%d) diverges from Q9:\n got %+v\nwant %+v", workers, got, wantQ9)
+				}
 			}
 		})
+	}
+}
+
+// TestParallelJoinMergeDeterminism: the parallel per-partition merge
+// and the partition-sharded finishing passes must be invisible in the
+// output — for Q3, Q5 and Q9 every worker count produces byte-identical
+// result rows to the serial worker-order merge, and repeated runs at
+// one worker count are identical to each other (the nondeterministic
+// block-to-worker assignment must never leak into row order or values).
+func TestParallelJoinMergeDeterminism(t *testing.T) {
+	d := extDataset(t)
+	p := DefaultParams()
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSMCQueries(sdb)
+	wantQ3, wantQ5, wantQ9 := q.Q3(s, p), q.Q5(s, p), q.Q9(s, p)
+	for _, workers := range joinWorkerCounts() {
+		for rep := 0; rep < 3; rep++ {
+			if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
+				t.Fatalf("Q3Par(workers=%d) rep %d not byte-identical to serial merge", workers, rep)
+			}
+			if got := q.Q5Par(s, p, workers); !reflect.DeepEqual(got, wantQ5) {
+				t.Fatalf("Q5Par(workers=%d) rep %d not byte-identical to serial merge", workers, rep)
+			}
+			if got := q.Q9Par(s, p, workers); !reflect.DeepEqual(got, wantQ9) {
+				t.Fatalf("Q9Par(workers=%d) rep %d not byte-identical to serial merge", workers, rep)
+			}
+		}
+	}
+	// The query object's arena pool is registered with the runtime: all
+	// of the above must be visible in the stats snapshot.
+	st := rt.StatsSnapshot()
+	found := false
+	for _, ap := range st.ArenaPools {
+		if ap.Name == "tpch.SMCQueries" {
+			found = true
+			if ap.Leases == 0 || ap.Reuses == 0 {
+				t.Fatalf("pool counters did not move across queries: %+v", ap)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("tpch.SMCQueries pool not registered in runtime stats: %+v", st.ArenaPools)
 	}
 }
 
@@ -150,13 +217,14 @@ func TestParallelJoinConcurrentSerialQueries(t *testing.T) {
 	wg.Wait()
 }
 
-// TestParallelJoinStress runs the parallel join queries against
-// concurrent add/remove churn and an active compactor. The churned
-// lineitems are crafted to fail every query's filters (null order
-// references, zero ship dates, non-'R' return flags), so the stable rows
-// fully determine the answers: every parallel run must return exactly
-// the serial baseline while blocks appear, empty and compact underneath
-// it.
+// TestParallelJoinStress runs the parallel join queries — including the
+// pipeline-native Q7/Q8/Q9 with their parallel merges and finishing
+// passes — against concurrent add/remove churn and an active compactor.
+// The churned lineitems are crafted to fail every query's filters (null
+// order/part/supplier references, zero ship dates, non-'R' return
+// flags), so the stable rows fully determine the answers: every parallel
+// run must return exactly the serial baseline while blocks appear, empty
+// and compact underneath it.
 func TestParallelJoinStress(t *testing.T) {
 	d := testDataset(t)
 	p := DefaultParams()
@@ -170,6 +238,7 @@ func TestParallelJoinStress(t *testing.T) {
 	}
 	q := NewSMCQueries(sdb)
 	wantQ3, wantQ5, wantQ10 := q.Q3(s, p), q.Q5(s, p), q.Q10(s, p)
+	wantQ7, wantQ8, wantQ9 := q.Q7(s, p), q.Q8(s, p), q.Q9(s, p)
 
 	stop := make(chan struct{})
 	var fail atomic.Value
@@ -246,6 +315,15 @@ func TestParallelJoinStress(t *testing.T) {
 		}
 		if got := q.Q10Par(s, p, workers); !reflect.DeepEqual(got, wantQ10) {
 			t.Fatalf("run %d: Q10Par(workers=%d) diverged under churn", runs, workers)
+		}
+		if got := q.Q7Par(s, p, workers); !reflect.DeepEqual(got, wantQ7) {
+			t.Fatalf("run %d: Q7Par(workers=%d) diverged under churn", runs, workers)
+		}
+		if got := q.Q8Par(s, p, workers); !reflect.DeepEqual(got, wantQ8) {
+			t.Fatalf("run %d: Q8Par(workers=%d) diverged under churn", runs, workers)
+		}
+		if got := q.Q9Par(s, p, workers); !reflect.DeepEqual(got, wantQ9) {
+			t.Fatalf("run %d: Q9Par(workers=%d) diverged under churn", runs, workers)
 		}
 		runs++
 	}

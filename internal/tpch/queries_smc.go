@@ -69,7 +69,10 @@ type SMCQueries struct {
 	frPSPart, frPSSupp core.FieldRef
 }
 
-// NewSMCQueries resolves all field offsets for the database.
+// NewSMCQueries resolves all field offsets for the database and
+// registers the query object's arena pool with the runtime's stats
+// surface (core.Runtime.StatsSnapshot reports its lease and retained-
+// footprint metrics).
 func NewSMCQueries(db *SMCDB) *SMCQueries {
 	l := db.Lineitems.Schema()
 	o := db.Orders.Schema()
@@ -79,7 +82,7 @@ func NewSMCQueries(db *SMCDB) *SMCQueries {
 	r := db.Regions.Schema()
 	pt := db.Parts.Schema()
 	ps := db.PartSupps.Schema()
-	return &SMCQueries{
+	q := &SMCQueries{
 		db:        db,
 		arenas:    region.NewArenaPool(nil, 0, 0),
 		rowFast:   db.Layout != core.Columnar,
@@ -129,6 +132,8 @@ func NewSMCQueries(db *SMCDB) *SMCQueries {
 		frPSPart:  db.PartSupps.FieldRefByName("Part"),
 		frPSSupp:  db.PartSupps.FieldRefByName("Supplier"),
 	}
+	db.RT.RegisterArenaPool("tpch.SMCQueries", q.arenas)
+	return q
 }
 
 // strAt reads an off-heap string field without copying.

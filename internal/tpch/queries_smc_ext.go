@@ -1,14 +1,11 @@
 package tpch
 
 import (
-	"bytes"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/decimal"
-	"repro/internal/mem"
 	"repro/internal/region"
-	"repro/internal/types"
 )
 
 // Compiled "unsafe" Q7–Q10 over self-managed collections: the same
@@ -19,12 +16,15 @@ import (
 // row, which is the §6 workload where direct pointers pay off.
 
 // Q7 — volume shipping between two nations, grouped by direction and
-// ship year.
+// ship year. The revenue accumulators live in a leased region keyed by
+// the packed direction+year (pointer-free, §7). The per-block kernel is
+// shared with Q7Par (queries_smc_joins_ext.go).
 func (q *SMCQueries) Q7(s *core.Session, p Params) []Q7Row {
+	a := q.arenas.Lease()
+	defer q.arenas.Return(a)
+	rev := region.NewPartitionedTable[decimal.Dec128](a, 1, extTableHint)
 	nation1 := []byte(p.Q7Nation1)
 	nation2 := []byte(p.Q7Nation2)
-	one := decimal.FromInt64(1)
-	rev := make(map[int32]*decimal.Dec128, 4)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -33,80 +33,31 @@ func (q *SMCQueries) Q7(s *core.Session, p Params) []Q7Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			ship := dateAt(blk, i, q.lShip)
-			if ship < q7DateLo || ship > q7DateHi {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			sobj, err := q.deref(s, &q.frLSupp, l)
-			if err != nil {
-				continue
-			}
-			snobj, err := q.deref(s, &q.frSNation, sobj)
-			if err != nil {
-				continue
-			}
-			sn := objStr(snobj, q.nName)
-			is1, is2 := bytes.Equal(sn, nation1), bytes.Equal(sn, nation2)
-			if !is1 && !is2 {
-				continue
-			}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			cobj, err := q.deref(s, &q.frOCust, oobj)
-			if err != nil {
-				continue
-			}
-			cnobj, err := q.deref(s, &q.frCNation, cobj)
-			if err != nil {
-				continue
-			}
-			cn := objStr(cnobj, q.nName)
-			if is1 && !bytes.Equal(cn, nation2) {
-				continue
-			}
-			if is2 && !bytes.Equal(cn, nation1) {
-				continue
-			}
-			k := q7Dir(is1, ship.Year())
-			a := rev[k]
-			if a == nil {
-				a = &decimal.Dec128{}
-				rev[k] = a
-			}
-			r := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			decimal.AddAssign(a, &r)
-		}
+		q.q7Block(s, blk, nation1, nation2, rev)
 	}
 	en.Close()
 	s.Exit()
 
-	rows := make([]Q7Row, 0, len(rev))
-	for k, v := range rev {
-		sn, cn := p.Q7Nation1, p.Q7Nation2
-		if k&1 == 1 {
-			sn, cn = cn, sn
-		}
-		rows = append(rows, Q7Row{SuppNation: sn, CustNation: cn, Year: k >> 1, Revenue: *v})
-	}
+	rows := make([]Q7Row, 0, rev.Len())
+	rev.Range(func(k int64, v *decimal.Dec128) bool {
+		rows = append(rows, q7Row(p, k, *v))
+		return true
+	})
 	SortQ7(rows)
 	return rows
 }
 
 // Q8 — national market share: per order year, the fraction of volume
-// supplied by one nation into one region for one part type.
+// supplied by one nation into one region for one part type. The per-year
+// volume sums live in a leased region keyed by order year (§7). The
+// per-block kernel is shared with Q8Par (queries_smc_joins_ext.go).
 func (q *SMCQueries) Q8(s *core.Session, p Params) []Q8Row {
+	a := q.arenas.Lease()
+	defer q.arenas.Return(a)
+	groups := region.NewPartitionedTable[q8Acc](a, 1, extTableHint)
 	nation := []byte(p.Q8Nation)
-	region := []byte(p.Q8Region)
+	regionName := []byte(p.Q8Region)
 	ptype := []byte(p.Q8Type)
-	one := decimal.FromInt64(1)
-	groups := make(map[int32]*q8Acc, 2)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -115,65 +66,18 @@ func (q *SMCQueries) Q8(s *core.Session, p Params) []Q8Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			od := *(*types.Date)(oobj.Field(q.oDate))
-			if od < q7DateLo || od > q7DateHi {
-				continue
-			}
-			pobj, err := q.deref(s, &q.frLPart, l)
-			if err != nil {
-				continue
-			}
-			if !bytes.Equal(objStr(pobj, q.pType), ptype) {
-				continue
-			}
-			cobj, err := q.deref(s, &q.frOCust, oobj)
-			if err != nil {
-				continue
-			}
-			cnobj, err := q.deref(s, &q.frCNation, cobj)
-			if err != nil {
-				continue
-			}
-			crobj, err := q.deref(s, &q.frNRegion, cnobj)
-			if err != nil {
-				continue
-			}
-			if !bytes.Equal(objStr(crobj, q.rName), region) {
-				continue
-			}
-			y := int32(od.Year())
-			a := groups[y]
-			if a == nil {
-				a = &q8Acc{}
-				groups[y] = a
-			}
-			vol := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			decimal.AddAssign(&a.total, &vol)
-			sobj, err := q.deref(s, &q.frLSupp, l)
-			if err != nil {
-				continue
-			}
-			snobj, err := q.deref(s, &q.frSNation, sobj)
-			if err != nil {
-				continue
-			}
-			if bytes.Equal(objStr(snobj, q.nName), nation) {
-				decimal.AddAssign(&a.nation, &vol)
-			}
-		}
+		q.q8Block(s, blk, nation, regionName, ptype, groups)
 	}
 	en.Close()
 	s.Exit()
-	return q8Finish(groups)
+
+	rows := make([]Q8Row, 0, groups.Len())
+	groups.Range(func(k int64, acc *q8Acc) bool {
+		rows = append(rows, q8Row(k, acc))
+		return true
+	})
+	SortQ8(rows)
+	return rows
 }
 
 // packPSKey packs a (partkey, suppkey) pair into one 64-bit region-table
@@ -189,107 +93,48 @@ func packPSKey(part, supp int64) int64 {
 // Q9 — product-type profit: reference joins for part/supplier/order plus
 // a value join against the PARTSUPP cost table, built by enumerating the
 // partsupp collection's blocks into a region-backed hash table (§7's
-// region intermediates).
+// region intermediates). Both the cost table and the profit table —
+// keyed by the packed (supplier nation, order year) — live in a leased
+// region; nation names resolve in a finishing pass over the tiny nation
+// collection. The per-block kernels are shared with Q9Par
+// (queries_smc_joins_ext.go), whose first pipeline stage fans this very
+// cost-table build out over workers.
 func (q *SMCQueries) Q9(s *core.Session, p Params) []Q9Row {
 	color := []byte(p.Q9Color)
-	one := decimal.FromInt64(1)
 	ar := q.arenas.Lease()
 	defer q.arenas.Return(ar)
+	cost := region.NewPartitionedTable[decimal.Dec128](ar, 1, q9CostHint)
+	profit := region.NewPartitionedTable[decimal.Dec128](ar, 1, q9ProfitHint)
 
 	s.Enter()
-	// Build the (partkey, suppkey) -> supplycost table in the region.
-	cost := region.NewTable[decimal.Dec128](ar, 4096)
 	en := q.db.PartSupps.Enumerate(s)
 	for {
 		blk, ok := en.NextBlock()
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			ps := mem.Obj{Blk: blk, Slot: i}
-			pobj, err := q.deref(s, &q.frPSPart, ps)
-			if err != nil {
-				continue
-			}
-			sobj, err := q.deref(s, &q.frPSSupp, ps)
-			if err != nil {
-				continue
-			}
-			k := packPSKey(
-				*(*int64)(pobj.Field(q.pKey)),
-				*(*int64)(sobj.Field(q.sKey)),
-			)
-			*cost.At(k) = *decAt(blk, i, q.psCost)
-		}
+		q.q9CostBlock(s, blk, cost)
 	}
 	en.Close()
 
-	type gk struct {
-		nation string
-		year   int32
-	}
-	profit := make(map[gk]*decimal.Dec128)
 	en2 := q.db.Lineitems.Enumerate(s)
 	for {
 		blk, ok := en2.NextBlock()
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			pobj, err := q.deref(s, &q.frLPart, l)
-			if err != nil {
-				continue
-			}
-			if !bytes.Contains(objStr(pobj, q.pName), color) {
-				continue
-			}
-			sobj, err := q.deref(s, &q.frLSupp, l)
-			if err != nil {
-				continue
-			}
-			k := packPSKey(
-				*(*int64)(pobj.Field(q.pKey)),
-				*(*int64)(sobj.Field(q.sKey)),
-			)
-			c := cost.Get(k)
-			if c == nil {
-				continue
-			}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			snobj, err := q.deref(s, &q.frSNation, sobj)
-			if err != nil {
-				continue
-			}
-			amount := decAt(blk, i, q.lExt).Mul(one.Sub(*decAt(blk, i, q.lDisc)))
-			amount = amount.Sub(c.Mul(*decAt(blk, i, q.lQty)))
-			g := gk{
-				nation: string(objStr(snobj, q.nName)),
-				year:   int32((*(*types.Date)(oobj.Field(q.oDate))).Year()),
-			}
-			a := profit[g]
-			if a == nil {
-				a = &decimal.Dec128{}
-				profit[g] = a
-			}
-			decimal.AddAssign(a, &amount)
-		}
+		q.q9Block(s, blk, color, cost, profit)
 	}
 	en2.Close()
 	s.Exit()
 
-	rows := make([]Q9Row, 0, len(profit))
-	for k, v := range profit {
-		rows = append(rows, Q9Row{Nation: k.nation, Year: k.year, SumProfit: *v})
+	rows := make([]Q9Row, 0, profit.Len())
+	if profit.Len() > 0 {
+		names := q.nationNames(s)
+		profit.Range(func(k int64, v *decimal.Dec128) bool {
+			rows = append(rows, q9Row(names, k, *v))
+			return true
+		})
 	}
 	SortQ9(rows)
 	return rows

@@ -6,12 +6,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/decimal"
 	"repro/internal/mem"
+	"repro/internal/query"
 	"repro/internal/region"
 	"repro/internal/types"
 )
 
-// Parallel compiled join queries (Q3, Q5, Q10) over the concurrent
-// query-memory subsystem. The §7 unsafe-query optimization — region-
+// Parallel compiled join queries (Q3, Q5, Q10) over the unified
+// query-pipeline layer. The §7 unsafe-query optimization — region-
 // allocated intermediates discarded wholesale — is rethought for
 // multi-core:
 //
@@ -21,36 +22,18 @@ import (
 //   - the per-block kernels (q3Block, q5Block, q10Block) are shared
 //     verbatim between the serial queries and the *Par drivers, exactly
 //     as Q1Par/Q6Par share q1Block/q6Block;
-//   - after the scan the coordinator folds the workers' tables together
-//     partition by partition in worker order (deterministic merge) and
-//     emits rows from the merged state.
+//   - after the scan the workers' tables merge per partition in
+//     parallel (worker order within each partition keeps the fold
+//     deterministic) and the finishing/dimension-resolution passes shard
+//     too — over dimension blocks (query.Rows) or over the merged
+//     table's partitions (query.PartitionRows).
 //
-// The drivers ride mem.ScanParallel (via Collection.ParallelBlocks for
-// the per-worker core.Session wrappers the deref fast path needs): one
-// §5.2 decision pass, N pooled worker sessions, atomic-cursor work
-// stealing.
+// The scaffolding that drives all of this — arena leases, fan-out over
+// mem.ScanParallel, parallel merge, parallel finish — is internal/query;
+// the drivers here shrink to kernel + finish closures.
 
 // joinTableHint sizes a worker's partitioned group table.
 const joinTableHint = 1024
-
-// mergeWorkerTables folds the non-nil worker tables into the lowest-
-// indexed one, in worker order, and returns it (nil when no worker built
-// state). Worker order makes the fold deterministic for a quiesced
-// collection.
-func mergeWorkerTables[V any](tables []*region.PartitionedTable[V], merge func(dst, src *V)) *region.PartitionedTable[V] {
-	var dst *region.PartitionedTable[V]
-	for _, t := range tables {
-		if t == nil {
-			continue
-		}
-		if dst == nil {
-			dst = t
-			continue
-		}
-		t.MergeInto(dst, merge)
-	}
-	return dst
-}
 
 // mergeDec accumulates one worker's revenue partial into the merged
 // state; decimal addition is exact, so merge order cannot change results.
@@ -106,14 +89,20 @@ func (q *SMCQueries) q3Block(s *core.Session, blk *mem.Block, date types.Date, s
 	}
 }
 
-// q3Rows materializes the (merged) Q3 group state; nil means no group
-// survived the filters.
+// q3Row materializes one merged Q3 group, shared by the serial and
+// partition-sharded finishing passes.
+func q3Row(k int64, a *q3Acc) Q3Row {
+	return Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio}
+}
+
+// q3Rows materializes the (merged) Q3 group state serially; nil means no
+// group survived the filters.
 func q3Rows(groups *region.PartitionedTable[q3Acc]) []Q3Row {
 	var rows []Q3Row
 	if groups != nil {
 		rows = make([]Q3Row, 0, groups.Len())
 		groups.Range(func(k int64, a *q3Acc) bool {
-			rows = append(rows, Q3Row{OrderKey: k, Revenue: a.rev, OrderDate: a.date, ShipPriority: a.sprio})
+			rows = append(rows, q3Row(k, a))
 			return true
 		})
 	} else {
@@ -192,20 +181,28 @@ func (q *SMCQueries) q5Finish(s *core.Session, rev *region.PartitionedTable[deci
 			if !ok {
 				break
 			}
-			for i := 0; i < blk.Capacity(); i++ {
-				if !blk.SlotIsValid(i) {
-					continue
-				}
-				if v := rev.Get(i64At(blk, i, q.nKey)); v != nil {
-					rows = append(rows, Q5Row{Nation: string(strAt(blk, i, q.nName)), Revenue: *v})
-				}
-			}
+			q.q5FinishBlock(blk, rev, &rows)
 		}
 		en.Close()
 		s.Exit()
 	}
 	SortQ5(rows)
 	return rows
+}
+
+// q5FinishBlock resolves one nation block against the merged revenue
+// table: the per-block finishing kernel, shared by the serial pass and
+// the block-sharded parallel one (the merged table is read-only here, so
+// concurrent probes race with nothing).
+func (q *SMCQueries) q5FinishBlock(blk *mem.Block, rev *region.PartitionedTable[decimal.Dec128], out *[]Q5Row) {
+	for i := 0; i < blk.Capacity(); i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		if v := rev.Get(i64At(blk, i, q.nKey)); v != nil {
+			*out = append(*out, Q5Row{Nation: string(strAt(blk, i, q.nName)), Revenue: *v})
+		}
+	}
 }
 
 // q10Block scans one lineitem block into a Q10 revenue table keyed by
@@ -257,30 +254,7 @@ func (q *SMCQueries) q10Finish(s *core.Session, rev *region.PartitionedTable[dec
 			if !ok {
 				break
 			}
-			for i := 0; i < blk.Capacity(); i++ {
-				if !blk.SlotIsValid(i) {
-					continue
-				}
-				ck := i64At(blk, i, q.cKey)
-				v := rev.Get(ck)
-				if v == nil {
-					continue
-				}
-				c := mem.Obj{Blk: blk, Slot: i}
-				row := Q10Row{
-					CustKey: ck,
-					Name:    string(objStr(c, q.cName)),
-					Revenue: *v,
-					AcctBal: *(*decimal.Dec128)(c.Field(q.cBal)),
-					Address: string(objStr(c, q.cAddr)),
-					Phone:   string(objStr(c, q.cPhone)),
-					Comment: string(objStr(c, q.cCmnt)),
-				}
-				if cnobj, err := q.deref(s, &q.frCNation, c); err == nil {
-					row.Nation = string(objStr(cnobj, q.nName))
-				}
-				rows = append(rows, row)
-			}
+			q.q10FinishBlock(s, blk, rev, &rows)
 		}
 		en.Close()
 		s.Exit()
@@ -288,97 +262,115 @@ func (q *SMCQueries) q10Finish(s *core.Session, rev *region.PartitionedTable[dec
 	return SortQ10(rows)
 }
 
-// joinScan fans the lineitem scan out over `workers`, each building group
-// state of type V in a private partitioned table inside a leased arena,
-// and returns the merged table (nil if no worker saw qualifying rows).
-// The returned release func gives every leased arena back to the pool —
-// call it after the merged table has been fully consumed.
-func joinScan[V any](q *SMCQueries, s *core.Session, workers int,
-	kernel func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[V]),
-	merge func(dst, src *V),
-) (merged *region.PartitionedTable[V], release func(), err error) {
-	// Every worker table (and the merge destination) is built with the
-	// same parts argument, so NewPartitionedTable's power-of-two rounding
-	// keeps MergeInto's equal-partition-count invariant for free, with at
-	// least one partition per worker.
-	parts := workers
-	arenas := make([]*region.Arena, workers)
-	tables := make([]*region.PartitionedTable[V], workers)
-	release = func() {
-		for _, a := range arenas {
-			q.arenas.Return(a)
+// q10FinishBlock joins one customer block back to the merged revenue
+// table and materializes its output rows: the per-block finishing
+// kernel, shared by the serial pass and the block-sharded parallel one.
+// s must be the session whose critical section covers blk (the nation
+// dereference needs it).
+func (q *SMCQueries) q10FinishBlock(s *core.Session, blk *mem.Block, rev *region.PartitionedTable[decimal.Dec128], out *[]Q10Row) {
+	for i := 0; i < blk.Capacity(); i++ {
+		if !blk.SlotIsValid(i) {
+			continue
 		}
-	}
-	err = q.db.Lineitems.ParallelBlocks(s, workers, func(w int, ws *core.Session, blk *mem.Block) error {
-		t := tables[w]
-		if t == nil {
-			arenas[w] = q.arenas.Lease()
-			t = region.NewPartitionedTable[V](arenas[w], parts, joinTableHint)
-			tables[w] = t
+		ck := i64At(blk, i, q.cKey)
+		v := rev.Get(ck)
+		if v == nil {
+			continue
 		}
-		kernel(ws, blk, t)
-		return nil
-	})
-	if err != nil {
-		release()
-		return nil, func() {}, err
+		c := mem.Obj{Blk: blk, Slot: i}
+		row := Q10Row{
+			CustKey: ck,
+			Name:    string(objStr(c, q.cName)),
+			Revenue: *v,
+			AcctBal: *(*decimal.Dec128)(c.Field(q.cBal)),
+			Address: string(objStr(c, q.cAddr)),
+			Phone:   string(objStr(c, q.cPhone)),
+			Comment: string(objStr(c, q.cCmnt)),
+		}
+		if cnobj, err := q.deref(s, &q.frCNation, c); err == nil {
+			row.Nation = string(objStr(cnobj, q.nName))
+		}
+		*out = append(*out, row)
 	}
-	return mergeWorkerTables(tables, merge), release, nil
 }
 
-// Q3Par is Q3 fanned out over `workers` block-sharded scan workers with
-// per-worker leased arenas and an ordered partition merge. Results are
-// identical to Q3 on a quiesced collection; under concurrent mutation
-// both have the enumerator's bag semantics.
+// Q3Par is Q3 fanned out over `workers` block-sharded scan workers on
+// the pipeline layer: per-worker leased arenas, parallel per-partition
+// merge, partition-sharded row emission. Results are identical to Q3 on
+// a quiesced collection; under concurrent mutation both have the
+// enumerator's bag semantics. On pipeline errors (worker-session
+// exhaustion) the drivers degrade to their serial counterparts rather
+// than failing the query.
 func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
-	if workers < 1 {
-		workers = 1
-	}
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
 	segment := []byte(p.Q3Segment)
-	merged, release, err := joinScan(q, s, workers,
+	merged, err := query.Table(pl, q.db.Lineitems, joinTableHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[q3Acc]) {
 			q.q3Block(ws, blk, p.Q3Date, segment, t)
 		}, mergeQ3Acc)
 	if err != nil {
-		// Worker sessions were unavailable (slot exhaustion): degrade to
-		// the serial driver rather than failing the query.
 		return q.Q3(s, p)
 	}
-	defer release()
-	return q3Rows(merged)
+	rows := query.PartitionRows(pl, merged, func(pt *region.Table[q3Acc], out *[]Q3Row) {
+		pt.Range(func(k int64, a *q3Acc) bool {
+			*out = append(*out, q3Row(k, a))
+			return true
+		})
+	})
+	return SortQ3(rows)
 }
 
-// Q5Par is Q5 fanned out over `workers` block-sharded scan workers.
+// Q5Par is Q5 fanned out over `workers` block-sharded scan workers; the
+// nation-resolution finishing pass shards over the nation collection's
+// blocks with the merged revenue table probed read-only.
 func (q *SMCQueries) Q5Par(s *core.Session, p Params, workers int) []Q5Row {
-	if workers < 1 {
-		workers = 1
-	}
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
 	lo, hi := p.Q5Date, p.Q5Date.AddYears(1)
 	regionName := []byte(p.Q5Region)
-	merged, release, err := joinScan(q, s, workers,
+	merged, err := query.Table(pl, q.db.Lineitems, joinTableHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q5Block(ws, blk, lo, hi, regionName, t)
 		}, mergeDec)
 	if err != nil {
 		return q.Q5(s, p)
 	}
-	defer release()
-	return q.q5Finish(s, merged)
+	rows := make([]Q5Row, 0)
+	if merged != nil && merged.Len() > 0 {
+		rows, err = query.Rows(pl, q.db.Nations, func(_ *core.Session, blk *mem.Block, out *[]Q5Row) {
+			q.q5FinishBlock(blk, merged, out)
+		})
+		if err != nil {
+			return q.Q5(s, p)
+		}
+	}
+	SortQ5(rows)
+	return rows
 }
 
-// Q10Par is Q10 fanned out over `workers` block-sharded scan workers.
+// Q10Par is Q10 fanned out over `workers` block-sharded scan workers;
+// the customer-resolution finishing pass shards over the customer
+// collection's blocks.
 func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
-	if workers < 1 {
-		workers = 1
-	}
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
 	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
-	merged, release, err := joinScan(q, s, workers,
+	merged, err := query.Table(pl, q.db.Lineitems, joinTableHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q10Block(ws, blk, lo, hi, t)
 		}, mergeDec)
 	if err != nil {
 		return q.Q10(s, p)
 	}
-	defer release()
-	return q.q10Finish(s, merged)
+	rows := make([]Q10Row, 0)
+	if merged != nil && merged.Len() > 0 {
+		rows, err = query.Rows(pl, q.db.Customers, func(ws *core.Session, blk *mem.Block, out *[]Q10Row) {
+			q.q10FinishBlock(ws, blk, merged, out)
+		})
+		if err != nil {
+			return q.Q10(s, p)
+		}
+	}
+	return SortQ10(rows)
 }

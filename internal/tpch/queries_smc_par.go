@@ -6,16 +6,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/decimal"
 	"repro/internal/mem"
+	"repro/internal/query"
 	"repro/internal/types"
 )
 
 // Parallel compiled queries: the scan-dominated kernels (Q1, Q6) fanned
-// out over mem.ScanParallel. Each worker folds into its own accumulator
-// set (cache-line padded against false sharing) and the partials merge
-// after the scan — the paper's per-thread generated query state, one per
-// worker instead of one per stream. The per-block kernels are shared
-// with the serial Q1/Q6, so serial and parallel execute byte-identical
-// inner loops.
+// out over the pipeline layer's Accum stage. Each worker folds into its
+// own accumulator set (cache-line padded against false sharing) and the
+// partials merge in worker order after the scan — the paper's per-thread
+// generated query state, one per worker instead of one per stream. The
+// per-block kernels are shared with the serial Q1/Q6, so serial and
+// parallel execute byte-identical inner loops.
 
 // q1Dense is the dense (returnflag, linestatus) accumulator table of the
 // compiled Q1 kernel: the query compiler knows both grouping attributes
@@ -220,48 +221,38 @@ func (q *SMCQueries) q6Block(blk *mem.Block, p Params, hi types.Date, lo, hiD de
 // Results are identical to Q1 on a quiesced collection; under concurrent
 // mutation both have the enumerator's bag semantics.
 func (q *SMCQueries) Q1Par(s *core.Session, p Params, workers int) []Q1Row {
-	if workers < 1 {
-		workers = 1
-	}
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
 	cutoff := p.Q1Cutoff()
 	columnar := q.db.Layout == core.Columnar
-	dense := make([]q1Dense, workers)
-	err := q.db.Lineitems.Context().ScanParallel(s.Mem(), workers, func(w int, _ *mem.Session, blk *mem.Block) error {
-		q.q1Block(blk, cutoff, columnar, &dense[w])
-		return nil
-	})
+	total, err := query.Accum(pl, q.db.Lineitems,
+		func(_ int, _ *core.Session, blk *mem.Block, acc *q1Dense) {
+			q.q1Block(blk, cutoff, columnar, acc)
+		},
+		func(dst, src *q1Dense) { dst.mergeFrom(src) })
 	if err != nil {
 		// Worker sessions were unavailable (slot exhaustion): degrade to
 		// the serial kernel rather than failing the query.
 		return q.Q1(s, p)
-	}
-	total := &dense[0]
-	for w := 1; w < workers; w++ {
-		total.mergeFrom(&dense[w])
 	}
 	return q1Finish(total.groups())
 }
 
 // Q6Par is Q6 fanned out over `workers` block-sharded scan workers.
 func (q *SMCQueries) Q6Par(s *core.Session, p Params, workers int) decimal.Dec128 {
-	if workers < 1 {
-		workers = 1
-	}
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
 	hi := p.Q6Date.AddYears(1)
 	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
 	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
 	columnar := q.db.Layout == core.Columnar
-	sums := make([]q6Sum, workers)
-	err := q.db.Lineitems.Context().ScanParallel(s.Mem(), workers, func(w int, _ *mem.Session, blk *mem.Block) error {
-		q.q6Block(blk, p, hi, lo, hiD, columnar, &sums[w])
-		return nil
-	})
+	out, err := query.Accum(pl, q.db.Lineitems,
+		func(_ int, _ *core.Session, blk *mem.Block, acc *q6Sum) {
+			q.q6Block(blk, p, hi, lo, hiD, columnar, acc)
+		},
+		func(dst, src *q6Sum) { decimal.AddAssign(&dst.sum, &src.sum) })
 	if err != nil {
 		return q.Q6(s, p)
 	}
-	out := sums[0].sum
-	for w := 1; w < workers; w++ {
-		decimal.AddAssign(&out, &sums[w].sum)
-	}
-	return out
+	return out.sum
 }
