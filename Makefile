@@ -2,7 +2,13 @@ GO ?= go
 SF ?= 0.05
 REPS ?= 5
 
-.PHONY: build vet test race-stress bench bench-joins clean
+# Figure outputs; CI overrides these to *.new.json so the benchdiff gate
+# can compare them against the committed baselines.
+PAR_OUT ?= BENCH_parallel.json
+JOINS_OUT ?= BENCH_joins.json
+COMPACT_OUT ?= BENCH_compact.json
+
+.PHONY: build vet test race-stress bench bench-joins bench-compact benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -13,21 +19,36 @@ vet:
 test: build vet
 	$(GO) test ./...
 
-# The parallel-scan, pipeline and parallel-join stress tests
-# (exactly-once and exact serial results under churn + compaction) under
-# the race detector.
+# The parallel-scan, pipeline, parallel-join, parallel-compaction and
+# maintainer stress tests (exactly-once and exact serial results under
+# churn + compaction) under the race detector.
 race-stress:
-	$(GO) test -race -run Parallel ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+	$(GO) test -race -run 'Parallel|Maintainer|Compact' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
 bench:
-	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json BENCH_parallel.json
+	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json $(PAR_OUT)
 
 # Emit the parallel-join scaling figure (Q3/Q5/Q7/Q8/Q9/Q10 over the
 # unified query-pipeline layer) as BENCH_joins.json.
 bench-joins:
-	$(GO) run ./cmd/smcbench -fig joins -sf $(SF) -reps $(REPS) -json-joins BENCH_joins.json
+	$(GO) run ./cmd/smcbench -fig joins -sf $(SF) -reps $(REPS) -json-joins $(JOINS_OUT)
+
+# Emit the parallel-compaction figure (reclamation throughput and Q1/Q6
+# interference over 1..NumCPU move workers) as BENCH_compact.json.
+bench-compact:
+	$(GO) run ./cmd/smcbench -fig compact -sf $(SF) -reps $(REPS) -json-compact $(COMPACT_OUT)
+
+# Perf-regression gate: compare freshly emitted *.new.json figures
+# against the committed baselines (workers=1 points, >30% fails; skips
+# cleanly on a CPU-count mismatch). Run the bench targets with
+# *_OUT=...new.json first — see .github/workflows/ci.yml.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_parallel.json BENCH_parallel.new.json
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_joins.json BENCH_joins.new.json
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_compact.json BENCH_compact.new.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_joins.json
+	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json \
+		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json

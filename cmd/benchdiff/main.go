@@ -1,0 +1,185 @@
+// Command benchdiff is the CI perf-regression gate: it compares a
+// freshly emitted benchmark figure JSON (BENCH_parallel.json,
+// BENCH_joins.json, BENCH_compact.json) against the committed baseline
+// and fails when any matching measurement slowed down past the
+// threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.30] [-min-delta-ms 0.25] [-skip-missing] baseline.json fresh.json
+//
+// The comparison is deliberately conservative about what it gates on:
+//
+//   - Only the workers=1 point is compared. Baselines in this repo were
+//     recorded on CI-class (often 1-CPU) containers, where multi-worker
+//     points measure scheduler noise, not the engine; the 1-worker point
+//     is the stable serial baseline every figure is required to keep
+//     honest.
+//   - Only metrics present in both files compare (keys ending in "_ms");
+//     each key encodes its (query, layout) series — q1_row_ms matches
+//     q1_row_ms, never q1_col_ms — so points match on (query, layout,
+//     workers=1) exactly.
+//   - When the two files' meta blocks disagree on the CPU count, or the
+//     files disagree on the scale factor, the gate skips cleanly (exit 0
+//     with a note): a curve recorded on different hardware or a
+//     different dataset size is not a regression signal.
+//   - Sub-threshold absolute deltas never fail: -min-delta-ms guards
+//     the ratio test against sub-millisecond noise on shared runners.
+//
+// Exit codes: 0 ok or skipped, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type figureMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+type figureFile struct {
+	SF     float64          `json:"sf"`
+	Meta   figureMeta       `json:"meta"`
+	Points []map[string]any `json:"points"`
+}
+
+// diffLine is one compared metric at the workers=1 point.
+type diffLine struct {
+	Metric     string
+	BaseMs     float64
+	FreshMs    float64
+	Regression bool
+}
+
+// workersOnePoint returns the figure's workers==1 point, or nil.
+func workersOnePoint(f *figureFile) map[string]any {
+	for _, pt := range f.Points {
+		if w, ok := pt["workers"].(float64); ok && w == 1 {
+			return pt
+		}
+	}
+	return nil
+}
+
+// compare diffs every "_ms" metric the two workers=1 points share. A
+// metric regresses when fresh > base*(1+threshold) and the absolute
+// slowdown exceeds minDeltaMs.
+func compare(base, fresh *figureFile, threshold, minDeltaMs float64) ([]diffLine, error) {
+	bp, fp := workersOnePoint(base), workersOnePoint(fresh)
+	if bp == nil || fp == nil {
+		return nil, fmt.Errorf("no workers=1 point (baseline: %v, fresh: %v)", bp != nil, fp != nil)
+	}
+	keys := make([]string, 0, len(bp))
+	for k := range bp {
+		if strings.HasSuffix(k, "_ms") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var lines []diffLine
+	for _, k := range keys {
+		bv, bok := bp[k].(float64)
+		fv, fok := fp[k].(float64)
+		if !bok || !fok || bv <= 0 {
+			continue
+		}
+		lines = append(lines, diffLine{
+			Metric:     k,
+			BaseMs:     bv,
+			FreshMs:    fv,
+			Regression: fv > bv*(1+threshold) && fv-bv > minDeltaMs,
+		})
+	}
+	return lines, nil
+}
+
+// shouldSkip reports whether the two figures were measured in
+// environments too different to compare, with the reason.
+func shouldSkip(base, fresh *figureFile) (string, bool) {
+	if base.Meta.NumCPU != 0 && fresh.Meta.NumCPU != 0 && base.Meta.NumCPU != fresh.Meta.NumCPU {
+		return fmt.Sprintf("CPU count mismatch (baseline %d, fresh %d): different hardware",
+			base.Meta.NumCPU, fresh.Meta.NumCPU), true
+	}
+	if base.SF != 0 && fresh.SF != 0 && base.SF != fresh.SF {
+		return fmt.Sprintf("scale-factor mismatch (baseline %v, fresh %v): not comparable",
+			base.SF, fresh.SF), true
+	}
+	return "", false
+}
+
+func readFigure(path string) (*figureFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f figureFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	var (
+		threshold   = flag.Float64("threshold", 0.30, "relative slowdown that fails the gate (0.30 = 30%)")
+		minDeltaMs  = flag.Float64("min-delta-ms", 0.25, "absolute slowdown (ms) below which a ratio miss is noise, not a regression")
+		skipMissing = flag.Bool("skip-missing", false, "exit 0 when either file is missing (first run of a new figure)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] [-min-delta-ms 0.25] [-skip-missing] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	basePath, freshPath := flag.Arg(0), flag.Arg(1)
+
+	for _, p := range []string{basePath, freshPath} {
+		if _, err := os.Stat(p); err != nil && *skipMissing {
+			fmt.Printf("benchdiff: %s missing, skipping gate\n", p)
+			return
+		}
+	}
+	base, err := readFigure(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := readFigure(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if reason, skip := shouldSkip(base, fresh); skip {
+		fmt.Printf("benchdiff: %s, skipping gate\n", reason)
+		return
+	}
+
+	lines, err := compare(base, fresh, *threshold, *minDeltaMs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s vs %s: %v\n", basePath, freshPath, err)
+		os.Exit(2)
+	}
+	regressions := 0
+	fmt.Printf("benchdiff: %s vs %s (workers=1, threshold %.0f%%, min delta %.2fms)\n",
+		basePath, freshPath, *threshold*100, *minDeltaMs)
+	for _, l := range lines {
+		mark := "  "
+		if l.Regression {
+			mark = "! "
+			regressions++
+		}
+		fmt.Printf("  %s%-16s %8.3f -> %8.3f ms (%+.0f%%)\n",
+			mark, l.Metric, l.BaseMs, l.FreshMs, 100*(l.FreshMs-l.BaseMs)/l.BaseMs)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

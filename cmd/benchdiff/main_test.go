@@ -1,0 +1,117 @@
+package main
+
+import "testing"
+
+func fig(numCPU int, points ...map[string]any) *figureFile {
+	return &figureFile{Meta: figureMeta{NumCPU: numCPU}, Points: points}
+}
+
+func pt(workers float64, metrics map[string]float64) map[string]any {
+	m := map[string]any{"workers": workers}
+	for k, v := range metrics {
+		m[k] = v
+	}
+	return m
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := fig(1, pt(1, map[string]float64{"q1_row_ms": 10, "q6_row_ms": 2}))
+	fresh := fig(1, pt(1, map[string]float64{"q1_row_ms": 14, "q6_row_ms": 2.1}))
+	lines, err := compare(base, fresh, 0.30, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, l := range lines {
+		got[l.Metric] = l.Regression
+	}
+	if !got["q1_row_ms"] {
+		t.Fatal("q1_row_ms +40% not flagged")
+	}
+	if got["q6_row_ms"] {
+		t.Fatal("q6_row_ms +5% flagged")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := fig(1, pt(1, map[string]float64{"q1_row_ms": 10}))
+	fresh := fig(1, pt(1, map[string]float64{"q1_row_ms": 12.9}))
+	lines, err := compare(base, fresh, 0.30, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0].Regression {
+		t.Fatalf("+29%% flagged as regression: %+v", lines)
+	}
+}
+
+func TestCompareMinDeltaGuardsNoise(t *testing.T) {
+	// +100% but only 0.1ms absolute: noise on a shared runner, not a
+	// regression.
+	base := fig(1, pt(1, map[string]float64{"q6_col_ms": 0.1}))
+	fresh := fig(1, pt(1, map[string]float64{"q6_col_ms": 0.2}))
+	lines, err := compare(base, fresh, 0.30, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Regression {
+		t.Fatal("0.1ms delta flagged despite min-delta guard")
+	}
+}
+
+func TestCompareOnlyWorkersOne(t *testing.T) {
+	// A blow-up at 4 workers does not gate; only workers=1 compares.
+	base := fig(1,
+		pt(1, map[string]float64{"q1_row_ms": 10}),
+		pt(4, map[string]float64{"q1_row_ms": 3}))
+	fresh := fig(1,
+		pt(1, map[string]float64{"q1_row_ms": 10}),
+		pt(4, map[string]float64{"q1_row_ms": 30}))
+	lines, err := compare(base, fresh, 0.30, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		if l.Regression {
+			t.Fatalf("multi-worker point gated: %+v", l)
+		}
+	}
+}
+
+func TestCompareIgnoresUnsharedAndNonMsKeys(t *testing.T) {
+	base := fig(1, pt(1, map[string]float64{"q1_row_ms": 10, "reclaim_mbps": 100, "old_only_ms": 5}))
+	fresh := fig(1, pt(1, map[string]float64{"q1_row_ms": 10, "reclaim_mbps": 10, "new_only_ms": 50}))
+	lines, err := compare(base, fresh, 0.30, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0].Metric != "q1_row_ms" {
+		t.Fatalf("compared keys = %+v, want only q1_row_ms", lines)
+	}
+}
+
+func TestShouldSkipEnvironmentMismatch(t *testing.T) {
+	a := fig(1, pt(1, nil))
+	b := fig(4, pt(1, nil))
+	if _, skip := shouldSkip(a, b); !skip {
+		t.Fatal("CPU-count mismatch not skipped")
+	}
+	c := fig(1, pt(1, nil))
+	c.SF = 0.05
+	d := fig(1, pt(1, nil))
+	d.SF = 0.01
+	if _, skip := shouldSkip(c, d); !skip {
+		t.Fatal("scale-factor mismatch not skipped")
+	}
+	if _, skip := shouldSkip(a, fig(1, pt(1, nil))); skip {
+		t.Fatal("matching environments skipped")
+	}
+}
+
+func TestCompareNoWorkersOnePoint(t *testing.T) {
+	base := fig(1, pt(2, map[string]float64{"q1_row_ms": 10}))
+	fresh := fig(1, pt(1, map[string]float64{"q1_row_ms": 10}))
+	if _, err := compare(base, fresh, 0.30, 0.25); err == nil {
+		t.Fatal("missing workers=1 point not reported")
+	}
+}

@@ -13,8 +13,10 @@
 // engines), ablation (design-choice ablations), par (parallel scan
 // scaling over 1..NumCPU workers; -json writes BENCH_parallel.json),
 // joins (parallel join scaling for Q3/Q5/Q7/Q8/Q9/Q10 over the unified
-// query-pipeline layer; -json-joins writes BENCH_joins.json). JSON
-// output is stamped with GOMAXPROCS, NumCPU and the Go version so
+// query-pipeline layer; -json-joins writes BENCH_joins.json), compact
+// (parallel compaction: reclamation throughput and Q1/Q6 interference
+// over 1..NumCPU move workers; -json-compact writes BENCH_compact.json).
+// JSON output is stamped with GOMAXPROCS, NumCPU and the Go version so
 // curves are self-describing.
 package main
 
@@ -31,14 +33,15 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins or 'all'")
-		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed      = flag.Uint64("seed", 42, "generator seed")
-		reps      = flag.Int("reps", 3, "repetitions per measurement (median)")
-		heap      = flag.Bool("heap-backend", false, "force the portable off-heap backend")
-		jsonPath  = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
-		joinsPath = flag.String("json-joins", "", "write the 'joins' figure's result as JSON to this path")
-		workers   = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins' figures (default 1,2,4..NumCPU)")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact or 'all'")
+		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed        = flag.Uint64("seed", 42, "generator seed")
+		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
+		heap        = flag.Bool("heap-backend", false, "force the portable off-heap backend")
+		jsonPath    = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
+		joinsPath   = flag.String("json-joins", "", "write the 'joins' figure's result as JSON to this path")
+		compactPath = flag.String("json-compact", "", "write the 'compact' figure's result as JSON to this path")
+		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
 
@@ -56,14 +59,26 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact"}
 	want := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins"} {
+		for _, f := range allFigs {
 			want[f] = true
 		}
 	} else {
+		known := map[string]bool{}
+		for _, f := range allFigs {
+			known[f] = true
+		}
 		for _, f := range strings.Split(*fig, ",") {
-			want[strings.TrimSpace(f)] = true
+			f = strings.TrimSpace(f)
+			if !known[f] {
+				// Exit non-zero instead of silently doing nothing: a typo'd
+				// figure name in a CI step must fail the step.
+				fmt.Fprintf(os.Stderr, "smcbench: unknown figure %q (valid: %s or 'all')\n", f, strings.Join(allFigs, ","))
+				os.Exit(2)
+			}
+			want[f] = true
 		}
 	}
 
@@ -188,6 +203,18 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *joinsPath != "" {
 			writeJSONFile("joins", *joinsPath, r.WriteJSON)
+		}
+	}
+	if want["compact"] {
+		compactOpts := opts
+		compactOpts.Threads = parWorkers
+		r, err := bench.FigureCompact(compactOpts)
+		if err != nil {
+			fail("compact", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *compactPath != "" {
+			writeJSONFile("compact", *compactPath, r.WriteJSON)
 		}
 	}
 }

@@ -102,4 +102,37 @@
 // workers; both figure JSONs are stamped with GOMAXPROCS/NumCPU/Go
 // version. examples/query_pipeline shows a custom (non-TPC-H)
 // aggregation on the pipeline.
+//
+// # Parallel compaction engine and maintenance scheduler
+//
+// The §5.2 maintenance path got the same treatment as the query side:
+// a compaction pass is planned exactly once (one block-order snapshot,
+// one decision per compaction group, the freezing and relocation epoch
+// waits unchanged and global), and the moving phase then fans the
+// per-group work out over worker sessions leased from the manager's
+// session pool, claimed through an atomic work-stealing cursor.
+// Compaction groups are independent by construction — disjoint source
+// blocks, a private target block, per-group query pins and per-group
+// abort — so the pin-drain/retry/bail-out protocol runs single-owner on
+// whichever worker claimed the group, and readers keep helping or
+// bailing relocations exactly as they do against the serial compactor.
+// The serial moving phase survives behind workers=1
+// (mem.CompactNowWorkers) as the oracle the parallel engine is tested
+// against.
+//
+// On top of it, mem.Maintainer is the §5 "dedicated compaction thread"
+// grown into a background maintenance scheduler: it polls
+// Manager.FragmentationSnapshot and triggers parallel passes once any
+// context can form a group (and, optionally, once a configurable
+// fraction of the heap is fragmented), replacing ad-hoc CompactNow
+// calls. core.Runtime.StatsSnapshot surfaces the engine's counters
+// (groups moved/aborted, helped moves, bail-outs, bytes reclaimed,
+// pass wall time) next to the session-pool and arena-pool metrics.
+//
+// The `compact` figure of cmd/smcbench (and `make bench-compact`, which
+// writes BENCH_compact.json) sweeps reclamation throughput and Q1/Q6
+// interference over 1..NumCPU move workers, and cmd/benchdiff gates CI
+// on the committed figure baselines: >30% slowdown at a matching
+// (query, layout, workers=1) point fails the build, skipping cleanly
+// when the meta blocks show a CPU-count mismatch.
 package repro

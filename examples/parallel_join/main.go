@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decimal"
+	"repro/internal/mem"
 	"repro/internal/tpch"
 )
 
@@ -34,10 +35,11 @@ func main() {
 	s := rt.MustSession()
 	defer s.Close()
 
-	// A background compactor may run freely: parallel scans pin their
-	// snapshot epoch, so a compaction planned mid-scan aborts harmlessly.
-	stopCompactor := rt.StartCompactor(50 * time.Millisecond)
-	defer stopCompactor()
+	// The background maintenance scheduler may run freely: parallel scans
+	// pin their snapshot epoch, so a compaction pass planned mid-scan
+	// aborts harmlessly. Passes fan their groups out over all cores.
+	mt := rt.StartMaintainer(mem.MaintainerConfig{Interval: 50 * time.Millisecond})
+	defer mt.Stop()
 
 	fmt.Println("generating TPC-H data and loading collections (direct-pointer layout)...")
 	data := tpch.Generate(0.05, 42)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/tpch"
 )
 
@@ -24,9 +25,10 @@ func main() {
 	s := rt.MustSession()
 	defer s.Close()
 
-	// Background threads: the §5 compactor and the §3.1 overflow scanner.
-	stopCompactor := rt.StartCompactor(50 * time.Millisecond)
-	defer stopCompactor()
+	// Background threads: the §5 maintenance scheduler (threshold-driven
+	// parallel compaction) and the §3.1 overflow scanner.
+	mt := rt.StartMaintainer(mem.MaintainerConfig{Interval: 50 * time.Millisecond})
+	defer mt.Stop()
 	stopScanner := rt.StartOverflowScanner(time.Second)
 	defer stopScanner()
 
@@ -83,12 +85,13 @@ func main() {
 		fmt.Printf("  %-22s %-12s %12s\n", r.Name, r.Nation, r.Revenue)
 	}
 
-	// Refresh churn: delete a slice of lineitems, let the compactor pack
-	// the blocks, and re-run a query — results shrink consistently.
-	fmt.Println("\nchurning: removing ~20% of lineitems, then re-running Q10...")
+	// Refresh churn: delete most lineitems, dropping block occupancy
+	// under the 30% compaction threshold — no ad-hoc CompactNow call; the
+	// maintainer notices the fragmentation and packs the blocks itself.
+	fmt.Println("\nchurning: removing ~80% of lineitems, waiting for the maintainer to compact...")
 	var victims []core.Ref[tpch.SLineitem]
 	db.Lineitems.ForEach(s, func(r core.Ref[tpch.SLineitem], l *tpch.SLineitem) bool {
-		if l.OrderKey%5 == 0 {
+		if l.OrderKey%5 != 0 {
 			victims = append(victims, r)
 		}
 		return true
@@ -98,14 +101,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if _, err := rt.CompactNow(); err != nil {
-		log.Fatal(err)
+	deadline := time.Now().Add(5 * time.Second)
+	for mt.Passes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
 	}
 	q10b := q.Q10(s, p)
-	fmt.Printf("after churn+compaction: %d lineitems remain; Q10 still returns %d rows\n",
-		db.Lineitems.Len(), len(q10b))
+	fmt.Printf("after churn, %d maintainer pass(es): %d lineitems remain; Q10 returns %d rows\n",
+		mt.Passes(), db.Lineitems.Len(), len(q10b))
 
 	st := rt.Manager().Stats()
-	fmt.Printf("\nmanager stats: %d allocs, %d frees, %d compactions, %d objects moved\n",
-		st.Allocs.Load(), st.Frees.Load(), st.Compactions.Load(), st.ObjectsMoved.Load())
+	fmt.Printf("\nmanager stats: %d allocs, %d frees, %d compactions, %d objects moved, %d groups moved, %.1f MB reclaimed\n",
+		st.Allocs.Load(), st.Frees.Load(), st.Compactions.Load(), st.ObjectsMoved.Load(),
+		st.GroupsMoved.Load(), float64(st.BytesReclaimed.Load())/(1<<20))
 }

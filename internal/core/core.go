@@ -71,6 +71,9 @@ type Options struct {
 	// CompactionThreshold is the occupancy below which blocks join
 	// compaction groups (default 30%, §5.2).
 	CompactionThreshold float64
+	// CompactionWorkers is the default move-phase worker count for
+	// compaction passes (default GOMAXPROCS; 1 = serial oracle path).
+	CompactionWorkers int
 	// HeapBackend forces the portable off-heap backend (tests).
 	HeapBackend bool
 }
@@ -81,6 +84,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		BlockSize:           opts.BlockSize,
 		ReclaimThreshold:    opts.ReclaimThreshold,
 		CompactionThreshold: opts.CompactionThreshold,
+		CompactionWorkers:   opts.CompactionWorkers,
 		HeapBackend:         opts.HeapBackend,
 	})
 	if err != nil {
@@ -122,13 +126,33 @@ func (rt *Runtime) MustSession() *Session {
 	return s
 }
 
-// CompactNow synchronously runs one compaction pass (§5).
+// CompactNow synchronously runs one compaction pass (§5) with the
+// runtime's configured worker count.
 func (rt *Runtime) CompactNow() (moved int, err error) { return rt.mgr.CompactNow() }
+
+// CompactNowWorkers runs one compaction pass with an explicit move-phase
+// worker count (<= 0 selects the configured default; 1 is the serial
+// oracle path).
+func (rt *Runtime) CompactNowWorkers(workers int) (moved int, err error) {
+	return rt.mgr.CompactNowWorkers(workers)
+}
 
 // StartCompactor runs the background compaction thread of §5; the
 // returned function stops it.
 func (rt *Runtime) StartCompactor(interval time.Duration) func() {
 	return rt.mgr.StartCompactor(interval)
+}
+
+// StartMaintainer launches the background maintenance scheduler: it
+// watches occupancy/fragmentation and triggers parallel compaction
+// passes under the configured thresholds (see mem.MaintainerConfig).
+func (rt *Runtime) StartMaintainer(cfg mem.MaintainerConfig) *mem.Maintainer {
+	return rt.mgr.StartMaintainer(cfg)
+}
+
+// FragmentationSnapshot surveys the heap's compactable blocks.
+func (rt *Runtime) FragmentationSnapshot() mem.Fragmentation {
+	return rt.mgr.FragmentationSnapshot()
 }
 
 // RescueOverflowed synchronously runs one §3.1 overflow rescue scan:

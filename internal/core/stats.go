@@ -35,8 +35,14 @@ type RuntimeStats struct {
 	SessionsLeased, SessionsReused int64
 	// Block registry churn.
 	BlocksAllocated, BlocksReleased int64
-	// Compaction activity.
-	Compactions, ObjectsMoved int64
+	// Compaction engine activity: passes run, objects relocated, groups
+	// whose moving phase completed, groups abandoned (pinned past the
+	// timeout or lost at an epoch wait), reader-helped moves and reader
+	// bail-outs, block bytes reclaimed, and cumulative pass wall time.
+	Compactions, ObjectsMoved    int64
+	GroupsMoved, GroupsAborted   int64
+	RelocHelped, RelocBailouts   int64
+	BytesReclaimed, CompactNanos int64
 	// Per-registered-pool arena lease metrics, in registration order.
 	ArenaPools []ArenaPoolStats
 }
@@ -83,6 +89,12 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 		BlocksReleased:  ms.BlocksReleased.Load(),
 		Compactions:     ms.Compactions.Load(),
 		ObjectsMoved:    ms.ObjectsMoved.Load(),
+		GroupsMoved:     ms.GroupsMoved.Load(),
+		GroupsAborted:   ms.GroupsAborted.Load(),
+		RelocHelped:     ms.RelocHelped.Load(),
+		RelocBailouts:   ms.RelocBailouts.Load(),
+		BytesReclaimed:  ms.BytesReclaimed.Load(),
+		CompactNanos:    ms.CompactNanos.Load(),
 	}
 	rt.mu.Lock()
 	pools := make([]namedPool, len(rt.pools))

@@ -63,4 +63,30 @@ func TestRuntimeStatsCountersMove(t *testing.T) {
 	if st.BlocksAllocated == 0 {
 		t.Fatal("BlocksAllocated did not move after loading a collection")
 	}
+
+	// Compaction engine counters: fragment the collection (90% removed
+	// leaves every full block under the 30% threshold) and run a pass.
+	var refs []Ref[scanRow]
+	coll.ForEach(s, func(r Ref[scanRow], _ *scanRow) bool {
+		refs = append(refs, r)
+		return true
+	})
+	for i, r := range refs {
+		if i%10 != 0 {
+			if err := coll.Remove(s, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := rt.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = rt.StatsSnapshot()
+	if st.Compactions == 0 || st.ObjectsMoved == 0 {
+		t.Fatalf("compaction pass counters did not move: %+v", st)
+	}
+	if st.GroupsMoved == 0 || st.BytesReclaimed == 0 || st.CompactNanos == 0 {
+		t.Fatalf("compaction engine counters did not move: GroupsMoved=%d BytesReclaimed=%d CompactNanos=%d",
+			st.GroupsMoved, st.BytesReclaimed, st.CompactNanos)
+	}
 }

@@ -95,12 +95,35 @@ func (c *Context) incCellFor(blk *Block, slot int) *uint32 {
 	return (*uint32)(unsafe.Add(blk.backEntry(slot), 8))
 }
 
-// CompactNow runs one full compaction pass over all contexts, returning
-// the number of objects moved. Concurrent application work may proceed;
-// only one compaction runs at a time.
+// CompactNow runs one full compaction pass over all contexts with the
+// manager's configured worker count, returning the number of objects
+// moved. Concurrent application work may proceed; only one compaction
+// runs at a time.
 func (m *Manager) CompactNow() (int, error) {
+	return m.CompactNowWorkers(0)
+}
+
+// CompactNowWorkers runs one full compaction pass with an explicit
+// move-phase worker count; workers <= 0 selects the configured default
+// (Config.CompactionWorkers). The pass is planned exactly once — one
+// block-order snapshot, one decision per compaction group — and then the
+// per-group move work fans out over a pool of worker sessions drawn from
+// LeaseSession with an atomic work-stealing cursor. Groups are
+// independent by construction (disjoint source blocks, private target
+// block, per-group pins and abort), so the epoch-wait/retry/abort
+// protocol is untouched and stays per-group; with workers == 1 the
+// moving phase is byte-for-byte the serial pass, kept as the oracle.
+func (m *Manager) CompactNowWorkers(workers int) (int, error) {
+	if workers <= 0 {
+		workers = m.cfg.CompactionWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	m.compactMu.Lock()
 	defer m.compactMu.Unlock()
+	start := time.Now()
+	defer func() { m.stats.CompactNanos.Add(time.Since(start).Nanoseconds()) }()
 
 	cs, err := m.NewSession()
 	if err != nil {
@@ -154,17 +177,16 @@ func (m *Manager) CompactNow() (int, error) {
 		m.abortRun(groups)
 		return 0, nil
 	}
-	// Moving phase.
+	// Moving phase: fan the per-group move work out over the workers.
 	m.movingPhase.Store(true)
-	moved := 0
+	moved := m.moveGroups(groups, workers)
 	var emptied []*Block
 	basesByCtx := make(map[*Context]map[uintptr]bool)
 	for _, g := range groups {
-		n, ok := m.moveGroup(g)
-		moved += n
-		if !ok {
+		if g.state.Load() == gAborted {
 			continue
 		}
+		m.stats.GroupsMoved.Add(1)
 		for _, b := range g.blocks {
 			if b.validCount.Load() == 0 {
 				emptied = append(emptied, b)
@@ -177,6 +199,7 @@ func (m *Manager) CompactNow() (int, error) {
 			}
 		}
 	}
+	m.stats.BytesReclaimed.Add(int64(len(emptied)) * int64(m.cfg.BlockSize))
 
 	// Direct-pointer fix-up: rewrite in-object pointers into relocated
 	// blocks (§6) while the tombstoned blocks are still mapped.
@@ -459,6 +482,67 @@ func (m *Manager) moveGroup(g *CompactionGroup) (int, bool) {
 	return moved, true
 }
 
+// moveGroups drives the moving phase over every planned group. With one
+// worker it is exactly the serial pass. With more, workers claim whole
+// groups from an atomic work-stealing cursor, so independent groups (and
+// independent contexts) move concurrently while each group's own
+// pin-drain/retry/abort protocol runs single-owner on the worker that
+// claimed it — concurrent helpers remain safe exactly as they are for
+// the serial compactor, via moveOne's per-slot CAS locking. Extra
+// workers run on sessions leased from the manager's session pool; the
+// coordinator goroutine participates as worker zero, and a failed lease
+// degrades to fewer workers rather than failing the pass.
+func (m *Manager) moveGroups(groups []*CompactionGroup, workers int) int {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		moved := 0
+		for _, g := range groups {
+			n, _ := m.moveGroup(g)
+			moved += n
+		}
+		return moved
+	}
+	var cursor atomic.Int64
+	counts := make([]int64, workers)
+	run := func(w int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(groups) {
+				return
+			}
+			n, _ := m.moveGroup(groups[i])
+			counts[w] += int64(n)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		ws, err := m.LeaseSession()
+		if err != nil {
+			break // epoch slots exhausted: proceed with fewer workers
+		}
+		wg.Add(1)
+		go func(w int, ws *Session) {
+			defer wg.Done()
+			defer m.ReturnSession(ws)
+			// The critical section publishes the worker at the relocation
+			// epoch; it exits before the coordinator closes the epoch, so
+			// the final gated advance never waits on a move worker.
+			ws.Enter()
+			defer ws.Exit()
+			run(w)
+		}(w, ws)
+	}
+	run(0)
+	wg.Wait()
+	moved := 0
+	for _, c := range counts {
+		moved += int(c)
+	}
+	return moved
+}
+
 // helpGroup moves every resolvable scheduled relocation of g on behalf of
 // an enumerator that found the group in its moving phase (§5.2). It
 // returns true when no relocation remains unresolved — the group's
@@ -541,6 +625,7 @@ func (m *Manager) abortGroup(g *CompactionGroup) {
 		g.target.targetOf.Store(nil)
 	}
 	g.state.Store(gAborted)
+	m.stats.GroupsAborted.Add(1)
 }
 
 func (m *Manager) abortRun(groups []*CompactionGroup) {
@@ -738,34 +823,4 @@ func (m *Manager) fixupDirectPointers(c *Context, bases map[uintptr]bool) {
 
 func copyBytes(dst, src unsafe.Pointer, n uintptr) {
 	copy(unsafe.Slice((*byte)(dst), n), unsafe.Slice((*byte)(src), n))
-}
-
-// StartCompactor launches a background goroutine that runs CompactNow
-// whenever NeedsCompaction reports work, polling at the given interval.
-// The returned stop function blocks until the goroutine exits; calling it
-// more than once is safe.
-func (m *Manager) StartCompactor(interval time.Duration) (stop func()) {
-	done := make(chan struct{})
-	finished := make(chan struct{})
-	go func() {
-		defer close(finished)
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				if m.NeedsCompaction() {
-					_, _ = m.CompactNow()
-				}
-				m.drainGraveyard()
-			}
-		}
-	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() { close(done) })
-		<-finished
-	}
 }

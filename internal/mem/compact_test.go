@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -106,6 +107,57 @@ func TestCompactionEmptiesSparseBlocks(t *testing.T) {
 				t.Fatal("no block memory released after grace period")
 			}
 		})
+	}
+}
+
+// TestParallelCompactionMatchesSerialOracle: a parallel moving phase
+// must produce the same surviving-object set, valid references and
+// shrunken block list as the serial pass at every worker count. The
+// churn is deterministic, so the workers=1 pass (the oracle, exactly
+// the old serial loop) and every parallel pass must agree with the
+// survivors map, and with each other, exactly.
+func TestParallelCompactionMatchesSerialOracle(t *testing.T) {
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		sweep = append(sweep, n)
+	}
+	for _, layout := range allLayouts() {
+		for _, workers := range sweep {
+			t.Run(fmt.Sprintf("%s/workers=%d", layout, workers), func(t *testing.T) {
+				h := newHarness(t, layout, Config{
+					BlockSize:        1 << 13,
+					ReclaimThreshold: 0.9,
+					HeapBackend:      true,
+				})
+				survivors := churnToLowOccupancy(t, h, 6)
+				before := h.ctx.Blocks()
+				st := h.m.Stats()
+				groupsBefore := st.GroupsMoved.Load()
+				bytesBefore := st.BytesReclaimed.Load()
+				moved, err := h.m.CompactNowWorkers(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if moved == 0 {
+					t.Fatal("compaction moved nothing")
+				}
+				if after := h.ctx.Blocks(); after >= before {
+					t.Fatalf("blocks %d -> %d; compaction did not shrink", before, after)
+				}
+				// Same surviving-object set, every reference valid, and the
+				// enumeration agrees — the oracle property.
+				verifySurvivors(t, h, survivors)
+				if st.GroupsMoved.Load() == groupsBefore {
+					t.Fatal("GroupsMoved did not advance")
+				}
+				if st.BytesReclaimed.Load() == bytesBefore {
+					t.Fatal("BytesReclaimed did not advance")
+				}
+				if st.CompactNanos.Load() == 0 {
+					t.Fatal("CompactNanos not recorded")
+				}
+			})
+		}
 	}
 }
 
@@ -326,16 +378,18 @@ func TestCompactionWithConcurrentChurn(t *testing.T) {
 				}
 			}()
 
-			// Compactor loop.
+			// Compactor loop, rotating the move-phase worker count so the
+			// parallel fan-out runs under churn too.
 			deadline := time.After(400 * time.Millisecond)
 			func() {
-				for {
+				for pass := 0; ; pass++ {
 					select {
 					case <-deadline:
 						close(stop)
 						return
 					default:
-						if _, err := h.m.CompactNow(); err != nil {
+						workers := []int{1, 2, 4}[pass%3]
+						if _, err := h.m.CompactNowWorkers(workers); err != nil {
 							fail.Store(err.Error())
 							close(stop)
 							return

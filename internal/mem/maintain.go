@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Background maintenance scheduler. The paper runs compaction on "a
+// dedicated compaction thread" (§5); Maintainer is that thread grown
+// into a production component: it watches the heap's occupancy and
+// fragmentation through the manager's stats plumbing and triggers
+// parallel compaction passes under configurable thresholds, so
+// applications stop sprinkling ad-hoc CompactNow calls through their
+// code.
+
+// MaintainerConfig tunes the background maintenance scheduler. The zero
+// value is usable: poll every 25ms, trigger once any context has two
+// compactable blocks (the minimum that can form a §5.2 group), use the
+// manager's configured compaction worker count.
+type MaintainerConfig struct {
+	// Interval is the poll period (default 25ms).
+	Interval time.Duration
+	// MinFragmentedBlocks is the number of compaction-candidate blocks a
+	// single context must accumulate before a pass triggers (default 2 —
+	// a compaction group needs at least two sources).
+	MinFragmentedBlocks int
+	// FragmentedFraction optionally gates passes on global fragmentation:
+	// when > 0, a pass also requires candidates/total-blocks >= this
+	// fraction, which keeps a large mostly-dense heap from compacting
+	// over and over for a couple of sparse blocks.
+	FragmentedFraction float64
+	// Workers is the move-phase worker count per pass; <= 0 selects the
+	// manager's configured default (Config.CompactionWorkers).
+	Workers int
+}
+
+func (c MaintainerConfig) withDefaults() MaintainerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	if c.MinFragmentedBlocks <= 0 {
+		c.MinFragmentedBlocks = 2
+	}
+	return c
+}
+
+// Maintainer is a running background maintenance goroutine; see
+// Manager.StartMaintainer.
+type Maintainer struct {
+	m   *Manager
+	cfg MaintainerConfig
+
+	done     chan struct{}
+	finished chan struct{}
+	stopOnce sync.Once
+
+	ticks  atomic.Int64
+	passes atomic.Int64
+}
+
+// Fragmentation is a point-in-time view of how compactable the heap is.
+type Fragmentation struct {
+	// TotalBlocks counts live blocks across all contexts.
+	TotalBlocks int
+	// Fragmented counts compaction-candidate blocks (occupancy under the
+	// configured threshold, unowned, not already in a group).
+	Fragmented int
+	// MaxContextFragmented is the largest per-context candidate count;
+	// groups form within one context, so this decides whether a pass can
+	// do anything at all.
+	MaxContextFragmented int
+}
+
+// FragmentationSnapshot surveys every context's blocks once. It is the
+// Maintainer's trigger input and a cheap observability surface (one
+// atomic load per block).
+func (m *Manager) FragmentationSnapshot() Fragmentation {
+	var f Fragmentation
+	for _, ctx := range m.Contexts() {
+		n := 0
+		for _, b := range ctx.SnapshotBlocks() {
+			f.TotalBlocks++
+			if m.isCompactionCandidate(b) {
+				n++
+			}
+		}
+		f.Fragmented += n
+		if n > f.MaxContextFragmented {
+			f.MaxContextFragmented = n
+		}
+	}
+	return f
+}
+
+// StartMaintainer launches the background maintenance goroutine: every
+// Interval it snapshots fragmentation, runs one parallel compaction pass
+// when the thresholds say the pass can reclaim something, and drains the
+// block graveyard. Stop it with Maintainer.Stop.
+func (m *Manager) StartMaintainer(cfg MaintainerConfig) *Maintainer {
+	mt := &Maintainer{
+		m:        m,
+		cfg:      cfg.withDefaults(),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	go mt.loop()
+	return mt
+}
+
+func (mt *Maintainer) loop() {
+	defer close(mt.finished)
+	t := time.NewTicker(mt.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-mt.done:
+			return
+		case <-t.C:
+			mt.ticks.Add(1)
+			if mt.shouldCompact(mt.m.FragmentationSnapshot()) {
+				if _, err := mt.m.CompactNowWorkers(mt.cfg.Workers); err == nil {
+					mt.passes.Add(1)
+				}
+			}
+			mt.m.drainGraveyard()
+		}
+	}
+}
+
+func (mt *Maintainer) shouldCompact(f Fragmentation) bool {
+	if f.MaxContextFragmented < mt.cfg.MinFragmentedBlocks {
+		return false
+	}
+	if mt.cfg.FragmentedFraction > 0 && f.TotalBlocks > 0 &&
+		float64(f.Fragmented) < mt.cfg.FragmentedFraction*float64(f.TotalBlocks) {
+		return false
+	}
+	return true
+}
+
+// Stop shuts the maintenance goroutine down and blocks until it has
+// exited (any in-flight compaction pass completes first). Idempotent.
+func (mt *Maintainer) Stop() {
+	mt.stopOnce.Do(func() { close(mt.done) })
+	<-mt.finished
+}
+
+// Ticks reports how many poll intervals the maintainer has evaluated.
+func (mt *Maintainer) Ticks() int64 { return mt.ticks.Load() }
+
+// Passes reports how many compaction passes the maintainer has run.
+func (mt *Maintainer) Passes() int64 { return mt.passes.Load() }
+
+// StartCompactor launches a background goroutine that compacts whenever
+// any context can form a group, polling at the given interval. It is the
+// pre-Maintainer API, now a thin wrapper: the returned stop function is
+// Maintainer.Stop (blocks until exit, safe to call more than once).
+func (m *Manager) StartCompactor(interval time.Duration) (stop func()) {
+	return m.StartMaintainer(MaintainerConfig{Interval: interval}).Stop
+}

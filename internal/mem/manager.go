@@ -24,6 +24,7 @@ package mem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,10 @@ type Config struct {
 	// (§5.2: "bails out ... after waiting for a predefined amount of
 	// time for the read lock to be released").
 	PinWaitTimeout time.Duration
+	// CompactionWorkers is the default number of move-phase workers a
+	// compaction pass fans its groups out over (default GOMAXPROCS).
+	// 1 selects the serial moving phase, kept as the oracle.
+	CompactionWorkers int
 	// HeapBackend forces the portable heap-slab off-heap backend.
 	HeapBackend bool
 }
@@ -96,6 +101,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.PinWaitTimeout == 0 {
 		out.PinWaitTimeout = 10 * time.Millisecond
+	}
+	if out.CompactionWorkers <= 0 {
+		out.CompactionWorkers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -173,6 +181,15 @@ type Stats struct {
 	ObjectsMoved    atomic.Int64
 	RelocBailouts   atomic.Int64
 	RelocHelped     atomic.Int64
+
+	// Parallel compaction engine: groups whose moving phase completed,
+	// groups abandoned (pinned past the timeout or aborted at an epoch
+	// wait), block bytes handed to the graveyard by compaction, and the
+	// cumulative wall time of compaction passes.
+	GroupsMoved    atomic.Int64
+	GroupsAborted  atomic.Int64
+	BytesReclaimed atomic.Int64
+	CompactNanos   atomic.Int64
 
 	// §3.1 overflow handling: resources taken out of circulation at
 	// incarnation overflow and put back by the rescue scan.

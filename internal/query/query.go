@@ -37,10 +37,54 @@ import (
 )
 
 // Source is the scan side of a pipeline stage: anything that can shard
-// its resolved block list across workers. *core.Collection[T] implements
-// it for every element type.
+// its resolved block list across workers and report its element count.
+// *core.Collection[T] implements it for every element type.
 type Source interface {
 	ParallelBlocks(s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error
+	// Len reports the source's current element count; Table uses it to
+	// size adaptive worker-table hints.
+	Len() int
+}
+
+// AdaptiveHint and AdaptiveSparseHint, passed as Table's capHint, size
+// each worker's table from the source's live element count instead of a
+// static guess — growth is the expensive case for region tables, which
+// retain the old arrays as arena garbage until the arena resets.
+//
+// AdaptiveHint sizes at Len()/workers: the upper bound on distinct keys
+// one worker can accumulate (work stealing aside). Use it when nearly
+// every row contributes its own key (Q9's per-partsupp cost table).
+//
+// AdaptiveSparseHint sizes at Len()/(16*workers): for stages whose
+// predicate and grouping collapse rows well below the bound (Q3's
+// filtered per-order state, Q10's one-quarter per-customer state), the
+// full bound would eagerly allocate tens of times more arena than the
+// groups need — and the pool retains that footprint. The tables still
+// scale with the input, just with a selectivity discount; a skewed
+// worker simply grows once or twice.
+//
+// Keep a small static hint when cardinality does not scale with the
+// input at all (per-nation, per-year).
+const (
+	AdaptiveHint       = 0
+	AdaptiveSparseHint = -1
+)
+
+// adaptiveHintFloor keeps adaptive hints from collapsing on tiny
+// collections.
+const adaptiveHintFloor = 64
+
+// adaptiveHint resolves the adaptive capHint sentinels against the
+// source's live count.
+func adaptiveHint(capHint int, src Source, workers int) int {
+	n := src.Len() / workers
+	if capHint == AdaptiveSparseHint {
+		n /= 16
+	}
+	if n < adaptiveHintFloor {
+		n = adaptiveHintFloor
+	}
+	return n
 }
 
 // Pipeline carries one parallel query's execution state: the
@@ -114,6 +158,9 @@ func Table[V any](p *Pipeline, src Source, capHint int,
 	kernel func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[V]),
 	merge func(dst, src *V),
 ) (*region.PartitionedTable[V], error) {
+	if capHint <= 0 {
+		capHint = adaptiveHint(capHint, src, p.workers)
+	}
 	// Every worker table (and the merge destination) uses the same parts
 	// argument, so NewPartitionedTable's power-of-two rounding keeps the
 	// equal-partition-count invariant for free.

@@ -305,7 +305,11 @@ func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
 	pl := query.New(s, q.arenas, workers)
 	defer pl.Close()
 	segment := []byte(p.Q3Segment)
-	merged, err := query.Table(pl, q.db.Lineitems, joinTableHint,
+	// Group state is per-order: cardinality scales with the input, so the
+	// worker tables take an adaptive hint over the static one — the
+	// sparse variant, since the segment/date predicate qualifies a small
+	// fraction of lineitems.
+	merged, err := query.Table(pl, q.db.Lineitems, query.AdaptiveSparseHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[q3Acc]) {
 			q.q3Block(ws, blk, p.Q3Date, segment, t)
 		}, mergeQ3Acc)
@@ -356,7 +360,9 @@ func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
 	pl := query.New(s, q.arenas, workers)
 	defer pl.Close()
 	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
-	merged, err := query.Table(pl, q.db.Lineitems, joinTableHint,
+	// Per-customer group state behind a one-quarter window: sparse
+	// adaptive hint, as in Q3Par.
+	merged, err := query.Table(pl, q.db.Lineitems, query.AdaptiveSparseHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q10Block(ws, blk, lo, hi, t)
 		}, mergeDec)

@@ -358,7 +358,9 @@ func (q *SMCQueries) Q9Par(s *core.Session, p Params, workers int) []Q9Row {
 	pl := query.New(s, q.arenas, workers)
 	defer pl.Close()
 	color := []byte(p.Q9Color)
-	cost, err := query.Table(pl, q.db.PartSupps, q9CostHint,
+	// The cost table keys every (part, supplier) pair — one entry per
+	// partsupp row — so it takes the adaptive hint.
+	cost, err := query.Table(pl, q.db.PartSupps, query.AdaptiveHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q9CostBlock(ws, blk, t)
 		}, mergeCost)
