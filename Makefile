@@ -7,8 +7,9 @@ REPS ?= 5
 PAR_OUT ?= BENCH_parallel.json
 JOINS_OUT ?= BENCH_joins.json
 COMPACT_OUT ?= BENCH_compact.json
+PRUNE_OUT ?= BENCH_prune.json
 
-.PHONY: build vet test race-stress bench bench-joins bench-compact benchdiff clean
+.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -23,7 +24,7 @@ test: build vet
 # maintainer stress tests (exactly-once and exact serial results under
 # churn + compaction) under the race detector.
 race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
@@ -40,6 +41,11 @@ bench-joins:
 bench-compact:
 	$(GO) run ./cmd/smcbench -fig compact -sf $(SF) -reps $(REPS) -json-compact $(COMPACT_OUT)
 
+# Emit the skip-scan pruning figure (pruned vs unpruned Q6-style window
+# scans over selectivity × heap fragmentation) as BENCH_prune.json.
+bench-prune:
+	$(GO) run ./cmd/smcbench -fig prune -sf $(SF) -reps $(REPS) -json-prune $(PRUNE_OUT)
+
 # Perf-regression gate: compare freshly emitted *.new.json figures
 # against the committed baselines (workers=1 points, >30% fails; skips
 # cleanly on a CPU-count mismatch). Run the bench targets with
@@ -48,7 +54,8 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_parallel.json BENCH_parallel.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_joins.json BENCH_joins.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_compact.json BENCH_compact.new.json
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_prune.json BENCH_prune.new.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json \
-		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json
+	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json BENCH_prune.json \
+		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json BENCH_prune.new.json

@@ -15,9 +15,11 @@
 // joins (parallel join scaling for Q3/Q5/Q7/Q8/Q9/Q10 over the unified
 // query-pipeline layer; -json-joins writes BENCH_joins.json), compact
 // (parallel compaction: reclamation throughput and Q1/Q6 interference
-// over 1..NumCPU move workers; -json-compact writes BENCH_compact.json).
-// JSON output is stamped with GOMAXPROCS, NumCPU and the Go version so
-// curves are self-describing.
+// over 1..NumCPU move workers; -json-compact writes BENCH_compact.json),
+// prune (block-synopsis skip-scan: pruned vs unpruned Q6-style windowed
+// scans over selectivity × heap fragmentation; -json-prune writes
+// BENCH_prune.json). JSON output is stamped with GOMAXPROCS, NumCPU and
+// the Go version so curves are self-describing.
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact or 'all'")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune or 'all'")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
@@ -41,6 +43,7 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the 'par' figure's result as JSON to this path")
 		joinsPath   = flag.String("json-joins", "", "write the 'joins' figure's result as JSON to this path")
 		compactPath = flag.String("json-compact", "", "write the 'compact' figure's result as JSON to this path")
+		prunePath   = flag.String("json-prune", "", "write the 'prune' figure's result as JSON to this path")
 		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
@@ -59,7 +62,7 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
-	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact"}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune"}
 	want := map[string]bool{}
 	if *fig == "all" {
 		for _, f := range allFigs {
@@ -215,6 +218,16 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *compactPath != "" {
 			writeJSONFile("compact", *compactPath, r.WriteJSON)
+		}
+	}
+	if want["prune"] {
+		r, err := bench.FigurePrune(opts)
+		if err != nil {
+			fail("prune", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *prunePath != "" {
+			writeJSONFile("prune", *prunePath, r.WriteJSON)
 		}
 	}
 }

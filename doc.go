@@ -135,4 +135,43 @@
 // on the committed figure baselines: >30% slowdown at a matching
 // (query, layout, workers=1) point fails the build, skipping cleanly
 // when the meta blocks show a CPU-count mismatch.
+//
+// # Block synopses and predicate pushdown (skip-scan)
+//
+// Every block can carry per-column min/max synopses (zone maps) for
+// columns the collection registers at construction
+// (core.Collection.RegisterSynopses; int32/int64/date/decimal). The
+// maintenance contract fits the paper's query-dominated bet — pay a
+// little on mutation, never on scans:
+//
+//   - Widen on insert: Publish folds the new row's registered values
+//     into its block's bounds with widen-only atomic CAS loops, so
+//     concurrent adders need no lock.
+//   - Stale-but-sound on remove: a delete leaves bounds untouched — a
+//     dead row can make bounds loose, never wrong.
+//   - Exact rebuild on compaction: a compaction target starts empty and
+//     is filled only by moves, each widening by the moved row's values,
+//     so a completed target's bounds are exactly its rows' min/max.
+//     Fragmented collections get tighter bounds as the Maintainer runs.
+//
+// Scan-side, a mem.ScanPredicate (interval constraints per registered
+// column, built via Collection.Predicate) is evaluated once per block in
+// the parallel scan's coordinator decision pass — pruned blocks never
+// enter the resolved block list, so workers and the work-stealing cursor
+// never see them — and in the serial Enumerator beside the empty-block
+// fast path. Pushdown threads through core.ParallelForEachPred /
+// ParallelAggregatePred / ParallelBlocksPred and the query.Where source
+// wrapper for pipeline stages; kernels keep evaluating their residual
+// predicates per row, so pruning is an optimization, never a semantics
+// change, and the pruned drivers (Q1/Q3/Q6/Q10 plus the pipeline-native
+// Q4Par) stay byte-identical to the unpruned serial oracles. The
+// allocation path also signals the Maintainer when a context crosses the
+// candidate threshold (abandonAllocBlock wake-up), so compaction — and
+// with it bounds re-tightening — starts without waiting out a poll tick.
+//
+// The `prune` figure of cmd/smcbench (and `make bench-prune`, which
+// writes BENCH_prune.json) sweeps pruned vs unpruned Q6-style window
+// scans over predicate selectivity × heap fragmentation (fresh /
+// churned / churned-then-compacted), recording the blocks-pruned
+// fraction; the JSON joins the benchdiff gate.
 package repro

@@ -1,0 +1,121 @@
+// Command skip_scan demonstrates the block-synopsis skip-scan layer on
+// an append-in-event-time workload: a metrics collection loaded in
+// timestamp order, queried over a narrow recent window.
+//
+// Because rows arrive roughly in time order, each block's registered
+// Timestamp synopsis covers a narrow range — the window query's
+// predicate pushdown prunes almost every block without dereferencing a
+// single slot. A churn phase (scattered deletes, then transient recent
+// rows written into reclaimed old slots and deleted again) leaves old
+// blocks with stale-but-sound bounds that claim recency, so the same
+// query must scan them — until a compaction pass rebuilds bounds exactly
+// over the survivors and pruning snaps back. The window sum is identical
+// in all three states; only the number of blocks touched changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+type Metric struct {
+	Timestamp int64 // seconds since epoch; arrives in order
+	Sensor    int64
+	Value     int64
+}
+
+func main() {
+	rt, err := core.NewRuntime(core.Options{BlockSize: 1 << 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+
+	metrics := core.MustCollection[Metric](rt, "metrics", core.RowIndirect)
+	// Declare the synopsis before the first Add: every block carries
+	// min/max Timestamp bounds for its whole lifetime.
+	metrics.MustRegisterSynopses("Timestamp")
+
+	const n = 200_000
+	var refs []core.Ref[Metric]
+	for i := 0; i < n; i++ {
+		refs = append(refs, metrics.MustAdd(s, &Metric{
+			Timestamp: int64(i),
+			Sensor:    int64(i % 64),
+			Value:     int64(i * 7 % 1000),
+		}))
+	}
+
+	// Recent window: the last 1000 timestamps.
+	const lo, hi = int64(n - 1000), int64(n - 1)
+	sumWindow := func() (int64, int64) {
+		pred := metrics.Predicate().Int64Range("Timestamp", lo, hi)
+		before := rt.StatsSnapshot()
+		total, err := core.ParallelAggregatePred(metrics, s, 4, pred,
+			func(int) int64 { return 0 },
+			func(acc int64, _ core.Ref[Metric], m *Metric) int64 {
+				// Residual predicate per row: pruning only skips blocks
+				// that provably hold no in-window row.
+				if m.Timestamp >= lo && m.Timestamp <= hi {
+					return acc + m.Value
+				}
+				return acc
+			},
+			func(a, b int64) int64 { return a + b },
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after := rt.StatsSnapshot()
+		return total, after.BlocksPruned - before.BlocksPruned
+	}
+
+	sum, pruned := sumWindow()
+	fmt.Printf("fresh heap:      window sum=%d, pruned %d of %d blocks\n", sum, pruned, metrics.Context().Blocks())
+
+	// Churn: scattered deletes fragment the old blocks (7 of 8 rows),
+	// then transient recent-stamped rows recycle the freed slots — each
+	// widens its host block's bounds up to "now" — and are deleted again.
+	// Deletes never tighten, so the old blocks now claim recency they no
+	// longer hold.
+	old := refs[: n-1000 : n-1000]
+	for i, r := range old {
+		if i%8 != 0 {
+			if err := metrics.Remove(s, r); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		rt.Manager().TryAdvanceEpoch() // let the freed slots ripen for reuse
+	}
+	var transient []core.Ref[Metric]
+	for i := 0; i < n/5; i++ {
+		transient = append(transient, metrics.MustAdd(s, &Metric{Timestamp: hi, Sensor: 1, Value: 0}))
+	}
+	for _, r := range transient {
+		if err := metrics.Remove(s, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sum, pruned = sumWindow()
+	fmt.Printf("after churn:     window sum=%d, pruned %d of %d blocks (stale bounds claim recency)\n",
+		sum, pruned, metrics.Context().Blocks())
+
+	// Compaction merges the fragmented old blocks and rebuilds each
+	// target's bounds exactly over the rows it holds.
+	if _, err := rt.CompactNow(); err != nil {
+		log.Fatal(err)
+	}
+	sum, pruned = sumWindow()
+	st := rt.StatsSnapshot()
+	fmt.Printf("after compact:   window sum=%d, pruned %d of %d blocks (exact bounds restored)\n",
+		sum, pruned, metrics.Context().Blocks())
+	fmt.Printf("lifetime: %d blocks pruned, %d scanned under predicates, %d synopsis rebuilds\n",
+		st.BlocksPruned, st.BlocksScanned, st.SynopsisRebuilds)
+}

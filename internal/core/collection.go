@@ -256,6 +256,38 @@ func (c *Collection[T]) Enumerate(s *Session) *mem.Enumerator {
 	return c.ctx.NewEnumerator(s.ms)
 }
 
+// EnumeratePred is Enumerate with a scan predicate: blocks whose synopsis
+// bounds cannot intersect pred are skipped beside the empty-block fast
+// path. Callers keep evaluating their full per-row predicate — pruning is
+// sound, not exact.
+func (c *Collection[T]) EnumeratePred(s *Session, pred *mem.ScanPredicate) *mem.Enumerator {
+	return c.ctx.NewEnumeratorPred(s.ms, pred)
+}
+
+// RegisterSynopses declares per-block min/max synopses for the named
+// columns (int32, int64, date or decimal fields), enabling predicate
+// pushdown on scans of this collection. Must be called before the first
+// Add — register at collection-construction time, the way reference
+// edges are (the paper's compiler would derive this from the query
+// workload; here the application declares it).
+func (c *Collection[T]) RegisterSynopses(names ...string) error {
+	return c.ctx.RegisterSynopses(names...)
+}
+
+// MustRegisterSynopses is RegisterSynopses, panicking on error.
+func (c *Collection[T]) MustRegisterSynopses(names ...string) {
+	if err := c.ctx.RegisterSynopses(names...); err != nil {
+		panic(err)
+	}
+}
+
+// Predicate starts a scan predicate over the collection's registered
+// synopsis columns; chain the *Range methods and pass it to the *Pred
+// scan variants (or query.Where).
+func (c *Collection[T]) Predicate() *mem.ScanPredicate {
+	return c.ctx.Predicate()
+}
+
 // ForEach invokes fn with a reference and a copy of every object, inside
 // one critical section per block (§4). fn returning false stops early.
 func (c *Collection[T]) ForEach(s *Session, fn func(Ref[T], *T) bool) {

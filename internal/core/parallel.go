@@ -17,11 +17,20 @@ import (
 // cleanly. fn must not share mutable state across workers without its
 // own synchronization — index per-worker state by the worker argument.
 func (c *Collection[T]) ParallelBlocks(s *Session, workers int, fn func(worker int, ws *Session, b *mem.Block) error) error {
+	return c.ParallelBlocksPred(s, workers, nil, fn)
+}
+
+// ParallelBlocksPred is ParallelBlocks with a scan predicate pushed into
+// the coordinator's one-shot decision pass: pruned blocks never enter
+// the resolved block list, so no worker, cursor claim or session ever
+// touches them. fn still sees every block that might hold a matching row
+// and must keep evaluating the residual predicate per row.
+func (c *Collection[T]) ParallelBlocksPred(s *Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *Session, b *mem.Block) error) error {
 	if workers < 1 {
 		workers = 1
 	}
 	wrappers := make([]*Session, workers)
-	return c.ctx.ScanParallel(s.ms, workers, func(w int, ws *mem.Session, b *mem.Block) error {
+	return c.ctx.ScanParallelPred(s.ms, workers, pred, func(w int, ws *mem.Session, b *mem.Block) error {
 		cs := wrappers[w]
 		if cs == nil {
 			if ws == s.ms {
@@ -52,11 +61,19 @@ type padded[T any] struct {
 // safe for concurrent invocation; v is a per-worker scratch value that is
 // only valid for the duration of the call.
 func (c *Collection[T]) ParallelForEach(s *Session, workers int, fn func(worker int, ref Ref[T], v *T) bool) error {
+	return c.ParallelForEachPred(s, workers, nil, fn)
+}
+
+// ParallelForEachPred is ParallelForEach with a scan predicate: blocks
+// provably holding no matching row are skipped, and fn still sees every
+// object of the remaining blocks (including non-matching ones — apply
+// the residual predicate inside fn).
+func (c *Collection[T]) ParallelForEachPred(s *Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ref Ref[T], v *T) bool) error {
 	if workers < 1 {
 		workers = 1
 	}
 	tmps := make([]padded[T], workers)
-	return c.ParallelBlocks(s, workers, func(w int, ws *Session, b *mem.Block) error {
+	return c.ParallelBlocksPred(s, workers, pred, func(w int, ws *Session, b *mem.Block) error {
 		tmp := &tmps[w].v
 		n := b.Capacity()
 		for slot := 0; slot < n; slot++ {
@@ -89,6 +106,17 @@ func ParallelAggregate[T, A any](c *Collection[T], s *Session, workers int,
 	fold func(acc A, ref Ref[T], v *T) A,
 	merge func(into, from A) A,
 ) (A, error) {
+	return ParallelAggregatePred(c, s, workers, nil, init, fold, merge)
+}
+
+// ParallelAggregatePred is ParallelAggregate with a scan predicate:
+// synopsis-pruned blocks never reach fold, every remaining object does —
+// fold must keep applying the residual predicate itself.
+func ParallelAggregatePred[T, A any](c *Collection[T], s *Session, workers int, pred *mem.ScanPredicate,
+	init func(worker int) A,
+	fold func(acc A, ref Ref[T], v *T) A,
+	merge func(into, from A) A,
+) (A, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -97,7 +125,7 @@ func ParallelAggregate[T, A any](c *Collection[T], s *Session, workers int,
 		inited bool
 	}
 	accs := make([]padded[workerAcc], workers)
-	err := c.ParallelForEach(s, workers, func(w int, ref Ref[T], v *T) bool {
+	err := c.ParallelForEachPred(s, workers, pred, func(w int, ref Ref[T], v *T) bool {
 		a := &accs[w].v
 		if !a.inited {
 			a.acc = init(w)

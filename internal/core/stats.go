@@ -43,6 +43,11 @@ type RuntimeStats struct {
 	GroupsMoved, GroupsAborted   int64
 	RelocHelped, RelocBailouts   int64
 	BytesReclaimed, CompactNanos int64
+	// Block-synopsis skip-scan layer: blocks skipped by a constrained
+	// scan's min/max bounds check, blocks constrained scans actually
+	// visited, and compaction targets whose bounds were rebuilt exactly.
+	BlocksPruned, BlocksScanned int64
+	SynopsisRebuilds            int64
 	// Per-registered-pool arena lease metrics, in registration order.
 	ArenaPools []ArenaPoolStats
 }
@@ -95,6 +100,10 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 		RelocBailouts:   ms.RelocBailouts.Load(),
 		BytesReclaimed:  ms.BytesReclaimed.Load(),
 		CompactNanos:    ms.CompactNanos.Load(),
+
+		BlocksPruned:     ms.BlocksPruned.Load(),
+		BlocksScanned:    ms.BlocksScanned.Load(),
+		SynopsisRebuilds: ms.SynopsisRebuilds.Load(),
 	}
 	rt.mu.Lock()
 	pools := make([]namedPool, len(rt.pools))

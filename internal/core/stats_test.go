@@ -45,6 +45,7 @@ func TestRuntimeStatsCountersMove(t *testing.T) {
 	// Session pool: a multi-worker parallel scan leases worker sessions
 	// from the manager pool; a second scan must reuse them.
 	coll := MustCollection[scanRow](rt, "rows", RowIndirect)
+	coll.MustRegisterSynopses("ID")
 	for i := 0; i < 4000; i++ {
 		coll.MustAdd(s, &scanRow{ID: int64(i), Val: int64(i)})
 	}
@@ -88,5 +89,19 @@ func TestRuntimeStatsCountersMove(t *testing.T) {
 	if st.GroupsMoved == 0 || st.BytesReclaimed == 0 || st.CompactNanos == 0 {
 		t.Fatalf("compaction engine counters did not move: GroupsMoved=%d BytesReclaimed=%d CompactNanos=%d",
 			st.GroupsMoved, st.BytesReclaimed, st.CompactNanos)
+	}
+	if st.SynopsisRebuilds == 0 {
+		t.Fatal("SynopsisRebuilds did not move across a compaction of a synopsis-bearing collection")
+	}
+
+	// Skip-scan counters: a predicated scan over sequentially loaded IDs
+	// must prune blocks and count both sides.
+	pred := coll.Predicate().Int64Range("ID", 0, 10)
+	if err := coll.ParallelForEachPred(s, 2, pred, func(int, Ref[scanRow], *scanRow) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	st = rt.StatsSnapshot()
+	if st.BlocksPruned == 0 || st.BlocksScanned == 0 {
+		t.Fatalf("skip-scan counters did not move: BlocksPruned=%d BlocksScanned=%d", st.BlocksPruned, st.BlocksScanned)
 	}
 }

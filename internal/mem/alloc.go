@@ -103,11 +103,14 @@ func (c *Context) prepareEntry(s *Session, blk *Block, slot int) (entryRef, uint
 
 // Publish makes an allocated slot visible as a valid object. Field data
 // must be fully written before Publish; enumerating queries only read
-// slots whose directory state is valid.
+// slots whose directory state is valid. The block's column synopses
+// widen first, so any scan that admits the slot also sees bounds
+// covering it (synopsis.go).
 func (c *Context) Publish(s *Session, o Obj) {
 	if o.Blk.buried.Load() {
 		panic("mem: Publish into a buried block")
 	}
+	c.widenSynopses(o.Blk, o.Slot)
 	o.Blk.storeSlotDir(o.Slot, packSlotDir(slotValid, 0))
 	o.Blk.validCount.Add(1)
 }
@@ -137,10 +140,17 @@ func (c *Context) grabAllocBlock(s *Session) (*Block, error) {
 
 // abandonAllocBlock releases a session's claim on its allocation block
 // and re-checks the reclamation threshold it may have crossed while
-// owned.
+// owned. Abandonment is also the allocation-pressure signal point: an
+// abandon only ever changes the abandoned block's own compaction
+// candidacy, so the Maintainer wake-up check runs exactly when this
+// block comes out sparse (a dense bulk load abandons full blocks and
+// pays one O(1) candidacy test per block, never a context walk).
 func (s *Session) abandonAllocBlock(ctxID uint32, b *Block) {
 	b.allocOwned.Store(false)
 	b.ctx.enqueueReclaim(b)
+	if s.mgr.isCompactionCandidate(b) {
+		s.mgr.signalAllocPressure()
+	}
 }
 
 // findSlot scans the slot directory from the allocation cursor for a free

@@ -79,6 +79,12 @@ type Block struct {
 	allocOwned atomic.Bool // currently some session's allocation block
 	buried     atomic.Bool // emptied by compaction, awaiting release
 
+	// syn holds the block's per-column min/max synopses, one per column
+	// registered on the context (nil otherwise). Widen-only on insert,
+	// stale-but-sound on remove, exact on compaction targets
+	// (synopsis.go).
+	syn []colSynopsis
+
 	group    atomic.Pointer[CompactionGroup] // group emptying this block
 	targetOf atomic.Pointer[CompactionGroup] // set on compaction targets
 	reloc    atomic.Pointer[relocList]
@@ -182,6 +188,7 @@ func newBlock(ctx *Context) (*Block, error) {
 		slotStride: g.slotStride,
 		hdrSize:    g.hdrSize,
 		region:     r,
+		syn:        ctx.newBlockSynopses(),
 	}
 	if g.colOff != nil {
 		b.colOff = make([]uintptr, len(g.colOff))

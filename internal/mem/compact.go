@@ -2,6 +2,7 @@ package mem
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -274,6 +275,11 @@ func (m *Manager) CompactNowWorkers(workers int) (int, error) {
 		g.target.targetOf.Store(nil)
 		if g.state.Load() != gAborted {
 			g.state.Store(gDone)
+			if g.target.syn != nil {
+				// The target's bounds were rebuilt exactly by the moves
+				// that filled it (doMove widens from an empty state).
+				m.stats.SynopsisRebuilds.Add(1)
+			}
 		}
 	}
 	for m.ep.Global() < reloc+1 {
@@ -311,53 +317,103 @@ func (m *Manager) isCompactionCandidate(b *Block) bool {
 }
 
 // planGroups selects candidate blocks per context and packs them into
-// groups whose combined live objects fit one fresh target block. Each
-// block is claimed with the Dekker protocol that pairs with
-// takeReclaimable: store the group pointer first, then re-check
-// allocation ownership; back off if a session owns the block.
+// groups whose combined live objects fit one fresh target block. Packing
+// is size-sorted (first-fit decreasing on valid-byte count): candidates
+// sort fullest-first and each lands in the first group bin with room, so
+// targets pack fuller, fewer groups form for the same reclaimable bytes,
+// and the parallel moving phase gets more evenly sized group work than
+// the old block-order greedy flush (which also orphaned large candidates
+// into singleton groups it then had to release). Each claimed block uses
+// the Dekker protocol that pairs with takeReclaimable: store the group
+// pointer first, then re-check allocation ownership; back off if a
+// session owns the block.
 func (m *Manager) planGroups() []*CompactionGroup {
 	var groups []*CompactionGroup
 	for _, ctx := range m.Contexts() {
-		g := &CompactionGroup{ctx: ctx}
-		curValid := 0
-		flush := func() {
-			blocks := g.blocks
-			if len(blocks) >= 2 {
+		var cands []*Block
+		for _, b := range ctx.SnapshotBlocks() {
+			if m.isCompactionCandidate(b) {
+				cands = append(cands, b)
+			}
+		}
+		if len(cands) < 2 {
+			continue
+		}
+		type bin struct {
+			blocks []*Block
+			valid  int
+		}
+		var bins []*bin
+		if m.packInOrder {
+			// Historical packing, kept as the comparison oracle: one open
+			// bin in block order, closed (never revisited) on overflow.
+			var cur *bin
+			for _, b := range cands {
+				v := int(b.validCount.Load())
+				if cur != nil && cur.valid+v > ctx.geo.capacity {
+					bins = append(bins, cur)
+					cur = nil
+				}
+				if cur == nil {
+					cur = &bin{}
+				}
+				cur.blocks = append(cur.blocks, b)
+				cur.valid += v
+			}
+			if cur != nil {
+				bins = append(bins, cur)
+			}
+		} else {
+			// Valid-byte count is validCount × slot stride; the stride is
+			// constant within a context, so the valid count orders bytes.
+			sort.SliceStable(cands, func(i, j int) bool {
+				return cands[i].validCount.Load() > cands[j].validCount.Load()
+			})
+			for _, b := range cands {
+				v := int(b.validCount.Load())
+				placed := false
+				for _, bn := range bins {
+					if bn.valid+v <= ctx.geo.capacity {
+						bn.blocks = append(bn.blocks, b)
+						bn.valid += v
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					bins = append(bins, &bin{blocks: []*Block{b}, valid: v})
+				}
+			}
+		}
+		for _, bn := range bins {
+			if len(bn.blocks) < 2 {
+				continue // a singleton reclaims nothing; leave it unclaimed
+			}
+			g := &CompactionGroup{ctx: ctx}
+			for _, b := range bn.blocks {
+				// Claim: group first, ownership check second.
+				b.group.Store(g)
+				if b.allocOwned.Load() {
+					b.group.Store(nil)
+					continue
+				}
+				g.blocks = append(g.blocks, b)
+			}
+			if len(g.blocks) >= 2 {
 				if target, err := newBlock(ctx); err == nil {
 					g.target = target
 					target.targetOf.Store(g)
 					ctx.appendBlock(target)
 					groups = append(groups, g)
-					g = &CompactionGroup{ctx: ctx}
-					curValid = 0
-					return
+					continue
 				}
 			}
-			// Too small (or no memory for a target): release claims.
-			for _, b := range blocks {
+			// Too small after ownership back-offs (or no memory for a
+			// target): release the claims.
+			for _, b := range g.blocks {
 				b.group.Store(nil)
 			}
-			g = &CompactionGroup{ctx: ctx}
-			curValid = 0
 		}
-		for _, b := range ctx.SnapshotBlocks() {
-			if !m.isCompactionCandidate(b) {
-				continue
-			}
-			v := int(b.validCount.Load())
-			if curValid+v > ctx.geo.capacity {
-				flush()
-			}
-			// Claim: group first, ownership check second.
-			b.group.Store(g)
-			if b.allocOwned.Load() {
-				b.group.Store(nil)
-				continue
-			}
-			g.blocks = append(g.blocks, b)
-			curValid += v
-		}
-		flush()
 	}
 	return groups
 }
@@ -692,6 +748,11 @@ func (m *Manager) doMove(ctx *Context, b *Block, re *relocEntry, w uint32) {
 		copyBytes(to.SlotData(dst), b.SlotData(src), ctx.sch.Size)
 	}
 	to.setBackEntry(dst, re.entry)
+	// Widen the target's synopses before publishing the slot. Targets
+	// start with empty bounds and are filled only by moves, so when the
+	// group completes the target's bounds are the exact min/max over its
+	// rows — compaction is the bounds-tightening point (synopsis.go).
+	ctx.widenSynopses(to, dst)
 	to.storeSlotDir(dst, packSlotDir(slotValid, 0))
 	to.validCount.Add(1)
 	// Atomically redirect the indirection entry ("Atomically updating

@@ -628,3 +628,64 @@ func TestBackgroundCompactor(t *testing.T) {
 	stopc()
 	verifySurvivors(t, h, survivors)
 }
+
+// buildPackingHeap constructs a deterministic five-block heap with
+// occupancies 60/50/40/30/20% of capacity — the shape where block-order
+// greedy packing orphans the fullest block into a released singleton
+// while size-sorted (first-fit decreasing) packing reclaims every block.
+func buildPackingHeap(t *testing.T) *harness {
+	t.Helper()
+	h := newHarness(t, RowIndirect, Config{
+		BlockSize: 1 << 13,
+		// Every block below 95% occupancy is a candidate, so the packing
+		// policy — not candidate selection — decides the outcome.
+		CompactionThreshold: 0.95,
+		HeapBackend:         true,
+	})
+	cap := h.ctx.BlockCapacity()
+	refs := make([]types.Ref, 0, cap*5)
+	for i := 0; i < cap*5; i++ {
+		refs = append(refs, h.add(t, h.s, int64(i), "p"))
+	}
+	h.s.allocBlocks[h.ctx.id] = nil
+	for _, b := range h.ctx.SnapshotBlocks() {
+		b.allocOwned.Store(false)
+	}
+	keepPct := []int{60, 50, 40, 30, 20}
+	for blk := 0; blk < 5; blk++ {
+		keep := cap * keepPct[blk] / 100
+		for slot := keep; slot < cap; slot++ {
+			if err := h.remove(h.s, refs[blk*cap+slot]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+// TestPlanGroupsSizeSortedPacking: on the same heap, size-sorted packing
+// must reclaim at least as many bytes in at most as many groups as the
+// historical block-order greedy packing — and on this shape strictly
+// more bytes (the 60% block orphans under block order).
+func TestPlanGroupsSizeSortedPacking(t *testing.T) {
+	sorted := buildPackingHeap(t)
+	if _, err := sorted.m.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buildPackingHeap(t)
+	legacy.m.packInOrder = true
+	if _, err := legacy.m.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	sb, lb := sorted.m.stats.BytesReclaimed.Load(), legacy.m.stats.BytesReclaimed.Load()
+	sg, lg := sorted.m.stats.GroupsMoved.Load(), legacy.m.stats.GroupsMoved.Load()
+	if lg == 0 || sg == 0 {
+		t.Fatalf("no groups moved (sorted %d, legacy %d); test vacuous", sg, lg)
+	}
+	if sg > lg {
+		t.Fatalf("size-sorted packing used %d groups, block-order %d", sg, lg)
+	}
+	if sb <= lb {
+		t.Fatalf("expected strictly more reclaimed bytes on this shape: sorted %d vs legacy %d", sb, lb)
+	}
+}

@@ -27,6 +27,11 @@ type Context struct {
 
 	strings *stringHeap
 
+	// syn lists the columns carrying per-block min/max synopses
+	// (synopsis.go). Registered before the first block under mu; read
+	// lock-free afterwards (registration is create-time only).
+	syn *synopsisSpec
+
 	// refEdges lists contexts that hold reference fields INTO this
 	// context, together with the source field indexes and their encoding.
 	// Registered by the collection layer; consumed by the compactor's

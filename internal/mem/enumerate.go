@@ -36,14 +36,32 @@ type Enumerator struct {
 	// phase (its epoch waits cannot complete), so the one-shot block list
 	// and group decisions stay authoritative for the scan's lifetime.
 	noRefresh bool
+
+	// pred prunes blocks whose synopsis bounds cannot intersect the
+	// query's interval constraints (synopsis.go); nil scans everything.
+	// The check runs after the §5.2 group decision, so it composes with
+	// compaction: pre-state originals are pruned by their own bounds,
+	// post-state targets by theirs (complete once the move finished).
+	pred *ScanPredicate
 }
 
 // NewEnumerator snapshots the context's block order for enumeration.
 func (c *Context) NewEnumerator(s *Session) *Enumerator {
+	return c.NewEnumeratorPred(s, nil)
+}
+
+// NewEnumeratorPred is NewEnumerator with a scan predicate: blocks whose
+// synopsis bounds cannot intersect pred are skipped beside the existing
+// validCount==0 fast path. The caller keeps evaluating its full residual
+// predicate per row — pruning is sound, not exact.
+func (c *Context) NewEnumeratorPred(s *Session, pred *ScanPredicate) *Enumerator {
 	if !s.InCritical() {
 		panic("mem: NewEnumerator outside critical section")
 	}
-	return &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks()}
+	if pred != nil && pred.ctx != c {
+		panic("mem: scan predicate built for a different context")
+	}
+	return &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), pred: pred}
 }
 
 // NextBlock returns the next block to scan, or false at the end. Between
@@ -63,8 +81,8 @@ func (e *Enumerator) NextBlock() (*Block, bool) {
 		}
 		if g := b.group.Load(); g != nil {
 			if e.decidePre(g) {
-				if b.validCount.Load() == 0 {
-					continue // pinned but empty: nothing to scan
+				if !e.pred.admitBlock(b) {
+					continue // pinned but empty or pruned: nothing to scan
 				}
 				return b, true // pre-state: scan the original
 			}
@@ -74,16 +92,17 @@ func (e *Enumerator) NextBlock() (*Block, bool) {
 			if e.decidePre(g) {
 				continue // pre-state: originals cover these objects
 			}
-			if b.validCount.Load() == 0 {
-				continue // empty target: the group moved nothing
+			if !e.pred.admitBlock(b) {
+				continue // empty or pruned target
 			}
 			return b, true // post-state: scan the target
 		}
-		// Empty-block fast path: a block with no valid slots and no group
-		// involvement has nothing for the query — skip it before the
-		// caller touches its slot directory. Under bag semantics a racing
-		// Publish into such a block linearizes after this scan.
-		if b.validCount.Load() == 0 {
+		// Empty-block fast path and synopsis pruning: a block with no
+		// valid slots — or whose min/max bounds cannot intersect the scan
+		// predicate — has nothing for the query; skip it before the caller
+		// touches its slot directory. Under bag semantics a racing Publish
+		// into such a block linearizes after this scan.
+		if !e.pred.admitBlock(b) {
 			continue
 		}
 		return b, true

@@ -55,8 +55,42 @@ type Maintainer struct {
 	finished chan struct{}
 	stopOnce sync.Once
 
-	ticks  atomic.Int64
-	passes atomic.Int64
+	// wake is the allocation-pressure wake-up: abandonAllocBlock signals
+	// it (via Manager.signalAllocPressure) when a context crosses
+	// MinFragmentedBlocks, so reclamation latency is bounded by the
+	// abandon, not the poll interval.
+	wake chan struct{}
+	reg  *maintWakeReg
+
+	ticks   atomic.Int64
+	passes  atomic.Int64
+	wakeups atomic.Int64
+}
+
+// maintWakeReg is the manager-side registration of a Maintainer's wake
+// channel.
+type maintWakeReg struct {
+	ch chan struct{}
+}
+
+// signalAllocPressure wakes the registered Maintainer. Called from the
+// allocation path only when an abandoned block itself just became a
+// compaction candidate (the O(1) gate in abandonAllocBlock), so it
+// fires at most once per sparse-block abandon and never on dense bulk
+// loads. It deliberately does no threshold checking of its own: the
+// woken maintainer re-evaluates its full shouldCompact gates
+// (MinFragmentedBlocks, FragmentedFraction) before compacting, off the
+// allocator's critical path, and the non-blocking send into a buffered
+// channel coalesces bursts into one wake-up.
+func (m *Manager) signalAllocPressure() {
+	reg := m.maintWake.Load()
+	if reg == nil {
+		return
+	}
+	select {
+	case reg.ch <- struct{}{}:
+	default:
+	}
 }
 
 // Fragmentation is a point-in-time view of how compactable the heap is.
@@ -96,14 +130,22 @@ func (m *Manager) FragmentationSnapshot() Fragmentation {
 // StartMaintainer launches the background maintenance goroutine: every
 // Interval it snapshots fragmentation, runs one parallel compaction pass
 // when the thresholds say the pass can reclaim something, and drains the
-// block graveyard. Stop it with Maintainer.Stop.
+// block graveyard. Between ticks it also reacts to allocation-pressure
+// wake-ups (signalAllocPressure), so a context that crosses the
+// candidate threshold is compacted immediately instead of waiting out
+// the poll interval. Stop it with Maintainer.Stop.
 func (m *Manager) StartMaintainer(cfg MaintainerConfig) *Maintainer {
 	mt := &Maintainer{
 		m:        m,
 		cfg:      cfg.withDefaults(),
 		done:     make(chan struct{}),
 		finished: make(chan struct{}),
+		wake:     make(chan struct{}, 1),
 	}
+	mt.reg = &maintWakeReg{ch: mt.wake}
+	// Last registration wins when several maintainers run (tests);
+	// Stop only clears its own registration.
+	m.maintWake.Store(mt.reg)
 	go mt.loop()
 	return mt
 }
@@ -112,18 +154,24 @@ func (mt *Maintainer) loop() {
 	defer close(mt.finished)
 	t := time.NewTicker(mt.cfg.Interval)
 	defer t.Stop()
+	maintain := func() {
+		if mt.shouldCompact(mt.m.FragmentationSnapshot()) {
+			if _, err := mt.m.CompactNowWorkers(mt.cfg.Workers); err == nil {
+				mt.passes.Add(1)
+			}
+		}
+		mt.m.drainGraveyard()
+	}
 	for {
 		select {
 		case <-mt.done:
 			return
 		case <-t.C:
 			mt.ticks.Add(1)
-			if mt.shouldCompact(mt.m.FragmentationSnapshot()) {
-				if _, err := mt.m.CompactNowWorkers(mt.cfg.Workers); err == nil {
-					mt.passes.Add(1)
-				}
-			}
-			mt.m.drainGraveyard()
+			maintain()
+		case <-mt.wake:
+			mt.wakeups.Add(1)
+			maintain()
 		}
 	}
 }
@@ -142,7 +190,10 @@ func (mt *Maintainer) shouldCompact(f Fragmentation) bool {
 // Stop shuts the maintenance goroutine down and blocks until it has
 // exited (any in-flight compaction pass completes first). Idempotent.
 func (mt *Maintainer) Stop() {
-	mt.stopOnce.Do(func() { close(mt.done) })
+	mt.stopOnce.Do(func() {
+		mt.m.maintWake.CompareAndSwap(mt.reg, nil)
+		close(mt.done)
+	})
 	<-mt.finished
 }
 
@@ -151,6 +202,10 @@ func (mt *Maintainer) Ticks() int64 { return mt.ticks.Load() }
 
 // Passes reports how many compaction passes the maintainer has run.
 func (mt *Maintainer) Passes() int64 { return mt.passes.Load() }
+
+// Wakeups reports how many allocation-pressure wake-ups the maintainer
+// has serviced (signals arriving while a pass runs coalesce into one).
+func (mt *Maintainer) Wakeups() int64 { return mt.wakeups.Load() }
 
 // StartCompactor launches a background goroutine that compacts whenever
 // any context can form a group, polling at the given interval. It is the

@@ -39,6 +39,73 @@ func TestMaintainerCompactsAboveThreshold(t *testing.T) {
 	verifySurvivors(t, h, survivors)
 }
 
+// TestMaintainerAllocPressureWakeup: with the poll interval effectively
+// disabled (one hour), crossing the candidate threshold must still
+// trigger a pass — the abandonAllocBlock signal wakes the maintainer, so
+// reclamation latency is bounded by the allocation path, not the tick.
+func TestMaintainerAllocPressureWakeup(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{
+		BlockSize:        1 << 13,
+		ReclaimThreshold: 0.9,
+		HeapBackend:      true,
+	})
+	mt := h.m.StartMaintainer(MaintainerConfig{Interval: time.Hour})
+	defer mt.Stop()
+
+	// Fragment the heap (no signal yet: churnToLowOccupancy abandons by
+	// hand, not through the allocation path).
+	survivors := churnToLowOccupancy(t, h, 4)
+	if f := h.m.FragmentationSnapshot(); f.MaxContextFragmented < 2 {
+		t.Fatalf("churn produced only %d candidate blocks", f.MaxContextFragmented)
+	}
+	// Fill one fresh block exactly, remove most of its rows (the limbo
+	// slots stay unripe — nothing advances the epoch here), then allocate
+	// once more: findSlot comes up empty, the session abandons the
+	// now-sparse block, and that abandon — the block itself just became
+	// a candidate — signals the wake channel. Allocation then moves to a
+	// fresh block, so the candidates stay sparse for the maintainer's
+	// snapshot.
+	start := time.Now()
+	cap := h.ctx.BlockCapacity()
+	fills := make([]types.Ref, 0, cap)
+	for i := 0; i < cap; i++ {
+		fills = append(fills, h.add(t, h.s, int64(1_000_000+i), "fill"))
+	}
+	for _, r := range fills[:cap*4/5] {
+		if err := h.remove(h.s, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.add(t, h.s, 2_000_000, "spill")
+	deadline := time.Now().Add(5 * time.Second)
+	for mt.Passes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no pass within %v of allocation pressure (wakeups=%d, interval=1h)",
+				time.Since(start), mt.Wakeups())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The pass must have come from a wake-up, not a poll tick: the
+	// interval is an hour and no tick can have fired.
+	if mt.Ticks() != 0 {
+		t.Fatalf("poll ticked %d times during an hour interval", mt.Ticks())
+	}
+	if mt.Wakeups() == 0 {
+		t.Fatal("pass ran but no wake-up was recorded")
+	}
+	if lat := time.Since(start); lat > 5*time.Second {
+		t.Fatalf("reclamation latency %v not below the poll interval", lat)
+	}
+	// Every survivor still resolves after the wake-triggered pass (the
+	// fill rows added above keep verifySurvivors' exact-count check out).
+	for id, r := range survivors {
+		got, _, err := h.get(h.s, r)
+		if err != nil || got != id {
+			t.Fatalf("survivor %d after wake-up pass: (%d, %v)", id, got, err)
+		}
+	}
+}
+
 // TestMaintainerIdleBelowThreshold: a dense heap must never trigger a
 // pass, however long the maintainer polls.
 func TestMaintainerIdleBelowThreshold(t *testing.T) {

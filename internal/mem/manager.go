@@ -148,6 +148,17 @@ type Manager struct {
 	sessPool    []*Session
 	sessPoolOff bool
 
+	// maintWake, when non-nil, is the running Maintainer's allocation-
+	// pressure wake-up registration: abandonAllocBlock signals it when a
+	// context's compaction-candidate count crosses the maintainer's
+	// threshold, so reclamation starts without waiting out a poll tick.
+	maintWake atomic.Pointer[maintWakeReg]
+
+	// packInOrder disables planGroups' size-sorted packing and restores
+	// the historical block-order greedy packing. Test-only knob (the
+	// packing comparison test flips it); production always sorts.
+	packInOrder bool
+
 	stats Stats
 }
 
@@ -203,6 +214,14 @@ type Stats struct {
 	// Worker-session pooling (parallel scans).
 	SessionsLeased atomic.Int64
 	SessionsReused atomic.Int64
+
+	// Block synopses / predicate pushdown (synopsis.go): blocks skipped
+	// by a constrained scan's min/max check, blocks a constrained scan
+	// actually visited, and compaction targets whose bounds were rebuilt
+	// exactly by the moving phase.
+	BlocksPruned     atomic.Int64
+	BlocksScanned    atomic.Int64
+	SynopsisRebuilds atomic.Int64
 }
 
 // NewManager builds a Manager from the configuration.

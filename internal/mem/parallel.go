@@ -58,8 +58,21 @@ type ParallelScan struct {
 // coordinator session and holds it — without refreshing — until Close;
 // the caller must not Refresh the coordinator while the scan is open.
 func (c *Context) NewParallelScan(s *Session) *ParallelScan {
+	return c.NewParallelScanPred(s, nil)
+}
+
+// NewParallelScanPred is NewParallelScan with a scan predicate: the
+// coordinator's decision pass evaluates pred's interval constraints
+// against each block's synopsis bounds exactly once, so pruned blocks
+// never enter the resolved block list — workers, the work-stealing
+// cursor and per-worker sessions never see them. Pruning is sound, not
+// exact: workers keep evaluating the residual predicate per row.
+func (c *Context) NewParallelScanPred(s *Session, pred *ScanPredicate) *ParallelScan {
+	if pred != nil && pred.ctx != c {
+		panic("mem: scan predicate built for a different context")
+	}
 	s.Enter()
-	e := &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), noRefresh: true}
+	e := &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), noRefresh: true, pred: pred}
 	var blocks []*Block
 	for {
 		b, ok := e.NextBlock()
@@ -123,7 +136,13 @@ func (ps *ParallelScan) Close() {
 // scan runs inline on the coordinator session with zero goroutine
 // overhead, which keeps 1-worker baselines honest.
 func (c *Context) ScanParallel(coord *Session, workers int, fn func(worker int, ws *Session, b *Block) error) error {
-	ps := c.NewParallelScan(coord)
+	return c.ScanParallelPred(coord, workers, nil, fn)
+}
+
+// ScanParallelPred is ScanParallel with a scan predicate pushed into the
+// coordinator's resolution pass (see NewParallelScanPred).
+func (c *Context) ScanParallelPred(coord *Session, workers int, pred *ScanPredicate, fn func(worker int, ws *Session, b *Block) error) error {
+	ps := c.NewParallelScanPred(coord, pred)
 	defer ps.Close()
 	if workers > len(ps.blocks) {
 		workers = len(ps.blocks)

@@ -46,6 +46,41 @@ type Source interface {
 	Len() int
 }
 
+// PredSource is a Source that can additionally push a scan predicate
+// into its block-resolution pass (synopsis pruning); *core.Collection[T]
+// implements it. Wrap one with Where to run any stage skip-scanned.
+type PredSource interface {
+	Source
+	ParallelBlocksPred(s *core.Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *core.Session, b *mem.Block) error) error
+}
+
+// Where wraps a source with a pushed-down scan predicate: every stage
+// driven from the returned Source scans only blocks whose synopsis
+// bounds can intersect pred. Pruning is an optimization, never a
+// semantics change — the stage kernel must keep evaluating its full
+// residual predicate per row, exactly as it does unwrapped. A nil pred
+// returns src unchanged.
+func Where(src PredSource, pred *mem.ScanPredicate) Source {
+	if pred == nil {
+		return src
+	}
+	return &whereSource{src: src, pred: pred}
+}
+
+type whereSource struct {
+	src  PredSource
+	pred *mem.ScanPredicate
+}
+
+func (w *whereSource) ParallelBlocks(s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error {
+	return w.src.ParallelBlocksPred(s, workers, w.pred, fn)
+}
+
+// Len reports the unpruned element count: adaptive table hints stay an
+// upper bound (over-estimating under a selective predicate is exactly
+// what AdaptiveSparseHint's discount is for).
+func (w *whereSource) Len() int { return w.src.Len() }
+
 // AdaptiveHint and AdaptiveSparseHint, passed as Table's capHint, size
 // each worker's table from the source's live element count instead of a
 // static guess — growth is the expensive case for region tables, which

@@ -398,3 +398,67 @@ func TestParallelPipelineCloseIdempotent(t *testing.T) {
 		t.Fatalf("pool stats after double close: leases=%d reuses=%d", leases, reuses)
 	}
 }
+
+// TestParallelPipelineWhere: a Where-wrapped source must produce exactly
+// the unwrapped stage's results — pruning only removes blocks the
+// predicate proves empty, the kernel's residual filter does the rest —
+// while actually skipping blocks on a clustered load.
+func TestParallelPipelineWhere(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	coll.MustRegisterSynopses("Key")
+	const n = 4000
+	for i := 0; i < n; i++ {
+		coll.MustAdd(s, &row{Key: int64(i), Val: int64(i) * 3})
+	}
+	const lo, hi = 900, 1100
+	want := make(map[int64]int64)
+	for i := lo; i <= hi; i++ {
+		want[int64(i)] = int64(i) * 3
+	}
+	key, val := coll.Schema().MustField("Key"), coll.Schema().MustField("Val")
+	kernel := func(_ *core.Session, blk *mem.Block, t *region.PartitionedTable[int64]) {
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			k := *(*int64)(blk.FieldPtr(i, key))
+			if k < lo || k > hi { // residual predicate stays per-row
+				continue
+			}
+			*t.At(k) += *(*int64)(blk.FieldPtr(i, val))
+		}
+	}
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	before := rt.StatsSnapshot()
+	for _, workers := range []int{1, 2, 4} {
+		pl := query.New(s, pool, workers)
+		pred := coll.Predicate().Int64Range("Key", lo, hi)
+		got, err := query.Table(pl, query.Where(coll, pred), 64, kernel, addI64)
+		if err != nil {
+			pl.Close()
+			t.Fatal(err)
+		}
+		gotMap := tableToMap(got)
+		pl.Close()
+		if len(gotMap) != len(want) {
+			t.Fatalf("workers=%d: %d keys, want %d", workers, len(gotMap), len(want))
+		}
+		for k, v := range want {
+			if gotMap[k] != v {
+				t.Fatalf("workers=%d: key %d = %d, want %d", workers, k, gotMap[k], v)
+			}
+		}
+		// A nil predicate passes the source through untouched.
+		if query.Where(coll, nil) != query.Source(coll) {
+			t.Fatal("Where(nil) did not return the source unchanged")
+		}
+	}
+	after := rt.StatsSnapshot()
+	if after.BlocksPruned == before.BlocksPruned {
+		t.Fatal("Where stage pruned no blocks on a clustered load")
+	}
+}

@@ -115,21 +115,7 @@ func (t *Table[V]) Bytes() int64 {
 	return per * int64(len(t.keys))
 }
 
-// Set is a presence-only table over int64 keys (semi-join state).
-type Set struct {
-	t *Table[struct{}]
-}
-
-// NewSet creates a set sized for about capHint keys.
-func NewSet(a *Arena, capHint int) *Set {
-	return &Set{t: NewTable[struct{}](a, capHint)}
-}
-
-// Add inserts key.
-func (s *Set) Add(key int64) { s.t.At(key) }
-
-// Has reports membership.
-func (s *Set) Has(key int64) bool { return s.t.Get(key) != nil }
-
-// Len returns the number of keys.
-func (s *Set) Len() int { return s.t.Len() }
+// Semi-join key sets are PartitionedTable[struct{}] (presence via
+// At/Get) — one table shape serves both serial and per-worker-merged
+// parallel queries; the former Set wrapper was removed with its last
+// caller.

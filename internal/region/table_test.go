@@ -123,18 +123,21 @@ func TestTableMatchesMap(t *testing.T) {
 	}
 }
 
-func TestSet(t *testing.T) {
+// TestPresenceSet covers the semi-join key-set idiom: a
+// PartitionedTable[struct{}] with At as insert and Get as membership
+// (the shape serial Q4 and Q4Par's per-worker merge both use).
+func TestPresenceSet(t *testing.T) {
 	a := NewArena(nil, 4096)
 	defer a.Release()
-	s := NewSet(a, 8)
+	s := NewPartitionedTable[struct{}](a, 1, 8)
 	for i := int64(0); i < 50; i++ {
-		s.Add(i * 3)
+		s.At(i * 3)
 	}
-	s.Add(6) // duplicate
+	s.At(6) // duplicate
 	if s.Len() != 50 {
 		t.Fatalf("Len = %d", s.Len())
 	}
-	if !s.Has(6) || !s.Has(147) || s.Has(7) {
+	if s.Get(6) == nil || s.Get(147) == nil || s.Get(7) != nil {
 		t.Fatal("membership wrong")
 	}
 }

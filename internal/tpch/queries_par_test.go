@@ -78,6 +78,7 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 			}
 			q := NewSMCQueries(sdb)
 			wantQ3 := q.Q3(s, p)
+			wantQ4 := q.Q4(s, p)
 			wantQ5 := q.Q5(s, p)
 			wantQ10 := q.Q10(s, p)
 			wantQ7 := q.Q7(s, p)
@@ -94,6 +95,9 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 			for _, workers := range joinWorkerCounts() {
 				if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
 					t.Fatalf("Q3Par(workers=%d) diverges from Q3:\n got %+v\nwant %+v", workers, got, wantQ3)
+				}
+				if got := q.Q4Par(s, p, workers); !reflect.DeepEqual(got, wantQ4) {
+					t.Fatalf("Q4Par(workers=%d) diverges from Q4:\n got %+v\nwant %+v", workers, got, wantQ4)
 				}
 				if got := q.Q5Par(s, p, workers); !reflect.DeepEqual(got, wantQ5) {
 					t.Fatalf("Q5Par(workers=%d) diverges from Q5:\n got %+v\nwant %+v", workers, got, wantQ5)

@@ -428,13 +428,68 @@ func (q *SMCQueries) Q3MapIntermediates(s *core.Session, p Params) []Q3Row {
 	return SortQ3(rows)
 }
 
+// q4LateBlock scans one lineitem block for late lines (commit before
+// receipt) whose order falls in the Q4 window, folding their order keys
+// into the semi-join key table: the compiled per-block kernel, shared by
+// the serial Q4 and Q4Par. s must be the session whose critical section
+// covers blk.
+func (q *SMCQueries) q4LateBlock(s *core.Session, blk *mem.Block, lo, hi types.Date, late *region.PartitionedTable[struct{}]) {
+	for i := 0; i < blk.Capacity(); i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		if dateAt(blk, i, q.lCommit) >= dateAt(blk, i, q.lRecv) {
+			continue
+		}
+		l := mem.Obj{Blk: blk, Slot: i}
+		oobj, err := q.deref(s, &q.frLOrder, l)
+		if err != nil {
+			continue
+		}
+		od := *(*types.Date)(oobj.Field(q.oDate))
+		if od >= lo && od < hi {
+			late.At(i64At(blk, i, q.lOrderKey))
+		}
+	}
+}
+
+// q4CountBlock counts one orders block's in-window rows per priority
+// against the (merged, read-only) late-key table: the per-block counting
+// kernel, shared by the serial Q4 and Q4Par. The window check stays the
+// residual predicate even when the scan was pruned on OrderDate.
+func (q *SMCQueries) q4CountBlock(blk *mem.Block, lo, hi types.Date, late *region.PartitionedTable[struct{}], counts map[string]int64) {
+	for i := 0; i < blk.Capacity(); i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		od := dateAt(blk, i, q.oDate)
+		if od < lo || od >= hi {
+			continue
+		}
+		if late.Get(i64At(blk, i, q.oKey)) != nil {
+			counts[string(strAt(blk, i, q.oPrio))]++
+		}
+	}
+}
+
+// q4Rows materializes the priority counts in Q4's output order.
+func q4Rows(counts map[string]int64) []Q4Row {
+	rows := make([]Q4Row, 0, len(counts))
+	for pr, n := range counts {
+		rows = append(rows, Q4Row{Priority: pr, Count: n})
+	}
+	SortQ4(rows)
+	return rows
+}
+
 // Q4 — order priority checking (semi-join on orderkey). The semi-join
-// key set is region-backed (§7).
+// key set is region-backed (§7). The per-block kernels are shared with
+// Q4Par (queries_smc_joins.go).
 func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
 	hi := p.Q4Date.AddMonths(3)
 	a := q.arenas.Lease()
 	defer q.arenas.Return(a)
-	late := region.NewSet(a, 1024)
+	late := region.NewPartitionedTable[struct{}](a, 1, 1024)
 
 	s.Enter()
 	en := q.db.Lineitems.Enumerate(s)
@@ -443,23 +498,7 @@ func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			if dateAt(blk, i, q.lCommit) >= dateAt(blk, i, q.lRecv) {
-				continue
-			}
-			l := mem.Obj{Blk: blk, Slot: i}
-			oobj, err := q.deref(s, &q.frLOrder, l)
-			if err != nil {
-				continue
-			}
-			od := *(*types.Date)(oobj.Field(q.oDate))
-			if od >= p.Q4Date && od < hi {
-				late.Add(i64At(blk, i, q.lOrderKey))
-			}
-		}
+		q.q4LateBlock(s, blk, p.Q4Date, hi, late)
 	}
 	en.Close()
 
@@ -470,28 +509,11 @@ func (q *SMCQueries) Q4(s *core.Session, p Params) []Q4Row {
 		if !ok {
 			break
 		}
-		for i := 0; i < blk.Capacity(); i++ {
-			if !blk.SlotIsValid(i) {
-				continue
-			}
-			od := dateAt(blk, i, q.oDate)
-			if od < p.Q4Date || od >= hi {
-				continue
-			}
-			if late.Has(i64At(blk, i, q.oKey)) {
-				counts[string(strAt(blk, i, q.oPrio))]++
-			}
-		}
+		q.q4CountBlock(blk, p.Q4Date, hi, late, counts)
 	}
 	en2.Close()
 	s.Exit()
-
-	rows := make([]Q4Row, 0, len(counts))
-	for pr, n := range counts {
-		rows = append(rows, Q4Row{Priority: pr, Count: n})
-	}
-	SortQ4(rows)
-	return rows
+	return q4Rows(counts)
 }
 
 // Q5 — local supplier volume: five-way reference join. The revenue

@@ -305,11 +305,14 @@ func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
 	pl := query.New(s, q.arenas, workers)
 	defer pl.Close()
 	segment := []byte(p.Q3Segment)
+	// Pushdown: shipdate > date (the join-side order-date cut stays a
+	// residual — it lives on a referenced object, not this scan's block).
+	pred := q.db.Lineitems.Predicate().DateRange("ShipDate", p.Q3Date+1, dateMax)
 	// Group state is per-order: cardinality scales with the input, so the
 	// worker tables take an adaptive hint over the static one — the
 	// sparse variant, since the segment/date predicate qualifies a small
 	// fraction of lineitems.
-	merged, err := query.Table(pl, q.db.Lineitems, query.AdaptiveSparseHint,
+	merged, err := query.Table(pl, query.Where(q.db.Lineitems, pred), query.AdaptiveSparseHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[q3Acc]) {
 			q.q3Block(ws, blk, p.Q3Date, segment, t)
 		}, mergeQ3Acc)
@@ -323,6 +326,53 @@ func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
 		})
 	})
 	return SortQ3(rows)
+}
+
+// Q4Par is Q4 fanned out over the pipeline: a Table stage builds the
+// late-order semi-join key set from the lineitem scan (per-worker leased
+// tables, no-op merge — presence is idempotent), then an Accum stage
+// scans orders with the order-date window pushed down onto the orders
+// collection's block synopses, probing the merged key set read-only and
+// counting per priority. Results are identical to Q4 on a quiesced
+// collection; pipeline errors degrade to the serial driver.
+func (q *SMCQueries) Q4Par(s *core.Session, p Params, workers int) []Q4Row {
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
+	hi := p.Q4Date.AddMonths(3)
+	// Late-key cardinality scales with the input behind a selective
+	// window: sparse adaptive hint, as in Q3Par.
+	late, err := query.Table(pl, q.db.Lineitems, query.AdaptiveSparseHint,
+		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[struct{}]) {
+			q.q4LateBlock(ws, blk, p.Q4Date, hi, t)
+		},
+		func(dst, src *struct{}) {})
+	if err != nil {
+		return q.Q4(s, p)
+	}
+	counts := make(map[string]int64)
+	if late != nil && late.Len() > 0 {
+		// Pushdown: orderdate in [Q4Date, hi) onto the orders scan.
+		pred := q.db.Orders.Predicate().DateRange("OrderDate", p.Q4Date, hi-1)
+		merged, err := query.Accum(pl, query.Where(q.db.Orders, pred),
+			func(_ int, _ *core.Session, blk *mem.Block, acc *map[string]int64) {
+				if *acc == nil {
+					*acc = make(map[string]int64)
+				}
+				q.q4CountBlock(blk, p.Q4Date, hi, late, *acc)
+			},
+			func(dst, src *map[string]int64) {
+				for pr, n := range *src {
+					(*dst)[pr] += n
+				}
+			})
+		if err != nil {
+			return q.Q4(s, p)
+		}
+		if *merged != nil {
+			counts = *merged
+		}
+	}
+	return q4Rows(counts)
 }
 
 // Q5Par is Q5 fanned out over `workers` block-sharded scan workers; the
@@ -360,9 +410,12 @@ func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
 	pl := query.New(s, q.arenas, workers)
 	defer pl.Close()
 	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
+	// Pushdown: returnflag == 'R' as a one-point interval (the order-date
+	// window is join-side, so it stays residual).
+	pred := q.db.Lineitems.Predicate().Int32Range("ReturnFlag", 'R', 'R')
 	// Per-customer group state behind a one-quarter window: sparse
 	// adaptive hint, as in Q3Par.
-	merged, err := query.Table(pl, q.db.Lineitems, query.AdaptiveSparseHint,
+	merged, err := query.Table(pl, query.Where(q.db.Lineitems, pred), query.AdaptiveSparseHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q10Block(ws, blk, lo, hi, t)
 		}, mergeDec)

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"math"
 	"unsafe"
 
 	"repro/internal/core"
@@ -9,6 +10,22 @@ import (
 	"repro/internal/query"
 	"repro/internal/types"
 )
+
+// Date extremes for one-sided pushdown intervals (synopsis bounds are
+// inclusive on both ends).
+const (
+	dateMin = types.Date(math.MinInt32)
+	dateMax = types.Date(math.MaxInt32)
+)
+
+// decKeyMin is the most negative decimal the synopsis key space can
+// name; it encodes one-sided decimal intervals.
+var decKeyMin = decimal.Dec128{Lo: 0, Hi: math.MinInt64}
+
+// oneUnit is the smallest positive decimal step (1e-4): v < x over the
+// fixed-point domain is exactly v <= x - oneUnit, which turns strict
+// upper bounds into the inclusive intervals synopses prune on.
+var oneUnit = decimal.FromUnits(1)
 
 // Parallel compiled queries: the scan-dominated kernels (Q1, Q6) fanned
 // out over the pipeline layer's Accum stage. Each worker folds into its
@@ -217,6 +234,86 @@ func (q *SMCQueries) q6Block(blk *mem.Block, p Params, hi types.Date, lo, hiD de
 	}
 }
 
+// q6WindowBlock sums revenue (extendedprice × discount) over ship dates
+// in [lo, hi]: the Q6-style windowed scan kernel the prune figure sweeps
+// over selectivities — the window is the whole predicate, so measured
+// selectivity is purely date-driven.
+func (q *SMCQueries) q6WindowBlock(blk *mem.Block, lo, hi types.Date, columnar bool, out *q6Sum) {
+	n := blk.Capacity()
+	if columnar {
+		shipBase := blk.ColBase(q.lShip)
+		extBase := blk.ColBase(q.lExt)
+		discBase := blk.ColBase(q.lDisc)
+		for i := 0; i < n; i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			ship := *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4))
+			if ship < lo || ship > hi {
+				continue
+			}
+			ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+			dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+			decimal.MulAdd(&out.sum, ext, dsc)
+		}
+		return
+	}
+	shipOff := q.lShip.Offset
+	extOff := q.lExt.Offset
+	discOff := q.lDisc.Offset
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		base := blk.SlotData(i)
+		ship := *(*types.Date)(unsafe.Add(base, shipOff))
+		if ship < lo || ship > hi {
+			continue
+		}
+		ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+		dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+		decimal.MulAdd(&out.sum, ext, dsc)
+	}
+}
+
+// Q6WindowPar is the Q6-style windowed revenue scan behind the prune
+// benchmark figure: sum(extendedprice × discount) over ship dates in
+// [lo, hi], fanned out over `workers`, with the window optionally pushed
+// down onto the lineitem block synopses. The kernel's residual window
+// check runs either way, so pushdown can only skip provably-empty
+// blocks, never change the sum.
+func (q *SMCQueries) Q6WindowPar(s *core.Session, lo, hi types.Date, workers int, pushdown bool) decimal.Dec128 {
+	pl := query.New(s, q.arenas, workers)
+	defer pl.Close()
+	columnar := q.db.Layout == core.Columnar
+	src := query.Source(q.db.Lineitems)
+	if pushdown {
+		src = query.Where(q.db.Lineitems, q.db.Lineitems.Predicate().DateRange("ShipDate", lo, hi))
+	}
+	out, err := query.Accum(pl, src,
+		func(_ int, _ *core.Session, blk *mem.Block, acc *q6Sum) {
+			q.q6WindowBlock(blk, lo, hi, columnar, acc)
+		},
+		func(dst, src *q6Sum) { decimal.AddAssign(&dst.sum, &src.sum) })
+	if err != nil {
+		// Worker sessions unavailable: degrade to a serial unpruned scan.
+		var sum q6Sum
+		s.Enter()
+		en := q.db.Lineitems.Enumerate(s)
+		for {
+			blk, ok := en.NextBlock()
+			if !ok {
+				break
+			}
+			q.q6WindowBlock(blk, lo, hi, columnar, &sum)
+		}
+		en.Close()
+		s.Exit()
+		return sum.sum
+	}
+	return out.sum
+}
+
 // Q1Par is Q1 fanned out over `workers` block-sharded scan workers.
 // Results are identical to Q1 on a quiesced collection; under concurrent
 // mutation both have the enumerator's bag semantics.
@@ -225,7 +322,10 @@ func (q *SMCQueries) Q1Par(s *core.Session, p Params, workers int) []Q1Row {
 	defer pl.Close()
 	cutoff := p.Q1Cutoff()
 	columnar := q.db.Layout == core.Columnar
-	total, err := query.Accum(pl, q.db.Lineitems,
+	// Pushdown: shipdate <= cutoff. The kernel keeps its per-row check —
+	// pruning only drops blocks whose entire date range is past the cut.
+	pred := q.db.Lineitems.Predicate().DateRange("ShipDate", dateMin, cutoff)
+	total, err := query.Accum(pl, query.Where(q.db.Lineitems, pred),
 		func(_ int, _ *core.Session, blk *mem.Block, acc *q1Dense) {
 			q.q1Block(blk, cutoff, columnar, acc)
 		},
@@ -246,7 +346,14 @@ func (q *SMCQueries) Q6Par(s *core.Session, p Params, workers int) decimal.Dec12
 	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
 	hiD := p.Q6Discount.Add(decimal.MustParse("0.01"))
 	columnar := q.db.Layout == core.Columnar
-	out, err := query.Accum(pl, q.db.Lineitems,
+	// Pushdown: the full Q6 interval conjunction — shipdate in [lo, hi),
+	// discount in [lo, hiD], quantity < max (strict bounds become
+	// inclusive by stepping one date/decimal unit).
+	pred := q.db.Lineitems.Predicate().
+		DateRange("ShipDate", p.Q6Date, hi-1).
+		DecimalRange("Discount", lo, hiD).
+		DecimalRange("Quantity", decKeyMin, p.Q6Quantity.Sub(oneUnit))
+	out, err := query.Accum(pl, query.Where(q.db.Lineitems, pred),
 		func(_ int, _ *core.Session, blk *mem.Block, acc *q6Sum) {
 			q.q6Block(blk, p, hi, lo, hiD, columnar, acc)
 		},

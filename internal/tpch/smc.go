@@ -142,6 +142,17 @@ func NewSMCDB(rt *core.Runtime, layout core.Layout) (*SMCDB, error) {
 	if db.Lineitems, err = core.NewCollection[SLineitem](rt, "lineitem", layout); err != nil {
 		return nil, err
 	}
+	// Block synopses (min/max zone maps) for the columns the compiled
+	// queries carry range predicates on: Q1/Q3/Q6 ship-date cuts, Q6's
+	// discount/quantity intervals, Q10's return-flag equality and Q4's
+	// order-date window. Registered at construction time, before any row
+	// exists, so every block in the collections' lifetime carries bounds.
+	if err = db.Lineitems.RegisterSynopses("ShipDate", "Discount", "Quantity", "ReturnFlag"); err != nil {
+		return nil, err
+	}
+	if err = db.Orders.RegisterSynopses("OrderDate"); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
