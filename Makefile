@@ -24,7 +24,7 @@ test: build vet
 # maintainer stress tests (exactly-once and exact serial results under
 # churn + compaction) under the race detector.
 race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.

@@ -109,12 +109,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows := query.PartitionRows(pl, merged, func(pt *region.Table[pageStats], out *[]row) {
+		rows, err := query.PartitionRows(pl, merged, func(pt *region.Table[pageStats], out *[]row) {
 			pt.Range(func(k int64, v *pageStats) bool {
 				*out = append(*out, row{Page: k, Stats: *v})
 				return true
 			})
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		sort.Slice(rows, func(i, j int) bool {
 			if rows[i].Stats.Views != rows[j].Stats.Views {
 				return rows[i].Stats.Views > rows[j].Stats.Views

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync/atomic"
@@ -262,6 +263,18 @@ func (c *Collection[T]) Enumerate(s *Session) *mem.Enumerator {
 // sound, not exact.
 func (c *Collection[T]) EnumeratePred(s *Session, pred *mem.ScanPredicate) *mem.Enumerator {
 	return c.ctx.NewEnumeratorPred(s.ms, pred)
+}
+
+// EnumerateCtx is Enumerate bound to a context: NextBlock observes
+// cancellation at block granularity and the enumerator's Err reports the
+// cancellation cause. A Background context adds no per-block overhead.
+func (c *Collection[T]) EnumerateCtx(cctx context.Context, s *Session) *mem.Enumerator {
+	return c.ctx.NewEnumeratorCtx(cctx, s.ms)
+}
+
+// EnumeratePredCtx is EnumeratePred bound to a context (see EnumerateCtx).
+func (c *Collection[T]) EnumeratePredCtx(cctx context.Context, s *Session, pred *mem.ScanPredicate) *mem.Enumerator {
+	return c.ctx.NewEnumeratorPredCtx(cctx, s.ms, pred)
 }
 
 // RegisterSynopses declares per-block min/max synopses for the named

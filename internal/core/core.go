@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -74,6 +75,12 @@ type Options struct {
 	// CompactionWorkers is the default move-phase worker count for
 	// compaction passes (default GOMAXPROCS; 1 = serial oracle path).
 	CompactionWorkers int
+	// MemoryBudget caps the off-heap bytes the runtime's block heap may
+	// hold (0 = unlimited). Allocations over the cap first wake the
+	// maintainer to reclaim, then backpressure briefly, then fail with
+	// mem.ErrBudgetExceeded; query admission (query.NewCtx) waits under
+	// the same budget.
+	MemoryBudget int64
 	// HeapBackend forces the portable off-heap backend (tests).
 	HeapBackend bool
 }
@@ -85,6 +92,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		ReclaimThreshold:    opts.ReclaimThreshold,
 		CompactionThreshold: opts.CompactionThreshold,
 		CompactionWorkers:   opts.CompactionWorkers,
+		MemoryBudget:        opts.MemoryBudget,
 		HeapBackend:         opts.HeapBackend,
 	})
 	if err != nil {
@@ -149,6 +157,18 @@ func (rt *Runtime) StartCompactor(interval time.Duration) func() {
 func (rt *Runtime) StartMaintainer(cfg mem.MaintainerConfig) *mem.Maintainer {
 	return rt.mgr.StartMaintainer(cfg)
 }
+
+// StartMaintainerCtx is StartMaintainer bound to a context: cancellation
+// shuts the maintenance goroutine down as if Stop had been called.
+func (rt *Runtime) StartMaintainerCtx(ctx context.Context, cfg mem.MaintainerConfig) *mem.Maintainer {
+	return rt.mgr.StartMaintainerCtx(ctx, cfg)
+}
+
+// SetMemoryBudget adjusts the runtime's off-heap byte budget (0 =
+// unlimited). Lowering it below current usage does not evict memory; it
+// backpressures future allocations and admissions until reclamation
+// catches up.
+func (rt *Runtime) SetMemoryBudget(limit int64) { rt.mgr.Budget().SetLimit(limit) }
 
 // FragmentationSnapshot surveys the heap's compactable blocks.
 func (rt *Runtime) FragmentationSnapshot() mem.Fragmentation {

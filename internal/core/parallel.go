@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/mem"
 )
 
@@ -20,17 +22,32 @@ func (c *Collection[T]) ParallelBlocks(s *Session, workers int, fn func(worker i
 	return c.ParallelBlocksPred(s, workers, nil, fn)
 }
 
+// ParallelBlocksCtx is ParallelBlocks bound to a context: every worker
+// observes cancellation at block-claim granularity (one channel poll per
+// claimed block), the coordinator aborts resolved-list fan-out, and the
+// scan returns the cancellation cause once every worker has unwound. A
+// Background context adds no overhead.
+func (c *Collection[T]) ParallelBlocksCtx(cctx context.Context, s *Session, workers int, fn func(worker int, ws *Session, b *mem.Block) error) error {
+	return c.ParallelBlocksPredCtx(cctx, s, workers, nil, fn)
+}
+
 // ParallelBlocksPred is ParallelBlocks with a scan predicate pushed into
 // the coordinator's one-shot decision pass: pruned blocks never enter
 // the resolved block list, so no worker, cursor claim or session ever
 // touches them. fn still sees every block that might hold a matching row
 // and must keep evaluating the residual predicate per row.
 func (c *Collection[T]) ParallelBlocksPred(s *Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *Session, b *mem.Block) error) error {
+	return c.ParallelBlocksPredCtx(context.Background(), s, workers, pred, fn)
+}
+
+// ParallelBlocksPredCtx is ParallelBlocksPred bound to a context (see
+// ParallelBlocksCtx).
+func (c *Collection[T]) ParallelBlocksPredCtx(cctx context.Context, s *Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *Session, b *mem.Block) error) error {
 	if workers < 1 {
 		workers = 1
 	}
 	wrappers := make([]*Session, workers)
-	return c.ctx.ScanParallelPred(s.ms, workers, pred, func(w int, ws *mem.Session, b *mem.Block) error {
+	return c.ctx.ScanParallelPredCtx(cctx, s.ms, workers, pred, func(w int, ws *mem.Session, b *mem.Block) error {
 		cs := wrappers[w]
 		if cs == nil {
 			if ws == s.ms {

@@ -16,6 +16,13 @@ type PoolMetrics interface {
 	RetainedBytes() int64
 }
 
+// poolReturns is the optional extension a pool may implement to report
+// lifetime Return counts (region.ArenaPool does). Kept out of
+// PoolMetrics so existing PoolMetrics implementations stay valid.
+type poolReturns interface {
+	Returns() int64
+}
+
 // ArenaPoolStats is one registered pool's point-in-time metrics.
 type ArenaPoolStats struct {
 	// Name identifies the pool (e.g. "tpch.SMCQueries").
@@ -23,6 +30,11 @@ type ArenaPoolStats struct {
 	// Leases counts lifetime Lease calls; Reuses counts how many of them
 	// were served from the idle set rather than a fresh arena.
 	Leases, Reuses int64
+	// Returns counts lifetime Return calls (0 when the pool does not
+	// report them). Leases == Returns whenever no query holds a leased
+	// arena — the robustness suites assert this after cancel/fault
+	// cycles.
+	Returns int64
 	// RetainedBytes is the idle footprint currently held for reuse.
 	RetainedBytes int64
 }
@@ -30,9 +42,25 @@ type ArenaPoolStats struct {
 // RuntimeStats is a point-in-time snapshot of the runtime's query-memory
 // counters.
 type RuntimeStats struct {
-	// Worker-session pooling (parallel scans): lifetime session leases
-	// and how many were pool hits (misses registered a fresh session).
-	SessionsLeased, SessionsReused int64
+	// Worker-session pooling (parallel scans): lifetime session leases,
+	// how many were pool hits (misses registered a fresh session), and
+	// how many were returned. Leased == Returned whenever no scan is in
+	// flight — leak detection after cancellation and fault injection.
+	SessionsLeased, SessionsReused, SessionsReturned int64
+	// EpochPins counts sessions currently inside an epoch critical
+	// section; 0 when the system is quiesced (a leaked pin blocks
+	// reclamation forever).
+	EpochPins int
+	// Admission control (query.NewCtx) and memory backpressure: queries
+	// admitted and rejected under the budget, block allocations that
+	// waited for reclamation or failed with ErrBudgetExceeded, and
+	// cumulative nanoseconds spent waiting.
+	QueriesAdmitted, QueriesRejected int64
+	AllocWaits, AllocRejects         int64
+	BudgetWaitNanos                  int64
+	// BudgetLimit/BudgetUsed are the configured byte budget (0 =
+	// unlimited) and the bytes currently charged against it.
+	BudgetLimit, BudgetUsed int64
 	// Block registry churn.
 	BlocksAllocated, BlocksReleased int64
 	// Compaction engine activity: passes run, objects relocated, groups
@@ -87,9 +115,21 @@ func (rt *Runtime) RegisterArenaPool(name string, p PoolMetrics) {
 // metrics.
 func (rt *Runtime) StatsSnapshot() RuntimeStats {
 	ms := rt.mgr.Stats()
+	bc := rt.mgr.Budget().Counters()
 	out := RuntimeStats{
-		SessionsLeased:  ms.SessionsLeased.Load(),
-		SessionsReused:  ms.SessionsReused.Load(),
+		SessionsLeased:   ms.SessionsLeased.Load(),
+		SessionsReused:   ms.SessionsReused.Load(),
+		SessionsReturned: ms.SessionsReturned.Load(),
+		EpochPins:        rt.mgr.Epoch().InCriticalSessions(),
+
+		QueriesAdmitted: bc.Admitted,
+		QueriesRejected: bc.Rejected,
+		AllocWaits:      bc.AllocWaits,
+		AllocRejects:    bc.AllocRejects,
+		BudgetWaitNanos: bc.ReclamationWaitNanos,
+		BudgetLimit:     bc.Limit,
+		BudgetUsed:      bc.Used,
+
 		BlocksAllocated: ms.BlocksAllocated.Load(),
 		BlocksReleased:  ms.BlocksReleased.Load(),
 		Compactions:     ms.Compactions.Load(),
@@ -112,12 +152,16 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 	out.ArenaPools = make([]ArenaPoolStats, 0, len(pools))
 	for _, np := range pools {
 		leases, reuses := np.p.Stats()
-		out.ArenaPools = append(out.ArenaPools, ArenaPoolStats{
+		ps := ArenaPoolStats{
 			Name:          np.name,
 			Leases:        leases,
 			Reuses:        reuses,
 			RetainedBytes: np.p.RetainedBytes(),
-		})
+		}
+		if r, ok := np.p.(poolReturns); ok {
+			ps.Returns = r.Returns()
+		}
+		out.ArenaPools = append(out.ArenaPools, ps)
 	}
 	return out
 }

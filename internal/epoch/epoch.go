@@ -246,6 +246,21 @@ func (m *Manager) ReleaseGate(owner *Session) {
 // GateHeld reports whether a compaction owns the advance gate.
 func (m *Manager) GateHeld() bool { return m.gate.Load() != 0 }
 
+// InCriticalSessions counts the registered sessions currently inside a
+// critical section (epoch pins). The robustness suites use it to assert
+// that canceled and panicked queries exited every critical section; a
+// quiesced system reads 0.
+func (m *Manager) InCriticalSessions() int {
+	n := 0
+	for i := range m.slots {
+		sl := &m.slots[i]
+		if sl.registered.Load() == 1 && sl.inCritical.Load() == 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // AllAtLeast reports whether every in-critical session except the given
 // one has published epoch >= e. The compactor uses this to detect that
 // all threads have entered the freezing or relocation epoch.

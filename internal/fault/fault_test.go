@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointsAreNoOps(t *testing.T) {
+	Disarm()
+	Point(PointScanBlock) // must not panic
+	if err := Check(PointAllocBlock); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true with no plan")
+	}
+}
+
+func TestPanicAtNthHit(t *testing.T) {
+	defer Enable(map[string]*Rule{
+		PointScanBlock: {At: 3, Panic: true},
+	})()
+	Point(PointScanBlock)
+	Point(PointScanBlock)
+	func() {
+		defer func() {
+			r := recover()
+			pv, ok := r.(PanicValue)
+			if !ok {
+				t.Fatalf("recovered %T, want PanicValue", r)
+			}
+			if pv.Point != PointScanBlock || pv.Hit != 3 {
+				t.Fatalf("PanicValue = %+v", pv)
+			}
+		}()
+		Point(PointScanBlock)
+		t.Fatal("3rd hit did not panic")
+	}()
+	// Nth-only rule: the 4th hit passes through.
+	Point(PointScanBlock)
+	if n := Hits(PointScanBlock); n != 4 {
+		t.Fatalf("Hits = %d, want 4", n)
+	}
+}
+
+func TestEveryFromNth(t *testing.T) {
+	defer Enable(map[string]*Rule{
+		"p": {At: 2, Every: true, Panic: true},
+	})()
+	Point("p") // hit 1: below At
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("hit %d after At did not panic", i+2)
+				}
+			}()
+			Point("p")
+		}()
+	}
+}
+
+func TestCheckReturnsInjectedError(t *testing.T) {
+	errBoom := errors.New("boom")
+	defer Enable(map[string]*Rule{
+		PointAllocBlock: {At: 2, Err: errBoom},
+	})()
+	if err := Check(PointAllocBlock); err != nil {
+		t.Fatalf("hit 1 returned %v", err)
+	}
+	if err := Check(PointAllocBlock); !errors.Is(err, errBoom) {
+		t.Fatalf("hit 2 returned %v, want boom", err)
+	}
+	if err := Check(PointAllocBlock); err != nil {
+		t.Fatalf("hit 3 returned %v", err)
+	}
+}
+
+func TestDelayStallsTheHit(t *testing.T) {
+	defer Enable(map[string]*Rule{
+		"slow": {Delay: 20 * time.Millisecond},
+	})()
+	start := time.Now()
+	Point("slow")
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delayed point returned after %v", d)
+	}
+}
+
+func TestEnableDisarmScoping(t *testing.T) {
+	off := Enable(map[string]*Rule{"x": {Panic: true}})
+	if !Armed() {
+		t.Fatal("not armed after Enable")
+	}
+	off()
+	if Armed() {
+		t.Fatal("still armed after disarm func")
+	}
+	Point("x") // must not panic
+	// Disarming an already-replaced plan must not clobber a newer one.
+	off2 := Enable(map[string]*Rule{"y": {}})
+	off() // stale disarm: no-op
+	if !Armed() {
+		t.Fatal("stale disarm func removed the newer plan")
+	}
+	off2()
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"repro/internal/fault"
 	"repro/internal/offheap"
 	"repro/internal/schema"
 )
@@ -170,11 +171,35 @@ func computeGeometry(blockSize int, sch *schema.Schema, layout Layout) (geometry
 	return g, nil
 }
 
-// newBlock allocates and registers a block for the context.
+// newBlock allocates and registers a block for the context, charging the
+// manager's memory budget (backpressuring, then failing with
+// ErrBudgetExceeded when reclamation cannot make room).
 func newBlock(ctx *Context) (*Block, error) {
+	return newBlockBudgeted(ctx, false)
+}
+
+// newCompactionTargetBlock allocates a block for a compaction group's
+// target, force-charging the budget: the target is the reclamation
+// vehicle itself (it frees at least two source blocks), so refusing it
+// under pressure would deadlock the budget against its own remedy.
+func newCompactionTargetBlock(ctx *Context) (*Block, error) {
+	return newBlockBudgeted(ctx, true)
+}
+
+func newBlockBudgeted(ctx *Context, forced bool) (*Block, error) {
 	m := ctx.mgr
+	if err := fault.Check(fault.PointAllocBlock); err != nil {
+		return nil, err
+	}
+	bs := int64(m.cfg.BlockSize)
+	if forced {
+		m.budget.forceReserve(bs)
+	} else if err := m.budget.reserveBlock(bs); err != nil {
+		return nil, err
+	}
 	r, err := m.alloc.Alloc(m.cfg.BlockSize, m.cfg.BlockSize)
 	if err != nil {
+		m.budget.release(bs)
 		return nil, err
 	}
 	g := ctx.geo

@@ -1,0 +1,240 @@
+package mem
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Memory governance (admission control & backpressure). The heap used to
+// grow until the OS killed the process; Budget turns that into a governed
+// resource: one process-level byte budget per Manager, accounted on block
+// alloc/free, that under pressure first triggers
+// compaction-for-reclamation (the Maintainer's allocation-pressure
+// wake-up), then briefly backpressures allocators and new query
+// admissions, and only when reclamation cannot help fails with a typed
+// ErrBudgetExceeded — degrade, then refuse, never OOM.
+
+// ErrBudgetExceeded is returned when an allocation or query admission
+// cannot proceed within the manager's memory budget and reclamation
+// could not free enough within the bounded wait. It is a typed, permanent
+// answer for this attempt — callers may retry after load drops.
+var ErrBudgetExceeded = errors.New("mem: memory budget exceeded")
+
+// Budget governs a Manager's block-heap footprint. The zero limit means
+// "unlimited": accounting still runs (Used stays accurate) but nothing
+// waits or fails. All methods are safe for concurrent use.
+type Budget struct {
+	m     *Manager
+	limit atomic.Int64 // bytes; 0 = unlimited
+	used  atomic.Int64 // block bytes currently reserved
+
+	// gen is a broadcast channel replaced (and the old one closed) on
+	// every release, so waiters can block on "some bytes came back"
+	// without a lock-held condition variable.
+	mu  sync.Mutex
+	gen chan struct{}
+
+	// Counters surfaced through core.RuntimeStats.
+	admitted     atomic.Int64 // query admissions allowed
+	rejected     atomic.Int64 // query admissions refused (budget, not ctx)
+	allocWaits   atomic.Int64 // block allocations that had to wait
+	allocRejects atomic.Int64 // block allocations refused
+	waitNanos    atomic.Int64 // cumulative reclamation-wait time
+}
+
+// budgetAllocWait bounds how long one block allocation backpressures
+// before returning ErrBudgetExceeded. Reclamation that can help (the
+// maintainer pass plus graveyard ripening) completes well inside this on
+// any healthy heap.
+const budgetAllocWait = 100 * time.Millisecond
+
+// budgetAdmitWait bounds how long Admit backpressures when the caller's
+// context carries no deadline of its own.
+const budgetAdmitWait = 250 * time.Millisecond
+
+func newBudget(m *Manager, limit int64) *Budget {
+	b := &Budget{m: m, gen: make(chan struct{})}
+	if limit > 0 {
+		b.limit.Store(limit)
+	}
+	return b
+}
+
+// SetLimit replaces the byte limit; 0 disables enforcement. Lowering the
+// limit below current use does not evict anything — it backpressures
+// future allocations and admissions until reclamation catches up.
+func (b *Budget) SetLimit(limit int64) {
+	if limit < 0 {
+		limit = 0
+	}
+	b.limit.Store(limit)
+	if limit != 0 {
+		b.broadcast() // waiters re-evaluate against the new limit
+	}
+}
+
+// Limit returns the configured byte limit (0 = unlimited).
+func (b *Budget) Limit() int64 { return b.limit.Load() }
+
+// Used returns the block bytes currently reserved against the budget.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// overLimit reports whether use has reached the limit.
+func (b *Budget) overLimit() bool {
+	l := b.limit.Load()
+	return l > 0 && b.used.Load() >= l
+}
+
+// waitChan returns the current broadcast generation.
+func (b *Budget) waitChan() <-chan struct{} {
+	b.mu.Lock()
+	ch := b.gen
+	b.mu.Unlock()
+	return ch
+}
+
+// broadcast wakes every waiter to re-check the budget.
+func (b *Budget) broadcast() {
+	b.mu.Lock()
+	close(b.gen)
+	b.gen = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// tryReserve reserves n bytes iff they fit under the limit.
+func (b *Budget) tryReserve(n int64) bool {
+	l := b.limit.Load()
+	if l <= 0 {
+		b.used.Add(n)
+		return true
+	}
+	for {
+		u := b.used.Load()
+		if u+n > l {
+			return false
+		}
+		if b.used.CompareAndSwap(u, u+n) {
+			return true
+		}
+	}
+}
+
+// forceReserve reserves n bytes even past the limit. Compaction targets
+// use it: a target block is the reclamation vehicle itself (it frees at
+// least two source blocks), so refusing it under pressure would deadlock
+// the budget against its own remedy.
+func (b *Budget) forceReserve(n int64) { b.used.Add(n) }
+
+// release returns n bytes to the budget and wakes waiters.
+func (b *Budget) release(n int64) {
+	b.used.Add(-n)
+	if b.limit.Load() > 0 {
+		b.broadcast()
+	}
+}
+
+// reclaim nudges every reclamation path that can run off the allocator's
+// foot: wake the Maintainer for a compaction-for-reclamation pass, try a
+// lazy epoch advance, and drain ripe graves now.
+func (b *Budget) reclaim() {
+	b.m.signalAllocPressure()
+	b.m.TryAdvanceEpoch()
+	b.m.drainGraveyard()
+}
+
+// reserveBlock reserves one block's bytes for allocation, applying the
+// pressure protocol on failure: trigger reclamation, then backpressure
+// (bounded) for released bytes, and only then fail with
+// ErrBudgetExceeded.
+func (b *Budget) reserveBlock(n int64) error {
+	if b.tryReserve(n) {
+		return nil
+	}
+	b.allocWaits.Add(1)
+	start := time.Now()
+	defer func() { b.waitNanos.Add(time.Since(start).Nanoseconds()) }()
+	deadline := time.NewTimer(budgetAllocWait)
+	defer deadline.Stop()
+	for {
+		ch := b.waitChan()
+		b.reclaim()
+		if b.tryReserve(n) {
+			return nil
+		}
+		select {
+		case <-ch:
+			// Bytes were released (or the limit moved): retry.
+		case <-deadline.C:
+			b.allocRejects.Add(1)
+			return ErrBudgetExceeded
+		}
+	}
+}
+
+// Admit gates one new query admission on the budget: free when under
+// the limit, otherwise it triggers reclamation and blocks — bounded by
+// the context's deadline, or budgetAdmitWait when the context carries
+// none — until use drops under the limit. It returns ctx's error when
+// the caller gave up first and ErrBudgetExceeded when the bounded wait
+// elapsed; admission holds no resource, so there is nothing to release.
+func (b *Budget) Admit(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	if !b.overLimit() {
+		b.admitted.Add(1)
+		return nil
+	}
+	start := time.Now()
+	defer func() { b.waitNanos.Add(time.Since(start).Nanoseconds()) }()
+	var bound <-chan time.Time
+	if _, ok := ctx.Deadline(); !ok {
+		t := time.NewTimer(budgetAdmitWait)
+		defer t.Stop()
+		bound = t.C
+	}
+	for {
+		ch := b.waitChan()
+		b.reclaim()
+		if !b.overLimit() {
+			b.admitted.Add(1)
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			b.rejected.Add(1)
+			return context.Cause(ctx)
+		case <-bound:
+			b.rejected.Add(1)
+			return ErrBudgetExceeded
+		}
+	}
+}
+
+// BudgetCounters is a point-in-time view of the budget's activity.
+type BudgetCounters struct {
+	Limit, Used              int64
+	Admitted, Rejected       int64
+	AllocWaits, AllocRejects int64
+	ReclamationWaitNanos     int64
+}
+
+// Counters snapshots the budget's admission/rejection/wait counters.
+func (b *Budget) Counters() BudgetCounters {
+	return BudgetCounters{
+		Limit:                b.limit.Load(),
+		Used:                 b.used.Load(),
+		Admitted:             b.admitted.Load(),
+		Rejected:             b.rejected.Load(),
+		AllocWaits:           b.allocWaits.Load(),
+		AllocRejects:         b.allocRejects.Load(),
+		ReclamationWaitNanos: b.waitNanos.Load(),
+	}
+}

@@ -1,12 +1,15 @@
 package mem
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/fault"
 )
 
 // Compaction (paper §5) empties under-occupied blocks into fresh ones
@@ -115,11 +118,29 @@ func (m *Manager) CompactNow() (int, error) {
 // protocol is untouched and stays per-group; with workers == 1 the
 // moving phase is byte-for-byte the serial pass, kept as the oracle.
 func (m *Manager) CompactNowWorkers(workers int) (int, error) {
+	return m.CompactNowWorkersCtx(context.Background(), workers)
+}
+
+// CompactNowWorkersCtx is CompactNowWorkers with a cancellation context,
+// observed at group-claim granularity: a canceled pass aborts every
+// not-yet-moving group (sources return to circulation untouched — a
+// group is only abortable before its first object moves), finishes any
+// group already mid-move, runs the full epoch/sweep cleanup, and returns
+// the context's cause alongside the objects moved so far. A panic in a
+// move worker is likewise scoped to its group: the pass completes,
+// cleanup still runs, and the panic surfaces as an ErrWorkerPanic error.
+func (m *Manager) CompactNowWorkersCtx(cctx context.Context, workers int) (int, error) {
 	if workers <= 0 {
 		workers = m.cfg.CompactionWorkers
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	if err := context.Cause(cctx); err != nil {
+		return 0, err
 	}
 	m.compactMu.Lock()
 	defer m.compactMu.Unlock()
@@ -161,11 +182,13 @@ func (m *Manager) CompactNowWorkers(workers int) (int, error) {
 	}
 
 	const epochWait = 500 * time.Millisecond
+	done := cctx.Done()
 	// Wait for all threads to reach the freezing epoch, then open the
-	// relocation epoch.
-	if !m.waitAllAtLeast(freezing, cs, epochWait) {
+	// relocation epoch. Cancellation during either wait aborts the run
+	// before anything moved — the cheap exit.
+	if !m.waitAllAtLeast(freezing, cs, epochWait, done) {
 		m.abortRun(groups)
-		return 0, nil
+		return 0, context.Cause(cctx)
 	}
 	for m.ep.Global() < reloc {
 		if _, ok := m.ep.TryAdvanceOwner(cs.ep); !ok {
@@ -174,13 +197,13 @@ func (m *Manager) CompactNowWorkers(workers int) (int, error) {
 	}
 	// Waiting phase: lasts until every thread has entered the relocation
 	// epoch; readers that hit frozen objects bail their relocations out.
-	if !m.waitAllAtLeast(reloc, cs, epochWait) {
+	if !m.waitAllAtLeast(reloc, cs, epochWait, done) {
 		m.abortRun(groups)
-		return 0, nil
+		return 0, context.Cause(cctx)
 	}
 	// Moving phase: fan the per-group move work out over the workers.
 	m.movingPhase.Store(true)
-	moved := m.moveGroups(groups, workers)
+	moved, moveErr := m.moveGroups(groups, workers, done)
 	var emptied []*Block
 	basesByCtx := make(map[*Context]map[uintptr]bool)
 	for _, g := range groups {
@@ -288,7 +311,10 @@ func (m *Manager) CompactNowWorkers(workers int) (int, error) {
 		}
 	}
 	m.stats.ObjectsMoved.Add(int64(moved))
-	return moved, nil
+	if moveErr != nil {
+		return moved, moveErr
+	}
+	return moved, context.Cause(cctx)
 }
 
 // NeedsCompaction reports whether any context has enough under-occupied
@@ -400,7 +426,9 @@ func (m *Manager) planGroups() []*CompactionGroup {
 				g.blocks = append(g.blocks, b)
 			}
 			if len(g.blocks) >= 2 {
-				if target, err := newBlock(ctx); err == nil {
+				// Targets force-charge the budget: compaction is how the
+				// budget reclaims, so it must never starve itself.
+				if target, err := newCompactionTargetBlock(ctx); err == nil {
 					g.target = target
 					target.targetOf.Store(g)
 					ctx.appendBlock(target)
@@ -466,9 +494,16 @@ func (m *Manager) freezeGroup(g *CompactionGroup) {
 	}
 }
 
-func (m *Manager) waitAllAtLeast(e uint64, cs *Session, timeout time.Duration) bool {
+func (m *Manager) waitAllAtLeast(e uint64, cs *Session, timeout time.Duration, done <-chan struct{}) bool {
 	deadline := time.Now().Add(timeout)
 	for !m.ep.AllAtLeast(e, cs.ep) {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -548,17 +583,52 @@ func (m *Manager) moveGroup(g *CompactionGroup) (int, bool) {
 // workers run on sessions leased from the manager's session pool; the
 // coordinator goroutine participates as worker zero, and a failed lease
 // degrades to fewer workers rather than failing the pass.
-func (m *Manager) moveGroups(groups []*CompactionGroup, workers int) int {
+func (m *Manager) moveGroups(groups []*CompactionGroup, workers int, done <-chan struct{}) (int, error) {
+	var firstErr atomic.Pointer[error]
+	// runGroup moves one claimed group under the robustness contract.
+	// Cancellation observed at the claim aborts the group — safe exactly
+	// there, before its first object moves; once moving, the claim owner
+	// finishes it (aborting a half-moved group would strand objects). A
+	// panic mid-group is recovered and recorded; the group's remaining
+	// relocations stay resolvable by the cooperative helper protocol
+	// (enumerators help, the post-phase sweep unfreezes leftovers), so
+	// one poisoned group never kills the pass or the process.
+	runGroup := func(g *CompactionGroup) (moved int) {
+		if done != nil {
+			select {
+			case <-done:
+				if g.state.Load() < gMoving {
+					m.abortGroup(g)
+				}
+				return 0
+			default:
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				err := recoverToError(r)
+				firstErr.CompareAndSwap(nil, &err)
+			}
+		}()
+		fault.Point(fault.PointCompactGroup)
+		n, _ := m.moveGroup(g)
+		return n
+	}
+	moveErr := func() error {
+		if p := firstErr.Load(); p != nil {
+			return *p
+		}
+		return nil
+	}
 	if workers > len(groups) {
 		workers = len(groups)
 	}
 	if workers <= 1 {
 		moved := 0
 		for _, g := range groups {
-			n, _ := m.moveGroup(g)
-			moved += n
+			moved += runGroup(g)
 		}
-		return moved
+		return moved, moveErr()
 	}
 	var cursor atomic.Int64
 	counts := make([]int64, workers)
@@ -568,8 +638,7 @@ func (m *Manager) moveGroups(groups []*CompactionGroup, workers int) int {
 			if i >= len(groups) {
 				return
 			}
-			n, _ := m.moveGroup(groups[i])
-			counts[w] += int64(n)
+			counts[w] += int64(runGroup(groups[i]))
 		}
 	}
 	var wg sync.WaitGroup
@@ -596,7 +665,7 @@ func (m *Manager) moveGroups(groups []*CompactionGroup, workers int) int {
 	for _, c := range counts {
 		moved += int(c)
 	}
-	return moved
+	return moved, moveErr()
 }
 
 // helpGroup moves every resolvable scheduled relocation of g on behalf of

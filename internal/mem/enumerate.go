@@ -1,11 +1,19 @@
 package mem
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/types"
 )
+
+// errPredWrongContext is the panic message for a ScanPredicate handed to
+// a scan over a context it was not built for. One constant shared by the
+// serial and parallel entry points, so tests and fault-injection matching
+// see exactly one string.
+const errPredWrongContext = "mem: scan predicate built for a different context"
 
 // Enumerator walks a context's blocks in memory order (bag semantics,
 // §2/§4). Compiled queries drive it block-by-block and scan each block's
@@ -43,6 +51,14 @@ type Enumerator struct {
 	// compaction: pre-state originals are pruned by their own bounds,
 	// post-state targets by theirs (complete once the move finished).
 	pred *ScanPredicate
+
+	// done, when non-nil, is the walk's cancellation signal: NextBlock
+	// polls it once per block (one channel poll, nil for Background-like
+	// contexts, so the uncancellable oracle path costs nothing) and ends
+	// the walk early, recording the cause in err.
+	done  <-chan struct{}
+	cause func() error
+	err   error
 }
 
 // NewEnumerator snapshots the context's block order for enumeration.
@@ -55,13 +71,34 @@ func (c *Context) NewEnumerator(s *Session) *Enumerator {
 // validCount==0 fast path. The caller keeps evaluating its full residual
 // predicate per row — pruning is sound, not exact.
 func (c *Context) NewEnumeratorPred(s *Session, pred *ScanPredicate) *Enumerator {
+	return c.NewEnumeratorPredCtx(context.Background(), s, pred)
+}
+
+// NewEnumeratorCtx is NewEnumerator with a cancellation context; see
+// NewEnumeratorPredCtx.
+func (c *Context) NewEnumeratorCtx(cctx context.Context, s *Session) *Enumerator {
+	return c.NewEnumeratorPredCtx(cctx, s, nil)
+}
+
+// NewEnumeratorPredCtx is NewEnumeratorPred with a cancellation context:
+// the walk checks cctx once per block and ends early when it is done,
+// with Err reporting the cause. A Background (or nil) context compiles to
+// the exact uncancellable walk — no per-block poll.
+func (c *Context) NewEnumeratorPredCtx(cctx context.Context, s *Session, pred *ScanPredicate) *Enumerator {
 	if !s.InCritical() {
 		panic("mem: NewEnumerator outside critical section")
 	}
 	if pred != nil && pred.ctx != c {
-		panic("mem: scan predicate built for a different context")
+		panic(errPredWrongContext)
 	}
-	return &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), pred: pred}
+	e := &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), pred: pred}
+	if cctx != nil {
+		if done := cctx.Done(); done != nil {
+			e.done = done
+			e.cause = func() error { return context.Cause(cctx) }
+		}
+	}
+	return e
 }
 
 // NextBlock returns the next block to scan, or false at the end. Between
@@ -69,6 +106,21 @@ func (c *Context) NewEnumeratorPred(s *Session, pred *ScanPredicate) *Enumerator
 func (e *Enumerator) NextBlock() (*Block, bool) {
 	if e.closed {
 		return nil, false
+	}
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.err = e.cause()
+			return nil, false
+		default:
+		}
+	}
+	if !e.noRefresh {
+		// Injection point for the robustness suites ("panic at the Nth
+		// block"); one atomic load when disarmed. The parallel-scan
+		// resolution pass (noRefresh) is exempt so hit counts mean
+		// "blocks handed to a kernel".
+		fault.Point(fault.PointScanBlock)
 	}
 	for e.i < len(e.blocks) {
 		b := e.blocks[e.i]
@@ -162,6 +214,11 @@ func (e *Enumerator) decidePre(g *CompactionGroup) bool {
 	}
 	return false
 }
+
+// Err reports why the walk ended early: the context's cancellation cause
+// after a canceled walk, nil after a completed one. Callers that passed a
+// cancellable context must check it after NextBlock returns false.
+func (e *Enumerator) Err() error { return e.err }
 
 // Close releases the enumeration's group pins. Always call it (defer)
 // once the walk ends; the compactor times out on leaked pins but records

@@ -1,9 +1,13 @@
 package mem
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Background maintenance scheduler. The paper runs compaction on "a
@@ -50,7 +54,11 @@ func (c MaintainerConfig) withDefaults() MaintainerConfig {
 type Maintainer struct {
 	m   *Manager
 	cfg MaintainerConfig
+	ctx context.Context
 
+	// state is the lifecycle guard: a Maintainer starts exactly once and
+	// never restarts (restart = a fresh StartMaintainer).
+	state    atomic.Int32
 	done     chan struct{}
 	finished chan struct{}
 	stopOnce sync.Once
@@ -65,7 +73,23 @@ type Maintainer struct {
 	ticks   atomic.Int64
 	passes  atomic.Int64
 	wakeups atomic.Int64
+	panics  atomic.Int64
 }
+
+// Maintainer lifecycle states.
+const (
+	mtIdle int32 = iota
+	mtRunning
+	mtStopped
+)
+
+// ErrMaintainerStarted is returned by Start on a maintainer whose
+// goroutine is already running.
+var ErrMaintainerStarted = errors.New("mem: maintainer already started")
+
+// ErrMaintainerStopped is returned by Start on a stopped maintainer;
+// restart with a fresh StartMaintainer.
+var ErrMaintainerStopped = errors.New("mem: maintainer stopped (start a new one)")
 
 // maintWakeReg is the manager-side registration of a Maintainer's wake
 // channel.
@@ -135,45 +159,93 @@ func (m *Manager) FragmentationSnapshot() Fragmentation {
 // candidate threshold is compacted immediately instead of waiting out
 // the poll interval. Stop it with Maintainer.Stop.
 func (m *Manager) StartMaintainer(cfg MaintainerConfig) *Maintainer {
+	return m.StartMaintainerCtx(context.Background(), cfg)
+}
+
+// StartMaintainerCtx is StartMaintainer bound to a context: when ctx is
+// canceled the maintenance goroutine shuts itself down (an in-flight
+// compaction pass sees the same ctx and aborts its remaining groups),
+// exactly as if Stop had been called. Stop remains safe to call and
+// still blocks until the goroutine has exited.
+func (m *Manager) StartMaintainerCtx(ctx context.Context, cfg MaintainerConfig) *Maintainer {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mt := &Maintainer{
 		m:        m,
 		cfg:      cfg.withDefaults(),
+		ctx:      ctx,
 		done:     make(chan struct{}),
 		finished: make(chan struct{}),
 		wake:     make(chan struct{}, 1),
 	}
 	mt.reg = &maintWakeReg{ch: mt.wake}
-	// Last registration wins when several maintainers run (tests);
-	// Stop only clears its own registration.
-	m.maintWake.Store(mt.reg)
-	go mt.loop()
+	_ = mt.Start() // fresh instance: cannot fail
 	return mt
 }
 
+// Start launches the maintenance goroutine. It runs at most once per
+// Maintainer: a second call returns ErrMaintainerStarted, a call after
+// Stop returns ErrMaintainerStopped (StartMaintainer constructs an
+// already-started instance, so only those errors are observable).
+func (mt *Maintainer) Start() error {
+	if !mt.state.CompareAndSwap(mtIdle, mtRunning) {
+		if mt.state.Load() == mtStopped {
+			return ErrMaintainerStopped
+		}
+		return ErrMaintainerStarted
+	}
+	// Last registration wins when several maintainers run (tests);
+	// Stop only clears its own registration.
+	mt.m.maintWake.Store(mt.reg)
+	go mt.loop()
+	return nil
+}
+
+// Running reports whether the maintenance goroutine is live.
+func (mt *Maintainer) Running() bool { return mt.state.Load() == mtRunning }
+
 func (mt *Maintainer) loop() {
-	defer close(mt.finished)
+	defer func() {
+		mt.state.Store(mtStopped)
+		mt.m.maintWake.CompareAndSwap(mt.reg, nil)
+		close(mt.finished)
+	}()
 	t := time.NewTicker(mt.cfg.Interval)
 	defer t.Stop()
-	maintain := func() {
-		if mt.shouldCompact(mt.m.FragmentationSnapshot()) {
-			if _, err := mt.m.CompactNowWorkers(mt.cfg.Workers); err == nil {
-				mt.passes.Add(1)
-			}
-		}
-		mt.m.drainGraveyard()
-	}
 	for {
 		select {
 		case <-mt.done:
 			return
+		case <-mt.ctx.Done():
+			return
 		case <-t.C:
 			mt.ticks.Add(1)
-			maintain()
+			mt.maintain()
 		case <-mt.wake:
 			mt.wakeups.Add(1)
-			maintain()
+			mt.maintain()
 		}
 	}
+}
+
+// maintain runs one maintenance pass under the robustness contract: a
+// panic anywhere in the pass (snapshot, compaction, graveyard) is
+// recovered and counted, and the maintainer keeps running — background
+// reclamation must outlive one poisoned pass.
+func (mt *Maintainer) maintain() {
+	defer func() {
+		if r := recover(); r != nil {
+			mt.panics.Add(1)
+		}
+	}()
+	fault.Point(fault.PointMaintainerPass)
+	if mt.shouldCompact(mt.m.FragmentationSnapshot()) {
+		if _, err := mt.m.CompactNowWorkersCtx(mt.ctx, mt.cfg.Workers); err == nil {
+			mt.passes.Add(1)
+		}
+	}
+	mt.m.drainGraveyard()
 }
 
 func (mt *Maintainer) shouldCompact(f Fragmentation) bool {
@@ -188,7 +260,10 @@ func (mt *Maintainer) shouldCompact(f Fragmentation) bool {
 }
 
 // Stop shuts the maintenance goroutine down and blocks until it has
-// exited (any in-flight compaction pass completes first). Idempotent.
+// exited (any in-flight compaction pass completes first), releasing the
+// allocation-pressure wake registration so no goroutine or channel
+// lingers. Idempotent, and safe on a maintainer whose context already
+// shut it down.
 func (mt *Maintainer) Stop() {
 	mt.stopOnce.Do(func() {
 		mt.m.maintWake.CompareAndSwap(mt.reg, nil)
@@ -206,6 +281,10 @@ func (mt *Maintainer) Passes() int64 { return mt.passes.Load() }
 // Wakeups reports how many allocation-pressure wake-ups the maintainer
 // has serviced (signals arriving while a pass runs coalesce into one).
 func (mt *Maintainer) Wakeups() int64 { return mt.wakeups.Load() }
+
+// Panics reports how many maintenance passes were recovered from a
+// panic (the maintainer survives them).
+func (mt *Maintainer) Panics() int64 { return mt.panics.Load() }
 
 // StartCompactor launches a background goroutine that compacts whenever
 // any context can form a group, polling at the given interval. It is the

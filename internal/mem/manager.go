@@ -20,6 +20,42 @@
 // Thread safety is provided by epoch-based reclamation: dereferences
 // happen inside critical sections (epoch.Session.Enter/Exit), and a freed
 // slot is reused only after two epochs have passed.
+//
+// # Error model
+//
+// The package distinguishes three failure classes, each with a typed
+// sentinel callers can test with errors.Is:
+//
+//   - Cancellation. Scans (ScanParallelCtx, NewEnumeratorCtx), compaction
+//     (CompactNowWorkersCtx) and the Maintainer (StartMaintainerCtx)
+//     accept a context.Context observed at block-claim / group-claim
+//     granularity: one atomic load per claim, zero overhead for
+//     context.Background. A canceled operation unwinds every worker,
+//     returns every pooled session and exits every epoch critical
+//     section before reporting context.Cause(ctx). Partial compaction
+//     work is kept (moved groups stay moved, unmoved groups are aborted
+//     back into circulation); partial scan results are discarded.
+//
+//   - Backpressure. ErrBudgetExceeded reports that the process-level
+//     memory Budget could not admit a query (Budget.Admit) or reserve a
+//     block. Allocation failure is not immediate: the budget first
+//     triggers reclamation (Maintainer wake-up, lazy epoch advance,
+//     graveyard drain) and waits — bounded — for released bytes.
+//     Compaction target blocks bypass admission (forceReserve) so the
+//     budget can never starve its own remedy.
+//
+//   - Fault isolation. ErrWorkerPanic reports a panic recovered on a
+//     worker goroutine (scan kernel, compaction move, maintenance
+//     pass). Panics never cross goroutine boundaries unhandled: workers
+//     recover, convert the panic to a query-scoped error carrying the
+//     panic value, and unwind their session/epoch state; the Maintainer
+//     recovers pass panics, counts them (Maintainer.Panics) and keeps
+//     running. internal/fault provides the injection points the -race
+//     robustness suites drive.
+//
+// Leak freedom after any of the three is observable: Stats
+// SessionsLeased == SessionsReturned and epoch.Manager
+// InCriticalSessions() == 0 whenever no operation is in flight.
 package mem
 
 import (
@@ -86,6 +122,11 @@ type Config struct {
 	CompactionWorkers int
 	// HeapBackend forces the portable heap-slab off-heap backend.
 	HeapBackend bool
+	// MemoryBudget caps the manager's block-heap footprint in bytes
+	// (0 = unlimited). When exceeded, allocations and new query
+	// admissions backpressure through the reclamation machinery before
+	// failing with ErrBudgetExceeded; see Budget.
+	MemoryBudget int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -154,6 +195,10 @@ type Manager struct {
 	// threshold, so reclamation starts without waiting out a poll tick.
 	maintWake atomic.Pointer[maintWakeReg]
 
+	// budget governs the block-heap footprint (admission control and
+	// allocation backpressure); always non-nil, unlimited by default.
+	budget *Budget
+
 	// packInOrder disables planGroups' size-sorted packing and restores
 	// the historical block-order greedy packing. Test-only knob (the
 	// packing comparison test flips it); production always sorts.
@@ -211,9 +256,12 @@ type Stats struct {
 	RefsNulled     atomic.Int64
 	OverflowScans  atomic.Int64
 
-	// Worker-session pooling (parallel scans).
-	SessionsLeased atomic.Int64
-	SessionsReused atomic.Int64
+	// Worker-session pooling (parallel scans). Leased == Returned when
+	// no query holds a session — the robustness suites assert this
+	// balance after cancellation and fault-injection cycles.
+	SessionsLeased   atomic.Int64
+	SessionsReused   atomic.Int64
+	SessionsReturned atomic.Int64
 
 	// Block synopses / predicate pushdown (synopsis.go): blocks skipped
 	// by a constrained scan's min/max check, blocks a constrained scan
@@ -240,11 +288,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if c.HeapBackend {
 		opts = append(opts, offheap.WithHeapBackend())
 	}
+	if c.MemoryBudget < 0 {
+		return nil, fmt.Errorf("mem: memory budget %d must be >= 0", c.MemoryBudget)
+	}
 	m := &Manager{
 		cfg:   c,
 		alloc: offheap.New(opts...),
 		ep:    epoch.NewManager(),
 	}
+	m.budget = newBudget(m, c.MemoryBudget)
 	empty := make([]*Block, 0)
 	m.blocks.Store(&empty)
 	t, err := newIndirectTable(m.alloc)
@@ -260,6 +312,10 @@ func (m *Manager) Epoch() *epoch.Manager { return m.ep }
 
 // Stats returns the manager's counters.
 func (m *Manager) Stats() *Stats { return &m.stats }
+
+// Budget returns the manager's memory budget (unlimited unless
+// Config.MemoryBudget or SetLimit set a cap).
+func (m *Manager) Budget() *Budget { return m.budget }
 
 // BlockSize returns the configured block size.
 func (m *Manager) BlockSize() int { return m.cfg.BlockSize }
@@ -378,6 +434,7 @@ func (m *Manager) releaseBlockMemory(b *Block) {
 	if b.region != nil && b.region.Valid() {
 		_ = m.alloc.Free(b.region)
 		m.stats.BlocksReleased.Add(1)
+		m.budget.release(int64(m.cfg.BlockSize))
 	}
 }
 
@@ -475,6 +532,7 @@ func (m *Manager) ReturnSession(s *Session) {
 	if s == nil {
 		return
 	}
+	m.stats.SessionsReturned.Add(1)
 	m.sessMu.Lock()
 	if !m.sessPoolOff && len(m.sessPool) < maxPooledSessions {
 		m.sessPool = append(m.sessPool, s)
@@ -528,3 +586,7 @@ func (s *Session) InCritical() bool { return s.ep.InCritical() }
 
 // EpochSession exposes the underlying epoch session.
 func (s *Session) EpochSession() *epoch.Session { return s.ep }
+
+// Manager returns the manager this session is registered with; the query
+// layer uses it to reach the memory budget for admission control.
+func (s *Session) Manager() *Manager { return s.mgr }

@@ -1,10 +1,13 @@
 package mem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Parallel block-sharded scans. The block/slot-directory design is
@@ -35,9 +38,32 @@ import (
 //     stealing: fast workers drain the tail, no static partitioning
 //     imbalance).
 //
+// Robustness contract: scans are cancellable at block-claim granularity
+// (one non-blocking channel poll per claimed block, skipped entirely for
+// Background contexts) and panic-isolated (a kernel panic in any worker
+// unwinds that worker, stops the scan, and surfaces as an ErrWorkerPanic
+// error on the caller — sessions, pins and the coordinator's critical
+// section are still released exactly once).
+//
 // ErrStopScan is the cooperative early-stop signal: a worker returning it
 // stops the whole scan without reporting an error.
 var ErrStopScan = errors.New("mem: scan stopped early")
+
+// ErrWorkerPanic wraps a panic recovered from a scan, merge or compaction
+// worker goroutine: the failure is scoped to the operation that ran the
+// kernel, not the process. Inspect with errors.Is.
+var ErrWorkerPanic = errors.New("mem: worker panicked")
+
+// recoverToError converts a recovered panic value into an ErrWorkerPanic-
+// wrapped error, preserving fault.PanicValue and error payloads.
+func recoverToError(r any) error {
+	switch v := r.(type) {
+	case error:
+		return fmt.Errorf("%w: %w", ErrWorkerPanic, v)
+	default:
+		return fmt.Errorf("%w: %v", ErrWorkerPanic, v)
+	}
+}
 
 // ParallelScan is a resolved, shardable enumeration of one context. It is
 // created by NewParallelScan, drained from any number of goroutines via
@@ -50,6 +76,12 @@ type ParallelScan struct {
 	cursor atomic.Int64
 	stop   atomic.Bool
 	closed bool
+
+	// done/cause mirror Enumerator's cancellation plumbing: Next polls
+	// done once per claimed block; nil (Background) costs nothing.
+	done  <-chan struct{}
+	cause func() error
+	err   atomic.Pointer[error]
 }
 
 // NewParallelScan snapshots the context's block order and resolves every
@@ -68,11 +100,30 @@ func (c *Context) NewParallelScan(s *Session) *ParallelScan {
 // cursor and per-worker sessions never see them. Pruning is sound, not
 // exact: workers keep evaluating the residual predicate per row.
 func (c *Context) NewParallelScanPred(s *Session, pred *ScanPredicate) *ParallelScan {
+	return c.NewParallelScanPredCtx(context.Background(), s, pred)
+}
+
+// NewParallelScanPredCtx is NewParallelScanPred with a cancellation
+// context: the coordinator's resolution pass checks cctx between blocks
+// (aborting the fan-out early), and every subsequent Next polls it once
+// per claimed block, so a canceled scan returns within one block's work.
+// The scan must still be Closed — cancellation never leaks pins or the
+// coordinator's critical section. Err reports the cause.
+func (c *Context) NewParallelScanPredCtx(cctx context.Context, s *Session, pred *ScanPredicate) *ParallelScan {
 	if pred != nil && pred.ctx != c {
-		panic("mem: scan predicate built for a different context")
+		panic(errPredWrongContext)
 	}
 	s.Enter()
 	e := &Enumerator{ctx: c, sess: s, blocks: c.SnapshotBlocks(), noRefresh: true, pred: pred}
+	ps := &ParallelScan{coord: s}
+	if cctx != nil {
+		if done := cctx.Done(); done != nil {
+			ps.done = done
+			ps.cause = func() error { return context.Cause(cctx) }
+			e.done = done
+			e.cause = ps.cause
+		}
+	}
 	var blocks []*Block
 	for {
 		b, ok := e.NextBlock()
@@ -81,7 +132,14 @@ func (c *Context) NewParallelScanPred(s *Session, pred *ScanPredicate) *Parallel
 		}
 		blocks = append(blocks, b)
 	}
-	ps := &ParallelScan{coord: s, blocks: blocks, pinned: e.pinned}
+	if e.err != nil {
+		// Canceled mid-resolution: keep whatever pins were taken (Close
+		// releases them) but never hand a block to a worker.
+		ps.stop.Store(true)
+		ps.setErr(e.err)
+	}
+	ps.blocks = blocks
+	ps.pinned = e.pinned
 	// Steal the enumerator's pins: they now belong to the scan and are
 	// released by ParallelScan.Close, not by the resolution pass.
 	e.pinned = nil
@@ -92,13 +150,38 @@ func (c *Context) NewParallelScanPred(s *Session, pred *ScanPredicate) *Parallel
 // NumBlocks returns the number of resolved blocks the scan will visit.
 func (ps *ParallelScan) NumBlocks() int { return len(ps.blocks) }
 
+// setErr records the scan's first error; later ones lose the race.
+func (ps *ParallelScan) setErr(err error) {
+	if err != nil {
+		ps.err.CompareAndSwap(nil, &err)
+	}
+}
+
+// Err reports why the scan ended early: the cancellation cause after a
+// canceled scan, nil otherwise.
+func (ps *ParallelScan) Err() error {
+	if p := ps.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Next claims the next unscanned block for a worker, or returns false
-// when the list is drained (or the scan was stopped). ws is the calling
-// worker's session; it is refreshed between blocks (pass nil to skip,
-// e.g. when driving the scan on the pinned coordinator session).
+// when the list is drained (or the scan was stopped or canceled). ws is
+// the calling worker's session; it is refreshed between blocks (pass nil
+// to skip, e.g. when driving the scan on the pinned coordinator session).
 func (ps *ParallelScan) Next(ws *Session) (*Block, bool) {
 	if ps.stop.Load() {
 		return nil, false
+	}
+	if ps.done != nil {
+		select {
+		case <-ps.done:
+			ps.setErr(ps.cause())
+			ps.stop.Store(true)
+			return nil, false
+		default:
+		}
 	}
 	i := int(ps.cursor.Add(1)) - 1
 	if i >= len(ps.blocks) {
@@ -107,6 +190,7 @@ func (ps *ParallelScan) Next(ws *Session) (*Block, bool) {
 	if ws != nil && i > 0 {
 		ws.Refresh()
 	}
+	fault.Point(fault.PointScanBlock)
 	return ps.blocks[i], true
 }
 
@@ -136,30 +220,57 @@ func (ps *ParallelScan) Close() {
 // scan runs inline on the coordinator session with zero goroutine
 // overhead, which keeps 1-worker baselines honest.
 func (c *Context) ScanParallel(coord *Session, workers int, fn func(worker int, ws *Session, b *Block) error) error {
-	return c.ScanParallelPred(coord, workers, nil, fn)
+	return c.ScanParallelPredCtx(context.Background(), coord, workers, nil, fn)
+}
+
+// ScanParallelCtx is ScanParallel with a cancellation context; see
+// ScanParallelPredCtx.
+func (c *Context) ScanParallelCtx(cctx context.Context, coord *Session, workers int, fn func(worker int, ws *Session, b *Block) error) error {
+	return c.ScanParallelPredCtx(cctx, coord, workers, nil, fn)
 }
 
 // ScanParallelPred is ScanParallel with a scan predicate pushed into the
 // coordinator's resolution pass (see NewParallelScanPred).
 func (c *Context) ScanParallelPred(coord *Session, workers int, pred *ScanPredicate, fn func(worker int, ws *Session, b *Block) error) error {
-	ps := c.NewParallelScanPred(coord, pred)
+	return c.ScanParallelPredCtx(context.Background(), coord, workers, pred, fn)
+}
+
+// ScanParallelPredCtx is the full-contract scan driver: predicate
+// pushdown, cancellation, and panic isolation. Cancellation is observed
+// at block-claim granularity, so a canceled scan returns within one
+// block's work and the context's cause is returned. A panicking fn
+// unwinds only its worker: the scan stops, every worker session exits
+// its critical section and returns to the pool, and the panic surfaces
+// as an ErrWorkerPanic-wrapped error. With a Background context and a
+// non-panicking fn the workers=1 path is byte-for-byte the serial
+// oracle.
+func (c *Context) ScanParallelPredCtx(cctx context.Context, coord *Session, workers int, pred *ScanPredicate, fn func(worker int, ws *Session, b *Block) error) error {
+	ps := c.NewParallelScanPredCtx(cctx, coord, pred)
 	defer ps.Close()
 	if workers > len(ps.blocks) {
 		workers = len(ps.blocks)
 	}
 	if workers <= 1 {
-		for {
-			b, ok := ps.Next(nil)
-			if !ok {
-				return nil
-			}
-			if err := fn(0, coord, b); err != nil {
-				if errors.Is(err, ErrStopScan) {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = recoverToError(r)
+				}
+			}()
+			for {
+				b, ok := ps.Next(nil)
+				if !ok {
 					return nil
 				}
-				return err
+				if err := fn(0, coord, b); err != nil {
+					return err
+				}
 			}
+		}()
+		if err != nil && !errors.Is(err, ErrStopScan) {
+			return err
 		}
+		return ps.Err()
 	}
 
 	// Worker sessions come from the manager's session pool: a small scan
@@ -185,6 +296,16 @@ func (c *Context) ScanParallelPred(coord *Session, workers int, pred *ScanPredic
 			ws := sessions[w]
 			ws.Enter()
 			defer ws.Exit()
+			// Panic isolation: a kernel panic must not kill the process
+			// with the session in a critical section and the scan's pins
+			// held. The deferred Exit and the caller's ReturnSession and
+			// ps.Close still run, so the unwind is complete.
+			defer func() {
+				if r := recover(); r != nil {
+					ps.Stop()
+					errs[w] = recoverToError(r)
+				}
+			}()
 			for {
 				b, ok := ps.Next(ws)
 				if !ok {
@@ -209,5 +330,5 @@ func (c *Context) ScanParallelPred(coord *Session, workers int, pred *ScanPredic
 			return err
 		}
 	}
-	return nil
+	return ps.Err()
 }

@@ -29,6 +29,8 @@
 package query
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
@@ -41,6 +43,10 @@ import (
 // *core.Collection[T] implements it for every element type.
 type Source interface {
 	ParallelBlocks(s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error
+	// ParallelBlocksCtx is ParallelBlocks bound to a context: workers
+	// observe cancellation at block-claim granularity and the scan
+	// returns the cancellation cause once every worker has unwound.
+	ParallelBlocksCtx(ctx context.Context, s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error
 	// Len reports the source's current element count; Table uses it to
 	// size adaptive worker-table hints.
 	Len() int
@@ -52,6 +58,7 @@ type Source interface {
 type PredSource interface {
 	Source
 	ParallelBlocksPred(s *core.Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *core.Session, b *mem.Block) error) error
+	ParallelBlocksPredCtx(ctx context.Context, s *core.Session, workers int, pred *mem.ScanPredicate, fn func(worker int, ws *core.Session, b *mem.Block) error) error
 }
 
 // Where wraps a source with a pushed-down scan predicate: every stage
@@ -74,6 +81,10 @@ type whereSource struct {
 
 func (w *whereSource) ParallelBlocks(s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error {
 	return w.src.ParallelBlocksPred(s, workers, w.pred, fn)
+}
+
+func (w *whereSource) ParallelBlocksCtx(ctx context.Context, s *core.Session, workers int, fn func(worker int, ws *core.Session, b *mem.Block) error) error {
+	return w.src.ParallelBlocksPredCtx(ctx, s, workers, w.pred, fn)
 }
 
 // Len reports the unpruned element count: adaptive table hints stay an
@@ -130,6 +141,7 @@ type Pipeline struct {
 	s       *core.Session
 	pool    *region.ArenaPool
 	workers int
+	ctx     context.Context
 
 	mu     sync.Mutex
 	arenas []*region.Arena
@@ -137,15 +149,41 @@ type Pipeline struct {
 
 // New builds a pipeline over the coordinator session s, leasing query
 // memory from pool, fanning stages out over `workers` (floored at 1).
+// The pipeline runs under context.Background() — never canceled, exempt
+// from budget admission; use NewCtx for cancelable, admission-gated
+// queries.
 func New(s *core.Session, pool *region.ArenaPool, workers int) *Pipeline {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pipeline{s: s, pool: pool, workers: workers}
+	return &Pipeline{s: s, pool: pool, workers: workers, ctx: context.Background()}
+}
+
+// NewCtx is New bound to a context, with budget admission control: when
+// the runtime's memory budget is over its limit the call waits (bounded
+// by the context deadline, or briefly when there is none) for
+// reclamation to make room, returning mem.ErrBudgetExceeded when it
+// cannot — load-shedding happens before the query leases anything.
+// Every stage of the returned pipeline observes ctx at block-claim
+// granularity; a canceled stage returns the cancellation cause after
+// all its workers unwind, and Close still returns every leased arena.
+func NewCtx(ctx context.Context, s *core.Session, pool *region.ArenaPool, workers int) (*Pipeline, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.Mem().Manager().Budget().Admit(ctx); err != nil {
+		return nil, err
+	}
+	p := New(s, pool, workers)
+	p.ctx = ctx
+	return p, nil
 }
 
 // Workers returns the pipeline's worker count.
 func (p *Pipeline) Workers() int { return p.workers }
+
+// Context returns the context the pipeline's stages run under.
+func (p *Pipeline) Context() context.Context { return p.ctx }
 
 // Session returns the coordinator session.
 func (p *Pipeline) Session() *core.Session { return p.s }
@@ -180,6 +218,16 @@ type padded[T any] struct {
 	_ [64]byte
 }
 
+// panicToError converts a recovered panic value into a query-scoped
+// error wrapping mem.ErrWorkerPanic, matching the conversion the scan
+// layer applies to panics inside scan workers.
+func panicToError(r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("%w: %w", mem.ErrWorkerPanic, err)
+	}
+	return fmt.Errorf("%w: %v", mem.ErrWorkerPanic, r)
+}
+
 // Table runs a table-building stage: every scan worker leases a private
 // arena and folds blocks into a private region.PartitionedTable[V] via
 // kernel, and after the scan the workers' tables merge per partition in
@@ -192,7 +240,7 @@ type padded[T any] struct {
 func Table[V any](p *Pipeline, src Source, capHint int,
 	kernel func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[V]),
 	merge func(dst, src *V),
-) (*region.PartitionedTable[V], error) {
+) (merged *region.PartitionedTable[V], err error) {
 	if capHint <= 0 {
 		capHint = adaptiveHint(capHint, src, p.workers)
 	}
@@ -201,7 +249,7 @@ func Table[V any](p *Pipeline, src Source, capHint int,
 	// equal-partition-count invariant for free.
 	parts := p.workers
 	tables := make([]padded[*region.PartitionedTable[V]], p.workers)
-	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+	err = src.ParallelBlocksCtx(p.ctx, p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
 		t := tables[w].v
 		if t == nil {
 			t = region.NewPartitionedTable[V](p.Lease(), parts, capHint)
@@ -235,6 +283,15 @@ func Table[V any](p *Pipeline, src Source, capHint int,
 	for i := range arenas {
 		arenas[i] = p.Lease()
 	}
+	// ParallelMergeInto re-raises a merge-shard panic on this goroutine;
+	// convert it to a query-scoped error so one poisoned merge callback
+	// cannot take the process down (the leased arenas stay tracked and
+	// Close returns them).
+	defer func() {
+		if r := recover(); r != nil {
+			merged, err = nil, panicToError(r)
+		}
+	}()
 	return region.ParallelMergeInto(arenas, built, merge), nil
 }
 
@@ -253,7 +310,7 @@ func Accum[A any](p *Pipeline, src Source,
 		used bool
 	}
 	accs := make([]padded[wacc], p.workers)
-	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+	err := src.ParallelBlocksCtx(p.ctx, p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
 		a := &accs[w].v
 		a.used = true
 		kernel(w, ws, blk, &a.acc)
@@ -291,7 +348,7 @@ func Rows[R any](p *Pipeline, src Source,
 	emit func(ws *core.Session, blk *mem.Block, out *[]R),
 ) ([]R, error) {
 	bufs := make([]padded[[]R], p.workers)
-	err := src.ParallelBlocks(p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
+	err := src.ParallelBlocksCtx(p.ctx, p.s, p.workers, func(w int, ws *core.Session, blk *mem.Block) error {
 		emit(ws, blk, &bufs[w].v)
 		return nil
 	})
@@ -310,10 +367,13 @@ func Rows[R any](p *Pipeline, src Source,
 // partition, concurrently across shards. fn must treat the table as
 // read-only (partitions are disjoint, so per-partition reads race with
 // nothing) and must not touch collections — partition walks need no
-// session. A nil table is a no-op.
-func ForEachPartition[V any](p *Pipeline, t *region.PartitionedTable[V], fn func(part int, pt *region.Table[V])) {
+// session. A nil table is a no-op. A panic in fn unwinds every shard
+// and comes back as a query-scoped error wrapping mem.ErrWorkerPanic
+// (remaining partitions of the panicking shard are skipped; other
+// shards finish their walk).
+func ForEachPartition[V any](p *Pipeline, t *region.PartitionedTable[V], fn func(part int, pt *region.Table[V])) error {
 	if t == nil {
-		return
+		return nil
 	}
 	parts := t.Parts()
 	shards := p.workers
@@ -321,41 +381,64 @@ func ForEachPartition[V any](p *Pipeline, t *region.PartitionedTable[V], fn func
 		shards = parts
 	}
 	if shards <= 1 {
-		for i := 0; i < parts; i++ {
-			fn(i, t.Partition(i))
-		}
-		return
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = panicToError(r)
+				}
+			}()
+			for i := 0; i < parts; i++ {
+				fn(i, t.Partition(i))
+			}
+			return nil
+		}()
+		return err
 	}
+	var firstErr error
+	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	for g := 0; g < shards; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = panicToError(r)
+					}
+					errMu.Unlock()
+				}
+			}()
 			for i := g; i < parts; i += shards {
 				fn(i, t.Partition(i))
 			}
 		}(g)
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // PartitionRows materializes rows from a merged table, one private
 // buffer per partition in parallel, concatenated in partition order —
 // deterministic given the merged table, unlike a Rows scan. The result
-// is always non-nil.
+// is always non-nil when err is nil; a panic in emit surfaces as a
+// query-scoped error (see ForEachPartition).
 func PartitionRows[V, R any](p *Pipeline, t *region.PartitionedTable[V],
 	emit func(pt *region.Table[V], out *[]R),
-) []R {
+) ([]R, error) {
 	out := make([]R, 0)
 	if t == nil {
-		return out
+		return out, nil
 	}
 	bufs := make([]padded[[]R], t.Parts())
-	ForEachPartition(p, t, func(i int, pt *region.Table[V]) {
+	if err := ForEachPartition(p, t, func(i int, pt *region.Table[V]) {
 		emit(pt, &bufs[i].v)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i := range bufs {
 		out = append(out, bufs[i].v...)
 	}
-	return out
+	return out, nil
 }

@@ -103,8 +103,11 @@ func TestParallelPipelineTable(t *testing.T) {
 						return true
 					})
 				}
-				r1 := query.PartitionRows(p, merged, emit)
-				r2 := query.PartitionRows(p, merged, emit)
+				r1, err1 := query.PartitionRows(p, merged, emit)
+				r2, err2 := query.PartitionRows(p, merged, emit)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("workers=%d: PartitionRows errors %v / %v", workers, err1, err2)
+				}
 				if len(r1) != len(want) || len(r1) != len(r2) {
 					t.Fatalf("workers=%d: PartitionRows %d/%d rows, want %d", workers, len(r1), len(r2), len(want))
 				}
@@ -183,8 +186,8 @@ func TestParallelPipelineTableEmpty(t *testing.T) {
 	if merged != nil {
 		t.Fatalf("empty scan built a table with %d entries", merged.Len())
 	}
-	if rows := query.PartitionRows(p, merged, func(pt *region.Table[int64], out *[]int64) {}); rows == nil || len(rows) != 0 {
-		t.Fatalf("PartitionRows(nil) = %v, want empty non-nil", rows)
+	if rows, err := query.PartitionRows(p, merged, func(pt *region.Table[int64], out *[]int64) {}); err != nil || rows == nil || len(rows) != 0 {
+		t.Fatalf("PartitionRows(nil) = %v, %v, want empty non-nil", rows, err)
 	}
 }
 

@@ -1,0 +1,230 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/query"
+	"repro/internal/region"
+)
+
+// Robustness suites for the pipeline layer: admission control at NewCtx,
+// cancellation propagating from the pipeline context through the
+// parallel stages, and panic isolation in kernels and merge callbacks.
+// Leak checks ride on the runtime stats snapshot plus the arena pool's
+// Leases == Returns balance invariant.
+
+func poolBalanced(t *testing.T, pool *region.ArenaPool) {
+	t.Helper()
+	leases, _ := pool.Stats()
+	if ret := pool.Returns(); ret != leases {
+		t.Fatalf("arena pool unbalanced: %d leases, %d returns", leases, ret)
+	}
+}
+
+func runtimeQuiesced(t *testing.T, rt *core.Runtime) {
+	t.Helper()
+	st := rt.StatsSnapshot()
+	if st.SessionsLeased != st.SessionsReturned {
+		t.Fatalf("session pool unbalanced: %d leased, %d returned", st.SessionsLeased, st.SessionsReturned)
+	}
+	if st.EpochPins != 0 {
+		t.Fatalf("%d epoch pins leaked", st.EpochPins)
+	}
+}
+
+func fillRows(t *testing.T, s *core.Session, coll *core.Collection[row], n int) map[int64]int64 {
+	t.Helper()
+	want := make(map[int64]int64)
+	for i := 0; i < n; i++ {
+		k := int64(i % 37)
+		coll.MustAdd(s, &row{Key: k, Val: int64(i)})
+		want[k] += int64(i)
+	}
+	return want
+}
+
+// TestPipelineBudgetAdmission: NewCtx is the admission gate — over a
+// clamped budget it refuses with the typed error (or the caller's
+// cancellation cause, when one is set), and after the budget lifts the
+// same construction succeeds and the pipeline runs normally.
+func TestPipelineBudgetAdmission(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	want := fillRows(t, s, coll, 4000)
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+
+	rt.SetMemoryBudget(1) // clamp below the blocks already allocated
+
+	// A canceled caller context wins without waiting out the budget.
+	cctx, cancel := context.WithCancelCause(context.Background())
+	boom := errors.New("caller left")
+	cancel(boom)
+	if _, err := query.NewCtx(cctx, s, pool, 4); !errors.Is(err, boom) {
+		t.Fatalf("NewCtx(canceled, over budget) = %v, want cause", err)
+	}
+
+	// No deadline: the bounded wait ends in the typed admission error.
+	start := time.Now()
+	if _, err := query.NewCtx(context.Background(), s, pool, 4); !errors.Is(err, mem.ErrBudgetExceeded) {
+		t.Fatalf("NewCtx(over budget) = %v, want ErrBudgetExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("admission rejection took %v", d)
+	}
+
+	rt.SetMemoryBudget(0) // unlimited again
+	p, err := query.NewCtx(context.Background(), s, pool, 4)
+	if err != nil {
+		t.Fatalf("NewCtx after lifting the budget: %v", err)
+	}
+	sch := coll.Schema()
+	merged, err := query.Table(p, coll, 64, sumKernel(sch.MustField("Key"), sch.MustField("Val")), addI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tableToMap(merged)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: got %d, want %d", k, got[k], v)
+		}
+	}
+	p.Close()
+	poolBalanced(t, pool)
+	runtimeQuiesced(t, rt)
+}
+
+// TestPipelineCancelMidStage: a cancellation raised while a Table stage
+// is fanned out stops the scan at block-claim granularity; the stage
+// returns the cause and Close returns every arena.
+func TestPipelineCancelMidStage(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	fillRows(t, s, coll, 8000)
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	sch := coll.Schema()
+	key, val := sch.MustField("Key"), sch.MustField("Val")
+
+	cctx, cancel := context.WithCancelCause(context.Background())
+	boom := errors.New("stage abandoned")
+	p, err := query.NewCtx(cctx, s, pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := sumKernel(key, val)
+	kernel := func(ws *core.Session, blk *mem.Block, tab *region.PartitionedTable[int64]) {
+		cancel(boom) // first block a worker touches cancels everyone
+		inner(ws, blk, tab)
+	}
+	merged, err := query.Table(p, coll, 64, kernel, addI64)
+	if !errors.Is(err, boom) {
+		t.Fatalf("canceled Table = (%v, %v), want the cancellation cause", merged, err)
+	}
+	if merged != nil {
+		t.Fatal("canceled Table returned a partial result")
+	}
+	p.Close()
+	p.Close() // idempotent, still balanced
+	poolBalanced(t, pool)
+	runtimeQuiesced(t, rt)
+}
+
+// TestPipelineFaultKernelPanic: a panic inside a stage kernel surfaces
+// as a query-scoped error wrapping mem.ErrWorkerPanic instead of killing
+// the process, at every worker count including the inline workers=1
+// path, and the pipeline's pools stay balanced.
+func TestPipelineFaultKernelPanic(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	want := fillRows(t, s, coll, 4000)
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	sch := coll.Schema()
+	key, val := sch.MustField("Key"), sch.MustField("Val")
+
+	for _, workers := range []int{1, 4} {
+		p := query.New(s, pool, workers)
+		kernel := func(*core.Session, *mem.Block, *region.PartitionedTable[int64]) {
+			panic("kernel corrupted")
+		}
+		merged, err := query.Table(p, coll, 64, kernel, addI64)
+		if !errors.Is(err, mem.ErrWorkerPanic) {
+			t.Fatalf("workers=%d: Table with panicking kernel = (%v, %v), want ErrWorkerPanic", workers, merged, err)
+		}
+		// The same pipeline construction still works after the fault.
+		p2 := query.New(s, pool, workers)
+		merged, err = query.Table(p2, coll, 64, sumKernel(key, val), addI64)
+		if err != nil {
+			t.Fatalf("workers=%d: clean Table after fault: %v", workers, err)
+		}
+		got := tableToMap(merged)
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("workers=%d key %d: got %d, want %d", workers, k, got[k], v)
+			}
+		}
+		p.Close()
+		p2.Close()
+		poolBalanced(t, pool)
+	}
+	runtimeQuiesced(t, rt)
+}
+
+// TestPipelineFaultMergePanic: panics in the parallel per-partition
+// merge and in the row-emission stages are likewise converted to errors.
+func TestPipelineFaultMergePanic(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	fillRows(t, s, coll, 4000)
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	sch := coll.Schema()
+	kernel := sumKernel(sch.MustField("Key"), sch.MustField("Val"))
+
+	p := query.New(s, pool, 4)
+	defer p.Close()
+	// A fast scan can let one worker claim every block, leaving the other
+	// worker tables empty and the merge callback uncalled. Hold each
+	// worker at its first block until all four have one, so every worker
+	// table gets entries and the per-partition merge must run.
+	var entered atomic.Int32
+	allIn := make(chan struct{})
+	barrierKernel := func(ws *core.Session, blk *mem.Block, tab *region.PartitionedTable[int64]) {
+		if entered.Add(1) == 4 {
+			close(allIn)
+		}
+		<-allIn
+		kernel(ws, blk, tab)
+	}
+	badMerge := func(dst, src *int64) { panic("merge corrupted") }
+	if merged, err := query.Table(p, coll, 64, barrierKernel, badMerge); !errors.Is(err, mem.ErrWorkerPanic) {
+		t.Fatalf("Table with panicking merge = (%v, %v), want ErrWorkerPanic", merged, err)
+	}
+
+	// Row emission: PartitionRows converts an emit-stage panic too.
+	merged, err := query.Table(p, coll, 64, kernel, addI64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = query.PartitionRows(p, merged, func(*region.Table[int64], *[]int64) {
+		panic("emit corrupted")
+	})
+	if !errors.Is(err, mem.ErrWorkerPanic) {
+		t.Fatalf("PartitionRows with panicking emit = %v, want ErrWorkerPanic", err)
+	}
+}

@@ -1,6 +1,9 @@
 package region
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // PartitionedTable is a Table[V] split into P hash partitions, the
 // building block of the concurrent query-memory subsystem: every scan
@@ -177,15 +180,28 @@ func ParallelMergeInto[V any](arenas []*Arena, srcs []*PartitionedTable[V], merg
 		mergeShard(0)
 		return dst
 	}
+	// A merge callback that panics in a shard goroutine must not kill the
+	// process: capture the first panic and re-raise it on the caller's
+	// goroutine after every shard has unwound, where the query layer's
+	// recover guard can convert it into a query-scoped error.
+	var panicked atomic.Pointer[any]
 	var wg sync.WaitGroup
 	for g := 0; g < shards; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
 			mergeShard(g)
 		}(g)
 	}
 	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
 	return dst
 }
 

@@ -27,8 +27,9 @@ type ArenaPool struct {
 	idle      []*Arena
 	idleBytes int64
 
-	leases int64
-	reuses int64
+	leases  int64
+	reuses  int64
+	returns int64
 }
 
 // NewArenaPool creates a pool whose arenas use the given allocator and
@@ -78,6 +79,7 @@ func (p *ArenaPool) Return(a *Arena) {
 	a.Reset()
 	fp := a.Footprint()
 	p.mu.Lock()
+	p.returns++
 	if p.idleBytes+fp > p.bound {
 		p.mu.Unlock()
 		a.Release()
@@ -101,6 +103,15 @@ func (p *ArenaPool) Stats() (leases, reuses int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.leases, p.reuses
+}
+
+// Returns reports the lifetime Return count. Leases == Returns whenever
+// no query holds a leased arena — the robustness suites assert this
+// balance after cancellation, double-Close and fault-injection cycles.
+func (p *ArenaPool) Returns() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.returns
 }
 
 // Close releases every idle arena to the OS. Leased arenas are unaffected

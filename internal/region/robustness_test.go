@@ -1,0 +1,70 @@
+package region
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestArenaPoolReturnsBalanceFaultFree: the Returns counter tracks every
+// Return — including the ones racing from many goroutines — so callers
+// can assert the Leases == Returns balance invariant after unwinding.
+func TestArenaPoolReturnsBalanceFaultFree(t *testing.T) {
+	p := NewArenaPool(nil, 1024, 1<<20)
+	defer p.Close()
+	const goroutines, rounds = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a := p.Lease()
+				a.Alloc(64, 8)
+				p.Return(a)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Return(nil) // nil returns don't count
+	leases, _ := p.Stats()
+	if leases != goroutines*rounds {
+		t.Fatalf("leases = %d, want %d", leases, goroutines*rounds)
+	}
+	if ret := p.Returns(); ret != leases {
+		t.Fatalf("returns = %d, want %d (balance invariant)", ret, leases)
+	}
+}
+
+// TestParallelMergeIntoFaultRethrown: a panic inside a shard's merge
+// worker must resurface on the caller's goroutine — with its original
+// value — so the pipeline layer's recover can convert it to an error
+// instead of the process dying on an unjoined goroutine panic.
+func TestParallelMergeIntoFaultRethrown(t *testing.T) {
+	mkTable := func(a *Arena, keys ...int64) *PartitionedTable[int64] {
+		pt := NewPartitionedTable[int64](a, 4, 8)
+		for _, k := range keys {
+			*pt.At(k) = k
+		}
+		return pt
+	}
+	a := NewArena(nil, 0)
+	b := NewArena(nil, 0)
+	t1 := mkTable(a, 1, 2, 3, 4, 5, 6, 7, 8)
+	t2 := mkTable(b, 1, 2, 3, 4, 5, 6, 7, 8)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shard panic was swallowed, not re-raised on the caller")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "merge shard corrupted") {
+			t.Fatalf("re-raised panic = %v, want the shard's original value", r)
+		}
+	}()
+	ParallelMergeInto([]*Arena{a, b}, []*PartitionedTable[int64]{t1, t2}, func(d, s *int64) {
+		panic("merge shard corrupted")
+	})
+	t.Fatal("ParallelMergeInto returned despite a panicking merge")
+}

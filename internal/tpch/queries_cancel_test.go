@@ -1,0 +1,99 @@
+package tpch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// TestQ6WindowCancelMidScan: canceling the windowed Q6 scan — before it
+// starts and at staggered points while its workers are fanned out —
+// returns the cancellation promptly (block-claim granularity plus
+// unwind) and leaks nothing: every pooled session returned, every epoch
+// pin dropped, every leased arena back in the registered pool. Runs
+// that finish before their cancellation must still produce exactly the
+// uncancelled sum.
+func TestQ6WindowCancelMidScan(t *testing.T) {
+	d := testDataset(t)
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSMCQueries(sdb)
+	lo, hi := types.Date(0), types.Date(1<<30) // full-range window
+	want := q.Q6WindowPar(s, lo, hi, 1, false)
+
+	// Pre-canceled: no block work, prompt typed return.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := q.Q6WindowParCtx(cctx, s, lo, hi, 4, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Q6WindowParCtx = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("pre-canceled scan took %v to return", d)
+	}
+
+	// Staggered mid-scan cancellations: every run either completes with
+	// the oracle sum or returns the cancellation, always promptly.
+	const rounds = 50
+	canceled, completed := 0, 0
+	for i := 0; i < rounds; i++ {
+		cctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(i%10) * 100 * time.Microsecond
+		if i%10 == 9 {
+			delay = 50 * time.Millisecond // long enough that the scan wins
+		}
+		timer := time.AfterFunc(delay, cancel)
+		t0 := time.Now()
+		sum, err := q.Q6WindowParCtx(cctx, s, lo, hi, 4, i%2 == 0)
+		latency := time.Since(t0)
+		timer.Stop()
+		cancel()
+		if latency > 5*time.Second {
+			t.Fatalf("round %d: canceled scan took %v to return", i, latency)
+		}
+		switch {
+		case err == nil:
+			completed++
+			if sum != want {
+				t.Fatalf("round %d: completed scan = %v, want %v", i, sum, want)
+			}
+		case errors.Is(err, context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("round %d: unexpected error %v", i, err)
+		}
+	}
+	t.Logf("%d canceled, %d completed of %d rounds", canceled, completed, rounds)
+	if completed == 0 {
+		t.Fatal("no round outran its cancellation; the 50ms rounds should complete")
+	}
+
+	// An uncancelled ParCtx run after the storm still matches the oracle.
+	if sum, err := q.Q6WindowParCtx(context.Background(), s, lo, hi, 4, true); err != nil || sum != want {
+		t.Fatalf("uncancelled Q6WindowParCtx after the storm = (%v, %v), want (%v, nil)", sum, err, want)
+	}
+
+	// Zero leaks across the whole storm, via the runtime snapshot.
+	st := rt.StatsSnapshot()
+	if st.SessionsLeased != st.SessionsReturned {
+		t.Fatalf("session pool unbalanced: %d leased, %d returned", st.SessionsLeased, st.SessionsReturned)
+	}
+	if st.EpochPins != 0 {
+		t.Fatalf("%d epoch pins leaked", st.EpochPins)
+	}
+	for _, ap := range st.ArenaPools {
+		if ap.Leases != ap.Returns {
+			t.Fatalf("arena pool %q unbalanced: %d leases, %d returns", ap.Name, ap.Leases, ap.Returns)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package tpch
 
 import (
 	"bytes"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/decimal"
@@ -302,7 +303,22 @@ func (q *SMCQueries) q10FinishBlock(s *core.Session, blk *mem.Block, rev *region
 // exhaustion) the drivers degrade to their serial counterparts rather
 // than failing the query.
 func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q3ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q3(s, p)
+	}
+	return rows
+}
+
+// Q3ParCtx is Q3Par bound to a context: the query is admission-gated by
+// the runtime's memory budget and cancelable at block-claim granularity.
+// Unlike Q3Par it never degrades to the serial driver — budget rejection,
+// cancellation and worker faults surface as the error.
+func (q *SMCQueries) Q3ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q3Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	segment := []byte(p.Q3Segment)
 	// Pushdown: shipdate > date (the join-side order-date cut stays a
@@ -317,15 +333,18 @@ func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
 			q.q3Block(ws, blk, p.Q3Date, segment, t)
 		}, mergeQ3Acc)
 	if err != nil {
-		return q.Q3(s, p)
+		return nil, err
 	}
-	rows := query.PartitionRows(pl, merged, func(pt *region.Table[q3Acc], out *[]Q3Row) {
+	rows, err := query.PartitionRows(pl, merged, func(pt *region.Table[q3Acc], out *[]Q3Row) {
 		pt.Range(func(k int64, a *q3Acc) bool {
 			*out = append(*out, q3Row(k, a))
 			return true
 		})
 	})
-	return SortQ3(rows)
+	if err != nil {
+		return nil, err
+	}
+	return SortQ3(rows), nil
 }
 
 // Q4Par is Q4 fanned out over the pipeline: a Table stage builds the
@@ -336,7 +355,19 @@ func (q *SMCQueries) Q3Par(s *core.Session, p Params, workers int) []Q3Row {
 // counting per priority. Results are identical to Q4 on a quiesced
 // collection; pipeline errors degrade to the serial driver.
 func (q *SMCQueries) Q4Par(s *core.Session, p Params, workers int) []Q4Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q4ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q4(s, p)
+	}
+	return rows
+}
+
+// Q4ParCtx is Q4Par bound to a context (see Q3ParCtx for the contract).
+func (q *SMCQueries) Q4ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q4Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	hi := p.Q4Date.AddMonths(3)
 	// Late-key cardinality scales with the input behind a selective
@@ -347,7 +378,7 @@ func (q *SMCQueries) Q4Par(s *core.Session, p Params, workers int) []Q4Row {
 		},
 		func(dst, src *struct{}) {})
 	if err != nil {
-		return q.Q4(s, p)
+		return nil, err
 	}
 	counts := make(map[string]int64)
 	if late != nil && late.Len() > 0 {
@@ -366,20 +397,32 @@ func (q *SMCQueries) Q4Par(s *core.Session, p Params, workers int) []Q4Row {
 				}
 			})
 		if err != nil {
-			return q.Q4(s, p)
+			return nil, err
 		}
 		if *merged != nil {
 			counts = *merged
 		}
 	}
-	return q4Rows(counts)
+	return q4Rows(counts), nil
 }
 
 // Q5Par is Q5 fanned out over `workers` block-sharded scan workers; the
 // nation-resolution finishing pass shards over the nation collection's
 // blocks with the merged revenue table probed read-only.
 func (q *SMCQueries) Q5Par(s *core.Session, p Params, workers int) []Q5Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q5ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q5(s, p)
+	}
+	return rows
+}
+
+// Q5ParCtx is Q5Par bound to a context (see Q3ParCtx for the contract).
+func (q *SMCQueries) Q5ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q5Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	lo, hi := p.Q5Date, p.Q5Date.AddYears(1)
 	regionName := []byte(p.Q5Region)
@@ -388,7 +431,7 @@ func (q *SMCQueries) Q5Par(s *core.Session, p Params, workers int) []Q5Row {
 			q.q5Block(ws, blk, lo, hi, regionName, t)
 		}, mergeDec)
 	if err != nil {
-		return q.Q5(s, p)
+		return nil, err
 	}
 	rows := make([]Q5Row, 0)
 	if merged != nil && merged.Len() > 0 {
@@ -396,18 +439,30 @@ func (q *SMCQueries) Q5Par(s *core.Session, p Params, workers int) []Q5Row {
 			q.q5FinishBlock(blk, merged, out)
 		})
 		if err != nil {
-			return q.Q5(s, p)
+			return nil, err
 		}
 	}
 	SortQ5(rows)
-	return rows
+	return rows, nil
 }
 
 // Q10Par is Q10 fanned out over `workers` block-sharded scan workers;
 // the customer-resolution finishing pass shards over the customer
 // collection's blocks.
 func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q10ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q10(s, p)
+	}
+	return rows
+}
+
+// Q10ParCtx is Q10Par bound to a context (see Q3ParCtx for the contract).
+func (q *SMCQueries) Q10ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q10Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
 	// Pushdown: returnflag == 'R' as a one-point interval (the order-date
@@ -420,7 +475,7 @@ func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
 			q.q10Block(ws, blk, lo, hi, t)
 		}, mergeDec)
 	if err != nil {
-		return q.Q10(s, p)
+		return nil, err
 	}
 	rows := make([]Q10Row, 0)
 	if merged != nil && merged.Len() > 0 {
@@ -428,8 +483,8 @@ func (q *SMCQueries) Q10Par(s *core.Session, p Params, workers int) []Q10Row {
 			q.q10FinishBlock(ws, blk, merged, out)
 		})
 		if err != nil {
-			return q.Q10(s, p)
+			return nil, err
 		}
 	}
-	return SortQ10(rows)
+	return SortQ10(rows), nil
 }

@@ -2,6 +2,7 @@ package tpch
 
 import (
 	"bytes"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/decimal"
@@ -303,7 +304,20 @@ func q9Row(names map[int64]string, k int64, v decimal.Dec128) Q9Row {
 // degrades to its serial counterpart when worker sessions are
 // unavailable.
 func (q *SMCQueries) Q7Par(s *core.Session, p Params, workers int) []Q7Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q7ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q7(s, p)
+	}
+	return rows
+}
+
+// Q7ParCtx is Q7Par bound to a context: admission-gated, cancelable at
+// block-claim granularity, never degrades to the serial driver.
+func (q *SMCQueries) Q7ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q7Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	nation1, nation2 := []byte(p.Q7Nation1), []byte(p.Q7Nation2)
 	merged, err := query.Table(pl, q.db.Lineitems, extTableHint,
@@ -311,23 +325,38 @@ func (q *SMCQueries) Q7Par(s *core.Session, p Params, workers int) []Q7Row {
 			q.q7Block(ws, blk, nation1, nation2, t)
 		}, mergeDec)
 	if err != nil {
-		return q.Q7(s, p)
+		return nil, err
 	}
-	rows := query.PartitionRows(pl, merged, func(pt *region.Table[decimal.Dec128], out *[]Q7Row) {
+	rows, err := query.PartitionRows(pl, merged, func(pt *region.Table[decimal.Dec128], out *[]Q7Row) {
 		pt.Range(func(k int64, v *decimal.Dec128) bool {
 			*out = append(*out, q7Row(p, k, *v))
 			return true
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	SortQ7(rows)
-	return rows
+	return rows, nil
 }
 
 // Q8Par is Q8 fanned out over `workers` block-sharded scan workers on
 // the pipeline layer; shares compute from exact merged sums, so worker
 // count cannot change them.
 func (q *SMCQueries) Q8Par(s *core.Session, p Params, workers int) []Q8Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q8ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q8(s, p)
+	}
+	return rows
+}
+
+// Q8ParCtx is Q8Par bound to a context (see Q7ParCtx for the contract).
+func (q *SMCQueries) Q8ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q8Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	nation := []byte(p.Q8Nation)
 	regionName := []byte(p.Q8Region)
@@ -337,16 +366,19 @@ func (q *SMCQueries) Q8Par(s *core.Session, p Params, workers int) []Q8Row {
 			q.q8Block(ws, blk, nation, regionName, ptype, t)
 		}, mergeQ8Acc)
 	if err != nil {
-		return q.Q8(s, p)
+		return nil, err
 	}
-	rows := query.PartitionRows(pl, merged, func(pt *region.Table[q8Acc], out *[]Q8Row) {
+	rows, err := query.PartitionRows(pl, merged, func(pt *region.Table[q8Acc], out *[]Q8Row) {
 		pt.Range(func(k int64, a *q8Acc) bool {
 			*out = append(*out, q8Row(k, a))
 			return true
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	SortQ8(rows)
-	return rows
+	return rows, nil
 }
 
 // Q9Par is Q9 as a two-stage pipeline: the partsupp cost-table build —
@@ -355,7 +387,19 @@ func (q *SMCQueries) Q8Par(s *core.Session, p Params, workers int) []Q8Row {
 // read-only. The finishing pass resolves nation names against the
 // dimension collection and emits rows partition-sharded.
 func (q *SMCQueries) Q9Par(s *core.Session, p Params, workers int) []Q9Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q9ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q9(s, p)
+	}
+	return rows
+}
+
+// Q9ParCtx is Q9Par bound to a context (see Q7ParCtx for the contract).
+func (q *SMCQueries) Q9ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q9Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	color := []byte(p.Q9Color)
 	// The cost table keys every (part, supplier) pair — one entry per
@@ -365,25 +409,28 @@ func (q *SMCQueries) Q9Par(s *core.Session, p Params, workers int) []Q9Row {
 			q.q9CostBlock(ws, blk, t)
 		}, mergeCost)
 	if err != nil {
-		return q.Q9(s, p)
+		return nil, err
 	}
 	profit, err := query.Table(pl, q.db.Lineitems, q9ProfitHint,
 		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[decimal.Dec128]) {
 			q.q9Block(ws, blk, color, cost, t)
 		}, mergeDec)
 	if err != nil {
-		return q.Q9(s, p)
+		return nil, err
 	}
 	rows := make([]Q9Row, 0)
 	if profit != nil && profit.Len() > 0 {
 		names := q.nationNames(s)
-		rows = query.PartitionRows(pl, profit, func(pt *region.Table[decimal.Dec128], out *[]Q9Row) {
+		rows, err = query.PartitionRows(pl, profit, func(pt *region.Table[decimal.Dec128], out *[]Q9Row) {
 			pt.Range(func(k int64, v *decimal.Dec128) bool {
 				*out = append(*out, q9Row(names, k, *v))
 				return true
 			})
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	SortQ9(rows)
-	return rows
+	return rows, nil
 }

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"math"
 	"unsafe"
 
@@ -283,7 +284,38 @@ func (q *SMCQueries) q6WindowBlock(blk *mem.Block, lo, hi types.Date, columnar b
 // check runs either way, so pushdown can only skip provably-empty
 // blocks, never change the sum.
 func (q *SMCQueries) Q6WindowPar(s *core.Session, lo, hi types.Date, workers int, pushdown bool) decimal.Dec128 {
-	pl := query.New(s, q.arenas, workers)
+	sum, err := q.Q6WindowParCtx(context.Background(), s, lo, hi, workers, pushdown)
+	if err != nil {
+		// Worker sessions unavailable: degrade to a serial unpruned scan.
+		var acc q6Sum
+		columnar := q.db.Layout == core.Columnar
+		s.Enter()
+		en := q.db.Lineitems.Enumerate(s)
+		for {
+			blk, ok := en.NextBlock()
+			if !ok {
+				break
+			}
+			q.q6WindowBlock(blk, lo, hi, columnar, &acc)
+		}
+		en.Close()
+		s.Exit()
+		return acc.sum
+	}
+	return sum
+}
+
+// Q6WindowParCtx is Q6WindowPar bound to a context: the scan is
+// admission-gated by the memory budget and cancelable at block-claim
+// granularity — a canceled scan returns within one block's work plus
+// worker unwind, with every pooled session returned and every leased
+// arena back in the pool after Close. It never degrades to the serial
+// driver; cancellation and budget rejection surface as the error.
+func (q *SMCQueries) Q6WindowParCtx(ctx context.Context, s *core.Session, lo, hi types.Date, workers int, pushdown bool) (decimal.Dec128, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return decimal.Dec128{}, err
+	}
 	defer pl.Close()
 	columnar := q.db.Layout == core.Columnar
 	src := query.Source(q.db.Lineitems)
@@ -296,29 +328,31 @@ func (q *SMCQueries) Q6WindowPar(s *core.Session, lo, hi types.Date, workers int
 		},
 		func(dst, src *q6Sum) { decimal.AddAssign(&dst.sum, &src.sum) })
 	if err != nil {
-		// Worker sessions unavailable: degrade to a serial unpruned scan.
-		var sum q6Sum
-		s.Enter()
-		en := q.db.Lineitems.Enumerate(s)
-		for {
-			blk, ok := en.NextBlock()
-			if !ok {
-				break
-			}
-			q.q6WindowBlock(blk, lo, hi, columnar, &sum)
-		}
-		en.Close()
-		s.Exit()
-		return sum.sum
+		return decimal.Dec128{}, err
 	}
-	return out.sum
+	return out.sum, nil
 }
 
 // Q1Par is Q1 fanned out over `workers` block-sharded scan workers.
 // Results are identical to Q1 on a quiesced collection; under concurrent
 // mutation both have the enumerator's bag semantics.
 func (q *SMCQueries) Q1Par(s *core.Session, p Params, workers int) []Q1Row {
-	pl := query.New(s, q.arenas, workers)
+	rows, err := q.Q1ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		// Worker sessions were unavailable (slot exhaustion): degrade to
+		// the serial kernel rather than failing the query.
+		return q.Q1(s, p)
+	}
+	return rows
+}
+
+// Q1ParCtx is Q1Par bound to a context: admission-gated, cancelable at
+// block-claim granularity, never degrades to the serial driver.
+func (q *SMCQueries) Q1ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q1Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
 	defer pl.Close()
 	cutoff := p.Q1Cutoff()
 	columnar := q.db.Layout == core.Columnar
@@ -331,16 +365,27 @@ func (q *SMCQueries) Q1Par(s *core.Session, p Params, workers int) []Q1Row {
 		},
 		func(dst, src *q1Dense) { dst.mergeFrom(src) })
 	if err != nil {
-		// Worker sessions were unavailable (slot exhaustion): degrade to
-		// the serial kernel rather than failing the query.
-		return q.Q1(s, p)
+		return nil, err
 	}
-	return q1Finish(total.groups())
+	return q1Finish(total.groups()), nil
 }
 
 // Q6Par is Q6 fanned out over `workers` block-sharded scan workers.
 func (q *SMCQueries) Q6Par(s *core.Session, p Params, workers int) decimal.Dec128 {
-	pl := query.New(s, q.arenas, workers)
+	sum, err := q.Q6ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		return q.Q6(s, p)
+	}
+	return sum
+}
+
+// Q6ParCtx is Q6Par bound to a context: admission-gated, cancelable at
+// block-claim granularity, never degrades to the serial driver.
+func (q *SMCQueries) Q6ParCtx(ctx context.Context, s *core.Session, p Params, workers int) (decimal.Dec128, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return decimal.Dec128{}, err
+	}
 	defer pl.Close()
 	hi := p.Q6Date.AddYears(1)
 	lo := p.Q6Discount.Sub(decimal.MustParse("0.01"))
@@ -359,7 +404,7 @@ func (q *SMCQueries) Q6Par(s *core.Session, p Params, workers int) decimal.Dec12
 		},
 		func(dst, src *q6Sum) { decimal.AddAssign(&dst.sum, &src.sum) })
 	if err != nil {
-		return q.Q6(s, p)
+		return decimal.Dec128{}, err
 	}
-	return out.sum
+	return out.sum, nil
 }
