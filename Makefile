@@ -8,8 +8,9 @@ PAR_OUT ?= BENCH_parallel.json
 JOINS_OUT ?= BENCH_joins.json
 COMPACT_OUT ?= BENCH_compact.json
 PRUNE_OUT ?= BENCH_prune.json
+SHARE_OUT ?= BENCH_share.json
 
-.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune benchdiff clean
+.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune bench-share benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -24,7 +25,7 @@ test: build vet
 # maintainer stress tests (exactly-once and exact serial results under
 # churn + compaction) under the race detector.
 race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
@@ -46,6 +47,12 @@ bench-compact:
 bench-prune:
 	$(GO) run ./cmd/smcbench -fig prune -sf $(SF) -reps $(REPS) -json-prune $(PRUNE_OUT)
 
+# Emit the cooperative scan-sharing figure (shared vs independent
+# N-concurrent Q6-style window scans, with block-visit accounting) as
+# BENCH_share.json.
+bench-share:
+	$(GO) run ./cmd/smcbench -fig share -sf $(SF) -reps $(REPS) -json-share $(SHARE_OUT)
+
 # Perf-regression gate: compare freshly emitted *.new.json figures
 # against the committed baselines (workers=1 points, >30% fails; skips
 # cleanly on a CPU-count mismatch). Run the bench targets with
@@ -55,7 +62,9 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_joins.json BENCH_joins.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_compact.json BENCH_compact.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_prune.json BENCH_prune.new.json
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_share.json BENCH_share.new.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json BENCH_prune.json \
-		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json BENCH_prune.new.json
+	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json BENCH_prune.json BENCH_share.json \
+		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json BENCH_prune.new.json \
+		BENCH_share.new.json

@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune or 'all'")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share or 'all'")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
@@ -44,6 +44,7 @@ func main() {
 		joinsPath   = flag.String("json-joins", "", "write the 'joins' figure's result as JSON to this path")
 		compactPath = flag.String("json-compact", "", "write the 'compact' figure's result as JSON to this path")
 		prunePath   = flag.String("json-prune", "", "write the 'prune' figure's result as JSON to this path")
+		sharePath   = flag.String("json-share", "", "write the 'share' figure's result as JSON to this path")
 		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
-	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune"}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share"}
 	want := map[string]bool{}
 	if *fig == "all" {
 		for _, f := range allFigs {
@@ -228,6 +229,16 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *prunePath != "" {
 			writeJSONFile("prune", *prunePath, r.WriteJSON)
+		}
+	}
+	if want["share"] {
+		r, err := bench.FigureShare(opts)
+		if err != nil {
+			fail("share", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *sharePath != "" {
+			writeJSONFile("share", *sharePath, r.WriteJSON)
 		}
 	}
 }

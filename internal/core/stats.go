@@ -76,6 +76,13 @@ type RuntimeStats struct {
 	// visited, and compaction targets whose bounds were rebuilt exactly.
 	BlocksPruned, BlocksScanned int64
 	SynopsisRebuilds            int64
+	// Cooperative scan sharing: shared passes launched, queries that
+	// attached to an already-running pass (leaders not counted), blocks
+	// visited by riders' private catch-up passes, and riders detached
+	// early. BlocksScanned counts physical visits — a shared block is
+	// counted once per pass, not once per attached query.
+	SharedPasses, AttachedQueries int64
+	CatchUpBlocks, Detaches       int64
 	// Per-registered-pool arena lease metrics, in registration order.
 	ArenaPools []ArenaPoolStats
 }
@@ -144,6 +151,11 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 		BlocksPruned:     ms.BlocksPruned.Load(),
 		BlocksScanned:    ms.BlocksScanned.Load(),
 		SynopsisRebuilds: ms.SynopsisRebuilds.Load(),
+
+		SharedPasses:    ms.SharedPasses.Load(),
+		AttachedQueries: ms.AttachedQueries.Load(),
+		CatchUpBlocks:   ms.CatchUpBlocks.Load(),
+		Detaches:        ms.Detaches.Load(),
 	}
 	rt.mu.Lock()
 	pools := make([]namedPool, len(rt.pools))

@@ -25,8 +25,11 @@ import (
 
 // MaxSessions is the number of concurrently registered sessions supported
 // by one Manager. Sessions are cheap slots in a fixed array so that the
-// advance scan touches a predictable, bounded amount of memory.
-const MaxSessions = 512
+// advance scan touches a predictable, bounded amount of memory (one
+// cache line per slot, 64KiB total). Sized for query-storm concurrency:
+// a scan-share batch of 512 rider sessions plus the coordinator, worker
+// pool and maintenance sessions must fit with headroom.
+const MaxSessions = 1024
 
 // cacheLine padding avoids false sharing between session slots on the
 // advance-scan path.

@@ -156,4 +156,8 @@ const (
 	PointCompactGroup = "mem.compact.group"
 	// PointMaintainerPass hits at the top of every maintainer pass.
 	PointMaintainerPass = "mem.maintainer.pass"
+	// PointShareAttach hits at every shared-scan attach attempt (leading
+	// a pass, riding one, or falling back to a private scan); an Err rule
+	// fails the query before it joins anything.
+	PointShareAttach = "mem.share.attach"
 )

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
@@ -31,6 +32,10 @@ type Context struct {
 	// (synopsis.go). Registered before the first block under mu; read
 	// lock-free afterwards (registration is create-time only).
 	syn *synopsisSpec
+
+	// shareGrp is the context's cooperative scan-sharing coordinator
+	// (share.go), created lazily on first Share call.
+	shareGrp atomic.Pointer[ShareGroup]
 
 	// refEdges lists contexts that hold reference fields INTO this
 	// context, together with the source field indexes and their encoding.

@@ -270,6 +270,17 @@ type Stats struct {
 	BlocksPruned     atomic.Int64
 	BlocksScanned    atomic.Int64
 	SynopsisRebuilds atomic.Int64
+
+	// Cooperative scan sharing (share.go): shared passes launched,
+	// queries that attached to an already-running pass (leaders are not
+	// counted), blocks visited by private catch-up passes, and riders
+	// detached early (cancellation, kernel error, ErrStopScan).
+	// BlocksScanned keeps counting physical visits: each shared block is
+	// counted once by the pass, not once per attached query.
+	SharedPasses    atomic.Int64
+	AttachedQueries atomic.Int64
+	CatchUpBlocks   atomic.Int64
+	Detaches        atomic.Int64
 }
 
 // NewManager builds a Manager from the configuration.

@@ -1,0 +1,614 @@
+package mem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// Cooperative scan sharing: one block pass serves many concurrent
+// queries. Under query-dominated load most concurrent scans re-read the
+// same hot blocks, so N independent scans pay N trips through memory for
+// one collection's worth of data. A ShareGroup batches compatible
+// concurrent scans onto a single shared pass:
+//
+//   - One §5.2 decision pass. The pass leases its own coordinator
+//     session from the manager's pool, takes one block-order snapshot,
+//     resolves every compaction-group pre/post decision exactly once and
+//     stays epoch-pinned (no Refresh) until the pass closes — exactly
+//     the ParallelScan protocol, amortized over every attached query.
+//   - One trip through memory per block. Pass workers claim block
+//     indices from an atomic cursor and run the kernel of every
+//     attached query on the claimed block before moving on, so the
+//     block's cache lines are paid for once, not once per query.
+//   - Late attach with catch-up. A query arriving while the pass is
+//     still inside its attach window joins mid-pass, records the cursor
+//     position at attach, receives every block claimed from that
+//     position on, and finishes its missed prefix with a private
+//     catch-up pass over only the blocks it missed — under the shared
+//     pass's epoch pin, so the snapshot stays mapped.
+//   - Per-query pruning composes. The shared cursor walks the blocks
+//     admitted by the leader's predicate; each attached query keeps a
+//     private admit bitmap from its own predicate's synopsis check and
+//     its full residual predicate per row, so pruning stays sound and
+//     never exact. Blocks a rider admits that the shared walk does not
+//     cover (pruned by the leader, or claimed before attach) are
+//     covered by that rider's catch-up.
+//
+// Attach boundary protocol: a pass worker claims a block index and reads
+// the rider list inside a read-locked claim section; attach publishes
+// the rider and reads the cursor inside the write-locked section. A
+// claim therefore either happens before the attach — in which case the
+// rider's recorded attach position is past the claimed index and the
+// catch-up owns the block — or after it, in which case the worker is
+// guaranteed to see the rider. Every (rider, block) pair runs exactly
+// once.
+//
+// Error model (the PR 6 contract, per rider):
+//
+//   - Cancelling one query's context detaches that rider without
+//     killing the shared pass; the rider returns its cancellation cause
+//     after its in-flight kernel calls drain.
+//   - A rider's kernel returning an error (or ErrStopScan) detaches
+//     only that rider.
+//   - A kernel panic is pass-fatal: the pass stops and every attached
+//     query returns an ErrWorkerPanic-wrapped error, mirroring the
+//     unshared scan contract where a panic poisons the whole scan.
+//   - fault.PointShareAttach fires at every ShareGroup.Scan entry, so
+//     the robustness suites can fail or stall attachment itself.
+
+// shareAttachWindowDen bounds how late a query may attach to a running
+// pass: attachment is admitted while fewer than len(shared)/Den blocks
+// have been claimed. Past the window a query runs a private scan — a
+// rider that attached near the end would re-scan almost everything in
+// catch-up, paying more memory traffic than an independent scan.
+const shareAttachWindowDen = 2
+
+// ShareGroup coordinates cooperative scan sharing over one context. At
+// most one shared pass runs at a time; queries arriving while it is
+// inside its attach window ride it, later ones fall back to private
+// scans (and the first of those becomes the next pass's leader).
+type ShareGroup struct {
+	ctx *Context
+
+	mu  sync.Mutex
+	cur *sharePass
+	gen int64 // passes launched; diagnostic generation counter
+}
+
+// Share returns the context's share group, creating it on first use.
+func (c *Context) Share() *ShareGroup {
+	if g := c.shareGrp.Load(); g != nil {
+		return g
+	}
+	g := &ShareGroup{ctx: c}
+	if c.shareGrp.CompareAndSwap(nil, g) {
+		return g
+	}
+	return c.shareGrp.Load()
+}
+
+// shareRider is one query attached to a shared pass.
+type shareRider struct {
+	kernel func(worker int, ws *Session, b *Block) error
+
+	// pred/bitmap: the rider's own synopsis admit decision per full-list
+	// block; a nil bitmap admits everything (unconstrained rider).
+	pred   *ScanPredicate
+	bitmap []bool
+
+	// attachPos is the first shared-list index whose claim is guaranteed
+	// to run this rider's kernel; written once inside the attach-locked
+	// section, read by workers inside claim-locked sections.
+	attachPos int64
+
+	detached atomic.Bool
+	inflight atomic.Int64
+	err      atomic.Pointer[error]
+	quit     chan struct{} // closed when the rider is detached early
+}
+
+func (r *shareRider) loadErr() error {
+	if p := r.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// sharePass is one running shared pass over a context.
+type sharePass struct {
+	grp   *ShareGroup
+	ctx   *Context
+	coord *Session // pool-leased, epoch-pinned until close
+
+	full    []*Block // resolved snapshot (every non-empty block)
+	shared  []int    // indices into full admitted by the leader's predicate
+	inShare []int64  // full index -> shared index, -1 when not shared
+	pinned  []*CompactionGroup
+	workers int
+
+	// claimMu orders block claims against attachment (see the boundary
+	// protocol above): workers claim under RLock, attach publishes under
+	// Lock.
+	claimMu sync.RWMutex
+	cursor  atomic.Int64
+	riders  atomic.Pointer[[]*shareRider]
+
+	stop    atomic.Bool
+	active  atomic.Int64 // attached riders not yet detached
+	refs    atomic.Int64 // riders holding the pass open (through catch-up)
+	exited  atomic.Int64
+	passErr atomic.Pointer[error] // pass-fatal (panic) error
+	done    chan struct{}         // closed by the last exiting pass worker
+}
+
+// Scan runs one query's block scan through the share group: it attaches
+// to the running pass when one is inside its attach window, leads a new
+// pass otherwise, and falls back to a private ScanParallelPredCtx when
+// the running pass is past its window. attach is called exactly once,
+// before any kernel invocation, with the number of worker slots the
+// kernel must be prepared to see (pass workers plus one catch-up slot);
+// it returns the query's per-block kernel, which must index any private
+// state by the worker argument. The single-attached-query path is
+// result-identical to ScanParallelPredCtx — sharing is an optimization,
+// never a semantics change.
+func (g *ShareGroup) Scan(cctx context.Context, s *Session, workers int, pred *ScanPredicate,
+	attach func(slots int) func(worker int, ws *Session, b *Block) error) error {
+	if pred != nil && pred.ctx != g.ctx {
+		panic(errPredWrongContext)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if err := fault.Check(fault.PointShareAttach); err != nil {
+		return err
+	}
+
+	g.mu.Lock()
+	if p := g.cur; p != nil {
+		if r := p.tryAttach(pred, attach); r != nil {
+			g.mu.Unlock()
+			g.ctx.mgr.stats.AttachedQueries.Add(1)
+			return p.ride(r, cctx, s)
+		}
+		// A pass is running but past its attach window (or already
+		// stopping): run privately rather than wait for it.
+		g.mu.Unlock()
+		return g.ctx.ScanParallelPredCtx(cctx, s, workers, pred, attach(workers))
+	}
+	p, lead, err := g.newPass(cctx, workers, pred)
+	if !lead {
+		g.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		// Nothing to scan (everything empty or pruned): call attach for
+		// API symmetry, never invoke the kernel.
+		_ = attach(1)
+		return nil
+	}
+	leader := p.addRider(pred, attach, true)
+	g.cur = p
+	g.gen++
+	p.start()
+	g.mu.Unlock()
+	return p.ride(leader, cctx, s)
+}
+
+// newPass resolves a new shared pass as the calling query's leader.
+// Called with g.mu held. lead=false means no pass was created: either an
+// error occurred or the resolved shared list is empty (err nil, scan
+// trivially complete).
+func (g *ShareGroup) newPass(cctx context.Context, workers int, pred *ScanPredicate) (p *sharePass, lead bool, err error) {
+	c := g.ctx
+	coord, err := c.mgr.LeaseSession()
+	if err != nil {
+		return nil, false, fmt.Errorf("mem: shared scan coordinator session: %w", err)
+	}
+	coord.Enter()
+	e := &Enumerator{ctx: c, sess: coord, blocks: c.SnapshotBlocks(), noRefresh: true}
+	if cctx != nil {
+		if done := cctx.Done(); done != nil {
+			e.done = done
+			e.cause = func() error { return context.Cause(cctx) }
+		}
+	}
+	var full []*Block
+	for {
+		b, ok := e.NextBlock()
+		if !ok {
+			break
+		}
+		full = append(full, b)
+	}
+	pinned := e.pinned
+	e.pinned = nil
+	e.closed = true
+	release := func() {
+		for _, grp := range pinned {
+			grp.pins.Add(-1)
+		}
+		coord.Exit()
+		c.mgr.ReturnSession(coord)
+	}
+	if e.err != nil {
+		release()
+		return nil, false, e.err
+	}
+	// The shared cursor walks the leader's admitted blocks; admitBlock
+	// maintains the leader's pruning counters exactly as its private scan
+	// would, and counts each shared block's one physical visit.
+	shared := make([]int, 0, len(full))
+	inShare := make([]int64, len(full))
+	for i, b := range full {
+		inShare[i] = -1
+		if pred.admitBlock(b) {
+			inShare[i] = int64(len(shared))
+			shared = append(shared, i)
+		}
+	}
+	if len(shared) == 0 {
+		release()
+		return nil, false, nil
+	}
+	if workers > len(shared) {
+		workers = len(shared)
+	}
+	p = &sharePass{
+		grp:     g,
+		ctx:     c,
+		coord:   coord,
+		full:    full,
+		shared:  shared,
+		inShare: inShare,
+		pinned:  pinned,
+		workers: workers,
+		done:    make(chan struct{}),
+	}
+	empty := make([]*shareRider, 0, 4)
+	p.riders.Store(&empty)
+	c.mgr.stats.SharedPasses.Add(1)
+	return p, true, nil
+}
+
+// tryAttach attaches a new rider to a running pass, or returns nil when
+// the pass is past its attach window or already winding down. Called
+// with g.mu held.
+func (p *sharePass) tryAttach(pred *ScanPredicate, attach func(slots int) func(worker int, ws *Session, b *Block) error) *shareRider {
+	if p.stop.Load() || p.passErr.Load() != nil {
+		return nil
+	}
+	if p.cursor.Load()*shareAttachWindowDen > int64(len(p.shared)) {
+		return nil
+	}
+	// Hold the pass open through this rider's catch-up; a pass whose
+	// refcount already hit zero is closing and must not be joined.
+	for {
+		n := p.refs.Load()
+		if n == 0 {
+			return nil
+		}
+		if p.refs.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	return p.addRider(pred, attach, false)
+}
+
+// addRider builds and publishes a rider. Called with g.mu held; the
+// leader is added before start, later riders via tryAttach (which has
+// already taken their pass reference — addRider takes the leader's).
+// leader suppresses the bitmap's pruned counting: the shared-list build
+// already counted the leader's pruning via admitBlock, and the bitmap
+// exists only so the leader's catch-up skips its pruned blocks.
+func (p *sharePass) addRider(pred *ScanPredicate, attach func(slots int) func(worker int, ws *Session, b *Block) error, leader bool) *shareRider {
+	r := &shareRider{
+		kernel: attach(p.workers + 1),
+		pred:   pred,
+		quit:   make(chan struct{}),
+	}
+	if pred != nil && len(pred.cons) > 0 {
+		// The rider's own synopsis decision per snapshot block. matchBlock
+		// (not admitBlock): the rider's pruned count is its own, but the
+		// physical visit of each shared block is counted once by the pass,
+		// so BlocksScanned keeps meaning "blocks actually read".
+		r.bitmap = make([]bool, len(p.full))
+		for i, b := range p.full {
+			if pred.matchBlock(b) {
+				r.bitmap[i] = true
+			} else if !leader {
+				p.ctx.mgr.stats.BlocksPruned.Add(1)
+			}
+		}
+	}
+	if p.riders.Load() == nil {
+		panic("mem: addRider before pass init")
+	}
+	// Publish the rider, then read the cursor: see the attach boundary
+	// protocol in the package comment.
+	p.claimMu.Lock()
+	old := *p.riders.Load()
+	next := make([]*shareRider, len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	p.riders.Store(&next)
+	r.attachPos = p.cursor.Load()
+	p.claimMu.Unlock()
+	p.active.Add(1)
+	if len(old) == 0 {
+		p.refs.Add(1) // the leader's reference
+	}
+	return r
+}
+
+// start leases worker sessions and launches the pass workers. Called
+// with g.mu held, after the leader rider is attached. When the session
+// pool cannot supply every worker the pass degrades to however many it
+// got; with zero, the pass runs its one worker on the pinned coordinator
+// session (no Enter/Exit/Refresh — the pin is the point).
+func (p *sharePass) start() {
+	sessions := make([]*Session, 0, p.workers)
+	for i := 0; i < p.workers; i++ {
+		ws, err := p.ctx.mgr.LeaseSession()
+		if err != nil {
+			break
+		}
+		sessions = append(sessions, ws)
+	}
+	if len(sessions) == 0 {
+		p.workers = 1
+		go p.runWorker(0, p.coord, false)
+		return
+	}
+	p.workers = len(sessions)
+	for w, ws := range sessions {
+		go p.runWorker(w, ws, true)
+	}
+}
+
+// runWorker is one pass worker: claim a shared block, run every visible
+// attached rider's kernel on it, repeat. own says the session is a
+// pool-leased worker session (entered, refreshed, returned here); false
+// means the pinned coordinator drives the scan and must not be touched.
+func (p *sharePass) runWorker(w int, ws *Session, own bool) {
+	defer func() {
+		if n := p.exited.Add(1); n == int64(p.workers) {
+			close(p.done)
+		}
+	}()
+	if own {
+		defer p.ctx.mgr.ReturnSession(ws)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// Panics escaping the per-rider recover (fault injection at
+			// the claim point, engine bugs) poison the pass.
+			p.fatal(recoverToError(r))
+		}
+	}()
+	if own {
+		ws.Enter()
+		defer ws.Exit()
+	}
+	// Attach grace: before the first claim, yield while compatible
+	// queries are still boarding — each yield drains the run queue, so a
+	// burst of queries arriving with the leader boards at cursor 0 and
+	// needs no catch-up. The loop stops as soon as a yield admits no new
+	// rider (bounded; boarding bursts converge in a couple of drains).
+	// Without it a single-P runtime runs the whole pass before any
+	// would-be rider is ever scheduled, degrading a query storm to N
+	// private passes.
+	for prev, spins := len(*p.riders.Load()), 0; spins < 16; spins++ {
+		runtime.Gosched()
+		cur := len(*p.riders.Load())
+		if cur == prev {
+			break
+		}
+		prev = cur
+	}
+	for {
+		if p.stop.Load() {
+			return
+		}
+		p.claimMu.RLock()
+		j := p.cursor.Add(1) - 1
+		riders := *p.riders.Load()
+		p.claimMu.RUnlock()
+		if j >= int64(len(p.shared)) {
+			return
+		}
+		if own && j > 0 {
+			ws.Refresh()
+		}
+		fault.Point(fault.PointScanBlock)
+		fi := p.shared[j]
+		b := p.full[fi]
+		for _, r := range riders {
+			if j < r.attachPos || (r.bitmap != nil && !r.bitmap[fi]) {
+				continue
+			}
+			p.runRider(r, w, ws, b)
+			if p.stop.Load() && p.passErr.Load() != nil {
+				return
+			}
+		}
+	}
+}
+
+// runRider runs one rider's kernel on one block with the rider's
+// in-flight count held, so a detaching rider can wait out concurrent
+// kernel calls before its state is torn down.
+func (p *sharePass) runRider(r *shareRider, w int, ws *Session, b *Block) {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	if r.detached.Load() {
+		return
+	}
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = recoverToError(rec)
+			}
+		}()
+		return r.kernel(w, ws, b)
+	}()
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrWorkerPanic):
+		p.fatal(err)
+	case errors.Is(err, ErrStopScan):
+		p.finishRider(r, nil)
+	default:
+		p.finishRider(r, err)
+	}
+}
+
+// fatal records a pass-fatal error and stops the pass; every attached
+// query observes it.
+func (p *sharePass) fatal(err error) {
+	p.passErr.CompareAndSwap(nil, &err)
+	p.stop.Store(true)
+}
+
+// finishRider detaches a rider early, recording its terminal error
+// (which may be nil for a clean ErrStopScan detach); the first call
+// wins. When the last rider detaches the pass stops — nothing is
+// riding it.
+func (p *sharePass) finishRider(r *shareRider, err error) {
+	if err != nil {
+		r.err.CompareAndSwap(nil, &err)
+	}
+	if !r.detached.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.quit)
+	p.ctx.mgr.stats.Detaches.Add(1)
+	if p.active.Add(-1) == 0 {
+		p.stop.Store(true)
+	}
+}
+
+// ride is a rider's life after attach: wait for the shared phase (or an
+// early detach, or the query's own cancellation), drain in-flight kernel
+// calls, catch up the missed prefix, and release the pass reference.
+func (p *sharePass) ride(r *shareRider, cctx context.Context, s *Session) error {
+	var ctxDone <-chan struct{}
+	if cctx != nil {
+		ctxDone = cctx.Done()
+	}
+	select {
+	case <-p.done:
+	case <-r.quit:
+	case <-ctxDone:
+		p.finishRider(r, context.Cause(cctx))
+	}
+	// No kernel call for this rider may be in flight once we return (or
+	// run catch-up): the rider's accumulators belong to the caller again.
+	for r.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	var err error
+	switch {
+	case p.passErr.Load() != nil:
+		err = *p.passErr.Load()
+	case r.detached.Load():
+		err = r.loadErr()
+	default:
+		err = p.catchUp(r, s, cctx)
+	}
+	p.release()
+	return err
+}
+
+// catchUp scans, on the rider's own session and the pass's extra worker
+// slot, every snapshot block the rider admits that the shared phase did
+// not cover for it: blocks claimed before its attach position plus
+// blocks the leader's predicate pruned out of the shared walk. It runs
+// after the shared phase, under the pass's epoch pin (the pass reference
+// is still held), so the snapshot blocks are still mapped.
+func (p *sharePass) catchUp(r *shareRider, s *Session, cctx context.Context) error {
+	var need []int
+	for i := range p.full {
+		if r.bitmap != nil && !r.bitmap[i] {
+			continue
+		}
+		if si := p.inShare[i]; si >= 0 && si >= r.attachPos {
+			continue // covered by the shared phase
+		}
+		need = append(need, i)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	var done <-chan struct{}
+	var cause func() error
+	if cctx != nil {
+		if d := cctx.Done(); d != nil {
+			done = d
+			cause = func() error { return context.Cause(cctx) }
+		}
+	}
+	stats := &p.ctx.mgr.stats
+	constrained := r.pred != nil && len(r.pred.cons) > 0
+	s.Enter()
+	defer s.Exit()
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = recoverToError(rec)
+			}
+		}()
+		for k, i := range need {
+			if done != nil {
+				select {
+				case <-done:
+					return cause()
+				default:
+				}
+			}
+			if k > 0 {
+				s.Refresh()
+			}
+			fault.Point(fault.PointScanBlock)
+			stats.CatchUpBlocks.Add(1)
+			if constrained {
+				stats.BlocksScanned.Add(1)
+			}
+			if err := r.kernel(p.workers, s, p.full[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil && errors.Is(err, ErrStopScan) {
+		return nil
+	}
+	return err
+}
+
+// release drops one pass reference; the last reference waits out the
+// pass workers and closes the pass (pins, coordinator pin, session) —
+// bounded by one block's work, since a pass nobody rides has stopped.
+func (p *sharePass) release() {
+	if p.refs.Add(-1) != 0 {
+		return
+	}
+	<-p.done
+	g := p.grp
+	g.mu.Lock()
+	if g.cur == p {
+		g.cur = nil
+	}
+	g.mu.Unlock()
+	for _, grp := range p.pinned {
+		grp.pins.Add(-1)
+	}
+	p.pinned = nil
+	p.coord.Exit()
+	p.ctx.mgr.ReturnSession(p.coord)
+}

@@ -1,0 +1,754 @@
+package mem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/types"
+)
+
+// Cooperative scan-sharing suites: single-query oracle parity against the
+// private parallel scan, the attach/catch-up boundary protocol, per-rider
+// error isolation (cancel, kernel error, ErrStopScan) versus pass-fatal
+// panics, predicate composition across riders, and the -race churn
+// stress. The gated-leader helper parks the pass inside its first block
+// so a follower's attach deterministically lands mid-pass.
+
+// sharedIDs runs one query through the share group and returns every ID
+// it saw with duplicate counts.
+func sharedIDs(t *testing.T, h *harness, s *Session, workers int, pred *ScanPredicate) map[int64]int {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	err := h.ctx.Share().Scan(nil, s, workers, pred, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, b *Block) error {
+			local := make(map[int64]int)
+			for slot := 0; slot < b.capacity; slot++ {
+				if b.SlotIsValid(slot) {
+					local[*(*int64)(b.FieldPtr(slot, h.idF))]++
+				}
+			}
+			mu.Lock()
+			for id, n := range local {
+				seen[id] += n
+			}
+			mu.Unlock()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatalf("shared scan: %v", err)
+	}
+	return seen
+}
+
+func TestSharedScanMatchesSerial(t *testing.T) {
+	for _, layout := range allLayouts() {
+		t.Run(layout.String(), func(t *testing.T) {
+			h := newHarness(t, layout, Config{BlockSize: 1 << 13, HeapBackend: true})
+			n := h.ctx.BlockCapacity()*4 + 7
+			for i := 0; i < n; i++ {
+				ref := h.add(t, h.s, int64(i), fmt.Sprintf("s%d", i))
+				if i%3 == 0 {
+					if err := h.remove(h.s, ref); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			serial := make(map[int64]int)
+			h.ctx.ForEachValid(h.s, func(b *Block, slot int) bool {
+				serial[*(*int64)(b.FieldPtr(slot, h.idF))]++
+				return true
+			})
+			for _, workers := range []int{1, 2, 4} {
+				seen := sharedIDs(t, h, h.s, workers, nil)
+				if len(seen) != len(serial) {
+					t.Fatalf("workers=%d: shared saw %d ids, serial %d", workers, len(seen), len(serial))
+				}
+				for id, cnt := range seen {
+					if cnt != 1 {
+						t.Fatalf("workers=%d: id %d seen %d times", workers, id, cnt)
+					}
+					if serial[id] != 1 {
+						t.Fatalf("workers=%d: shared saw id %d the serial scan did not", workers, id)
+					}
+				}
+				assertScanQuiesced(t, h)
+			}
+		})
+	}
+}
+
+// TestSharedScanSingleQueryCountersMatchPrivate: one query through the
+// share group maintains the same pruning counters a private predicated
+// scan would — sharing is counter-transparent at N=1.
+func TestSharedScanSingleQueryCountersMatchPrivate(t *testing.T) {
+	h := newSynHarness(t, RowIndirect)
+	n := h.ctx.BlockCapacity()*6 + 5
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+	}
+	lo, hi := int64(0), int64(h.ctx.BlockCapacity())
+	pred := h.ctx.Predicate().Int64Range("ID", lo, hi)
+
+	st := h.m.Stats()
+	p0, s0 := st.BlocksPruned.Load(), st.BlocksScanned.Load()
+	if err := h.ctx.ScanParallelPred(h.s, 1, pred, func(_ int, _ *Session, _ *Block) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	privPruned := st.BlocksPruned.Load() - p0
+	privScanned := st.BlocksScanned.Load() - s0
+
+	p0, s0 = st.BlocksPruned.Load(), st.BlocksScanned.Load()
+	sharedIDs(t, h, h.s, 1, pred)
+	if got := st.BlocksPruned.Load() - p0; got != privPruned {
+		t.Fatalf("shared single query pruned %d blocks, private pruned %d", got, privPruned)
+	}
+	if got := st.BlocksScanned.Load() - s0; got != privScanned {
+		t.Fatalf("shared single query scanned %d blocks, private scanned %d", got, privScanned)
+	}
+	if privPruned == 0 || privScanned == 0 {
+		t.Fatalf("degenerate layout: pruned=%d scanned=%d", privPruned, privScanned)
+	}
+}
+
+// gatedQuery is one query run through the share group whose kernel can
+// park at its first block, plus the channels to observe/steer it.
+type gatedQuery struct {
+	seen map[int64]int
+	errc chan error
+}
+
+// startGatedLeader launches a leader query (workers=1) whose kernel
+// parks inside the first claimed block until release is closed. It
+// returns once the pass worker is parked — i.e. the pass is provably
+// mid-block-0, cursor already at 1 — so anything the caller does next
+// lands mid-pass.
+func startGatedLeader(t *testing.T, h *harness, s *Session, release chan struct{}) *gatedQuery {
+	t.Helper()
+	q := &gatedQuery{seen: make(map[int64]int), errc: make(chan error, 1)}
+	parked := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	go func() {
+		q.errc <- h.ctx.Share().Scan(nil, s, 1, nil, func(slots int) func(int, *Session, *Block) error {
+			return func(_ int, _ *Session, b *Block) error {
+				once.Do(func() {
+					close(parked)
+					<-release
+				})
+				mu.Lock()
+				for slot := 0; slot < b.capacity; slot++ {
+					if b.SlotIsValid(slot) {
+						q.seen[*(*int64)(b.FieldPtr(slot, h.idF))]++
+					}
+				}
+				mu.Unlock()
+				return nil
+			}
+		})
+	}()
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never claimed its first block")
+	}
+	return q
+}
+
+// waitCounter polls an atomic counter until it moves past base.
+func waitCounter(t *testing.T, c *atomic.Int64, base int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() == base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never moved", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func assertExactlyOnce(t *testing.T, seen, want map[int64]int, who string) {
+	t.Helper()
+	if len(seen) != len(want) {
+		t.Fatalf("%s saw %d ids, want %d", who, len(seen), len(want))
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("%s: id %d seen %d times", who, id, cnt)
+		}
+		if want[id] != 1 {
+			t.Fatalf("%s: unexpected id %d", who, id)
+		}
+	}
+}
+
+// TestSharedScanAttachCatchUp: a second query attaching while the pass is
+// inside block 0 records attachPos >= 1, so its private catch-up must
+// cover the missed prefix; both queries see every ID exactly once and
+// the share counters move.
+func TestSharedScanAttachCatchUp(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*5 + 3
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	st := h.m.Stats()
+	passes0 := st.SharedPasses.Load()
+	attached0 := st.AttachedQueries.Load()
+	catchup0 := st.CatchUpBlocks.Load()
+
+	release := make(chan struct{})
+	leader := startGatedLeader(t, h, h.s, release)
+
+	rs, err := h.m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rider := make(chan map[int64]int, 1)
+	go func() {
+		seen := sharedIDs(t, h, rs, 1, nil)
+		rider <- seen
+	}()
+	waitCounter(t, &st.AttachedQueries, attached0, "AttachedQueries")
+	close(release)
+
+	if err := <-leader.errc; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	riderSeen := <-rider
+	assertExactlyOnce(t, leader.seen, want, "leader")
+	assertExactlyOnce(t, riderSeen, want, "rider")
+	if got := st.SharedPasses.Load() - passes0; got != 1 {
+		t.Fatalf("SharedPasses moved by %d, want 1", got)
+	}
+	if got := st.AttachedQueries.Load() - attached0; got != 1 {
+		t.Fatalf("AttachedQueries moved by %d, want 1", got)
+	}
+	if st.CatchUpBlocks.Load() == catchup0 {
+		t.Fatal("rider attached past block 0 but CatchUpBlocks never moved")
+	}
+	assertScanQuiesced(t, h)
+}
+
+// attachRider attaches a second query to the pass the gated leader is
+// holding open and returns its result channels. It returns only after
+// the attach is visible in the stats, so the caller can release the
+// leader without racing the attachment.
+func attachRider(t *testing.T, h *harness, kernel func(slots int) func(int, *Session, *Block) error, cctx context.Context) (chan error, *Session) {
+	t.Helper()
+	rs, err := h.m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.m.Stats()
+	attached0 := st.AttachedQueries.Load()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- h.ctx.Share().Scan(cctx, rs, 1, nil, kernel)
+	}()
+	waitCounter(t, &st.AttachedQueries, attached0, "AttachedQueries")
+	return errc, rs
+}
+
+// TestSharedScanRiderErrorDetachesOne: a rider kernel failing detaches
+// that rider alone; the leader's scan completes with full results.
+func TestSharedScanRiderErrorDetachesOne(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*4 + 3
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	st := h.m.Stats()
+	detach0 := st.Detaches.Load()
+
+	release := make(chan struct{})
+	leader := startGatedLeader(t, h, h.s, release)
+
+	errBoom := errors.New("rider kernel failure")
+	riderErr, rs := attachRider(t, h, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, _ *Block) error { return errBoom }
+	}, nil)
+	defer rs.Close()
+	close(release)
+
+	if err := <-leader.errc; err != nil {
+		t.Fatalf("leader poisoned by rider error: %v", err)
+	}
+	assertExactlyOnce(t, leader.seen, want, "leader")
+	if err := <-riderErr; !errors.Is(err, errBoom) {
+		t.Fatalf("rider error = %v, want %v", err, errBoom)
+	}
+	if got := st.Detaches.Load() - detach0; got != 1 {
+		t.Fatalf("Detaches moved by %d, want 1", got)
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanRiderStopScan: ErrStopScan from a rider kernel is a
+// clean early detach — nil error, no catch-up, leader unaffected.
+func TestSharedScanRiderStopScan(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*4 + 3
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	release := make(chan struct{})
+	leader := startGatedLeader(t, h, h.s, release)
+
+	riderErr, rs := attachRider(t, h, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, _ *Block) error { return ErrStopScan }
+	}, nil)
+	defer rs.Close()
+	close(release)
+
+	if err := <-leader.errc; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	assertExactlyOnce(t, leader.seen, want, "leader")
+	if err := <-riderErr; err != nil {
+		t.Fatalf("ErrStopScan rider returned %v, want nil", err)
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanCancelDetachesOne: cancelling one rider's context
+// detaches that rider with its cancellation cause; the leader and the
+// pass keep going.
+func TestSharedScanCancelDetachesOne(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*4 + 3
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	st := h.m.Stats()
+	detach0 := st.Detaches.Load()
+
+	release := make(chan struct{})
+	leader := startGatedLeader(t, h, h.s, release)
+
+	cctx, cancel := context.WithCancel(context.Background())
+	riderErr, rs := attachRider(t, h, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, _ *Block) error { return nil }
+	}, cctx)
+	defer rs.Close()
+	cancel()
+	if err := <-riderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rider returned %v, want context.Canceled", err)
+	}
+	close(release)
+
+	if err := <-leader.errc; err != nil {
+		t.Fatalf("leader poisoned by rider cancel: %v", err)
+	}
+	assertExactlyOnce(t, leader.seen, want, "leader")
+	if got := st.Detaches.Load() - detach0; got != 1 {
+		t.Fatalf("Detaches moved by %d, want 1", got)
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanPanicPoisonsPass: a panicking rider kernel is pass-fatal
+// — every attached query returns an ErrWorkerPanic-wrapped error,
+// mirroring the unshared contract.
+func TestSharedScanPanicPoisonsPass(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*4 + 3
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+	}
+	release := make(chan struct{})
+	leader := startGatedLeader(t, h, h.s, release)
+
+	riderErr, rs := attachRider(t, h, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, _ *Block) error { panic("rider kernel bug") }
+	}, nil)
+	defer rs.Close()
+	close(release)
+
+	if err := <-leader.errc; !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("leader error = %v, want ErrWorkerPanic", err)
+	}
+	if err := <-riderErr; !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("rider error = %v, want ErrWorkerPanic", err)
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanPredicateComposition: riders keep their own synopsis
+// admit decisions. The leader's predicate covers the low half of the
+// key space, the rider's the high half; the shared walk covers only the
+// leader's blocks, so the rider's catch-up must cover the blocks the
+// leader pruned — and each query must still see every row its predicate
+// admits exactly once.
+func TestSharedScanPredicateComposition(t *testing.T) {
+	h := newSynHarness(t, RowIndirect)
+	cap := h.ctx.BlockCapacity()
+	n := cap*6 + 5
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+	}
+	leadLo, leadHi := int64(0), int64(cap*2)
+	rideLo, rideHi := int64(cap*4), int64(n)
+	leadPred := h.ctx.Predicate().Int64Range("ID", leadLo, leadHi)
+	ridePred := h.ctx.Predicate().Int64Range("ID", rideLo, rideHi)
+
+	st := h.m.Stats()
+	catchup0 := st.CatchUpBlocks.Load()
+
+	q := &gatedQuery{seen: make(map[int64]int), errc: make(chan error, 1)}
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	go func() {
+		q.errc <- h.ctx.Share().Scan(nil, h.s, 1, leadPred, func(slots int) func(int, *Session, *Block) error {
+			return func(_ int, _ *Session, b *Block) error {
+				once.Do(func() {
+					close(parked)
+					<-release
+				})
+				for slot := 0; slot < b.capacity; slot++ {
+					if b.SlotIsValid(slot) {
+						q.seen[*(*int64)(b.FieldPtr(slot, h.idF))]++
+					}
+				}
+				return nil
+			}
+		})
+	}()
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never claimed its first block")
+	}
+
+	rs, err := h.m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	attached0 := st.AttachedQueries.Load()
+	rider := make(chan map[int64]int, 1)
+	go func() {
+		rider <- sharedIDs(t, h, rs, 1, ridePred)
+	}()
+	waitCounter(t, &st.AttachedQueries, attached0, "AttachedQueries")
+	close(release)
+
+	if err := <-q.errc; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	riderSeen := <-rider
+
+	check := func(seen map[int64]int, lo, hi int64, who string) {
+		t.Helper()
+		for id, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("%s: id %d seen %d times", who, id, cnt)
+			}
+		}
+		for id := lo; id <= hi && id < int64(n); id++ {
+			if seen[id] != 1 {
+				t.Fatalf("%s: in-range id %d seen %d times, want 1", who, id, seen[id])
+			}
+		}
+	}
+	check(q.seen, leadLo, leadHi, "leader")
+	check(riderSeen, rideLo, rideHi, "rider")
+	// The rider's range lives entirely in blocks the leader pruned, so
+	// its rows must have arrived via catch-up.
+	if st.CatchUpBlocks.Load() == catchup0 {
+		t.Fatal("rider range disjoint from shared walk but CatchUpBlocks never moved")
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanAttachWindowCloses: once more than half the shared list
+// has been claimed, new queries run privately instead of attaching —
+// full results, no AttachedQueries movement.
+func TestSharedScanAttachWindowCloses(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	n := h.ctx.BlockCapacity()*6 + 3
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	nblocks := 0
+	for _, b := range h.ctx.SnapshotBlocks() {
+		if b.Valid() > 0 {
+			nblocks++
+		}
+	}
+	threshold := nblocks/2 + 1 // first claim index past the window
+
+	st := h.m.Stats()
+	attached0 := st.AttachedQueries.Load()
+
+	q := &gatedQuery{seen: make(map[int64]int), errc: make(chan error, 1)}
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	go func() {
+		q.errc <- h.ctx.Share().Scan(nil, h.s, 1, nil, func(slots int) func(int, *Session, *Block) error {
+			return func(_ int, _ *Session, b *Block) error {
+				calls++
+				if calls == threshold {
+					close(parked)
+					<-release
+				}
+				for slot := 0; slot < b.capacity; slot++ {
+					if b.SlotIsValid(slot) {
+						q.seen[*(*int64)(b.FieldPtr(slot, h.idF))]++
+					}
+				}
+				return nil
+			}
+		})
+	}()
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the window threshold")
+	}
+
+	// The pass is provably past its attach window; this query must fall
+	// back to a private scan and complete while the leader is parked.
+	rs, err := h.m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	late := sharedIDs(t, h, rs, 2, nil)
+	assertExactlyOnce(t, late, want, "late private query")
+	if got := st.AttachedQueries.Load(); got != attached0 {
+		t.Fatalf("late query attached (AttachedQueries %d -> %d), want private fallback", attached0, got)
+	}
+	close(release)
+	if err := <-q.errc; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	assertExactlyOnce(t, q.seen, want, "leader")
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanFaultAttach: an armed mem.share.attach fault fails the
+// scan before any pass state is touched.
+func TestSharedScanFaultAttach(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	h.add(t, h.s, 1, "v")
+	errInjected := errors.New("injected attach failure")
+	defer fault.Enable(map[string]*fault.Rule{
+		fault.PointShareAttach: {Every: true, Err: errInjected},
+	})()
+	ran := false
+	err := h.ctx.Share().Scan(nil, h.s, 1, nil, func(slots int) func(int, *Session, *Block) error {
+		ran = true
+		return func(_ int, _ *Session, _ *Block) error { return nil }
+	})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if ran {
+		t.Fatal("attach callback ran despite the injected fault")
+	}
+	fault.Disarm()
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanChurnStress: staggered shared queries (some attaching
+// mid-pass, some cancelled) against add/remove churn with the maintainer
+// compacting behind them. Every completed query must see each stable ID
+// exactly once and nothing twice; after the storm the session pool and
+// epoch pins must balance. Run with -race in CI.
+func TestSharedScanChurnStress(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{
+		BlockSize:        1 << 13,
+		ReclaimThreshold: 0.10,
+		PinWaitTimeout:   2 * time.Millisecond,
+		HeapBackend:      true,
+	})
+	// Enough stable blocks that a pass parked on block 0 is still inside
+	// its attach window (cursor*2 <= len(shared)) when the followers
+	// arrive.
+	stableCount := h.ctx.BlockCapacity()*6 + 3
+	stable := make(map[int64]bool, stableCount)
+	for i := 0; i < stableCount; i++ {
+		h.add(t, h.s, int64(i), "stable")
+		stable[int64(i)] = true
+	}
+
+	mt := h.m.StartMaintainer(MaintainerConfig{Interval: time.Millisecond})
+	defer mt.Stop()
+
+	stop := make(chan struct{})
+	var fail atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churner feeding the maintainer fragmented blocks
+		defer wg.Done()
+		s, err := h.m.NewSession()
+		if err != nil {
+			fail.Store(err.Error())
+			return
+		}
+		defer s.Close()
+		next := int64(1) << 40
+		var pool []types.Ref
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ref, obj, err := h.ctx.Alloc(s)
+			if err != nil {
+				fail.Store(err.Error())
+				return
+			}
+			*(*int64)(obj.Blk.FieldPtr(obj.Slot, h.idF)) = next
+			next++
+			h.ctx.Publish(s, obj)
+			pool = append(pool, ref)
+			if len(pool) > 4 {
+				victim := pool[0]
+				pool = pool[1:]
+				s.Enter()
+				err := h.ctx.Remove(s, victim)
+				s.Exit()
+				if err != nil {
+					fail.Store(fmt.Sprintf("churn remove: %v", err))
+					return
+				}
+			}
+		}
+	}()
+
+	cycles := 1000
+	if testing.Short() {
+		cycles = 120
+	}
+	st := h.m.Stats()
+	// runQuery runs one shared scan and checks its result; gate, when
+	// non-nil, is called inside the first kernel invocation (the leader
+	// parks there so followers land mid-pass).
+	runQuery := func(c, i, workers int, cctx context.Context, cancel context.CancelFunc, gate func()) {
+		s, err := h.m.NewSession()
+		if err != nil {
+			fail.Store(err.Error())
+			return
+		}
+		defer s.Close()
+		var mu sync.Mutex
+		var once sync.Once
+		counts := make(map[int64]int)
+		err = h.ctx.Share().Scan(cctx, s, workers, nil, func(slots int) func(int, *Session, *Block) error {
+			return func(_ int, _ *Session, b *Block) error {
+				if gate != nil {
+					once.Do(gate)
+				}
+				local := make([]int64, 0, b.capacity)
+				for slot := 0; slot < b.capacity; slot++ {
+					if b.SlotIsValid(slot) {
+						local = append(local, *(*int64)(b.FieldPtr(slot, h.idF)))
+					}
+				}
+				mu.Lock()
+				for _, id := range local {
+					counts[id]++
+				}
+				mu.Unlock()
+				return nil
+			}
+		})
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // discarded result; only leak-freedom matters
+			}
+			fail.Store(fmt.Sprintf("cycle %d query %d: %v", c, i, err))
+			return
+		}
+		for id, cnt := range counts {
+			if cnt != 1 {
+				fail.Store(fmt.Sprintf("cycle %d query %d: id %#x seen %d times", c, i, id, cnt))
+				return
+			}
+		}
+		for id := range stable {
+			if counts[id] != 1 {
+				fail.Store(fmt.Sprintf("cycle %d query %d: stable id %d seen %d times", c, i, id, counts[id]))
+				return
+			}
+		}
+	}
+	for c := 0; c < cycles && fail.Load() == nil; c++ {
+		attached0 := st.AttachedQueries.Load()
+		passes0 := st.SharedPasses.Load()
+		release := make(chan struct{})
+		var qwg sync.WaitGroup
+		qwg.Add(1)
+		go func(c int) { // leader: parks on block 0 until the followers are aboard
+			defer qwg.Done()
+			runQuery(c, 0, 1, nil, nil, func() { <-release })
+		}(c)
+		// Wait for the leader's pass before launching the followers, so
+		// they attach to it rather than leading their own.
+		deadline := time.Now().Add(5 * time.Second)
+		for st.SharedPasses.Load() == passes0 && time.Now().Before(deadline) && fail.Load() == nil {
+			time.Sleep(10 * time.Microsecond)
+		}
+		for i := 1; i <= 2; i++ {
+			qwg.Add(1)
+			go func(c, i int) {
+				defer qwg.Done()
+				var cctx context.Context
+				var cancel context.CancelFunc
+				if (c+i)%5 == 0 {
+					cctx, cancel = context.WithCancel(context.Background())
+					go cancel() // racing cancel: detach-vs-complete both legal
+				}
+				runQuery(c, i, 2, cctx, cancel, nil)
+			}(c, i)
+		}
+		// Hold the leader until both followers attached (or failed), then
+		// let the pass run.
+		for st.AttachedQueries.Load() < attached0+2 && time.Now().Before(deadline) && fail.Load() == nil {
+			time.Sleep(10 * time.Microsecond)
+		}
+		close(release)
+		qwg.Wait()
+	}
+	close(stop)
+	wg.Wait()
+	mt.Stop()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if st.SharedPasses.Load() == 0 {
+		t.Fatal("stress ran without launching a single shared pass")
+	}
+	if st.AttachedQueries.Load() == 0 {
+		t.Fatal("stress ran without a single mid-pass attach")
+	}
+	assertScanQuiesced(t, h)
+}

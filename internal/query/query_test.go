@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -284,6 +285,84 @@ func TestParallelPipelineRows(t *testing.T) {
 			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), want)
 		}
 		p.Close()
+	}
+}
+
+// TestParallelPipelineRowsUnordered: the streaming finishing stage
+// delivers exactly the rows Rows would, block batch by block batch, with
+// serialized sink calls; a sink error stops the scan and surfaces.
+func TestParallelPipelineRowsUnordered(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "rows", core.RowIndirect)
+	const n = 2500
+	for i := 0; i < n; i++ {
+		coll.MustAdd(s, &row{Key: int64(i), Val: int64(i * 2)})
+	}
+	sch := coll.Schema()
+	key, val := sch.MustField("Key"), sch.MustField("Val")
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	emit := func(_ *core.Session, blk *mem.Block, out *[]int64) {
+		for i := 0; i < blk.Capacity(); i++ {
+			if !blk.SlotIsValid(i) {
+				continue
+			}
+			if k := *(*int64)(blk.FieldPtr(i, key)); k%3 == 0 {
+				*out = append(*out, *(*int64)(blk.FieldPtr(i, val)))
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		p := query.New(s, pool, workers)
+		var streamed []int64
+		var batches int
+		err := query.RowsUnordered(p, coll, emit, func(rows []int64) error {
+			// The batch is reused by the worker: copy, as the contract
+			// requires.
+			streamed = append(streamed, rows...)
+			batches++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int64]bool, len(streamed))
+		for _, v := range streamed {
+			if seen[v] {
+				t.Fatalf("workers=%d: duplicate row %d", workers, v)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < n; i += 3 {
+			if !seen[int64(i*2)] {
+				t.Fatalf("workers=%d: missing row for key %d", workers, i)
+			}
+		}
+		if want := (n + 2) / 3; len(streamed) != want {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(streamed), want)
+		}
+		if batches < 2 {
+			t.Fatalf("workers=%d: %d sink batches — streaming never split the result", workers, batches)
+		}
+		p.Close()
+	}
+
+	// A failing sink stops the scan early and surfaces its error.
+	p := query.New(s, pool, 2)
+	defer p.Close()
+	sinkErr := errors.New("sink full")
+	calls := 0
+	err := query.RowsUnordered(p, coll, emit, func([]int64) error {
+		calls++
+		return sinkErr
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+	if calls == 0 {
+		t.Fatal("sink never ran")
 	}
 }
 

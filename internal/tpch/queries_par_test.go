@@ -77,6 +77,7 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 				t.Fatal(err)
 			}
 			q := NewSMCQueries(sdb)
+			wantQ2 := q.Q2(s, p)
 			wantQ3 := q.Q3(s, p)
 			wantQ4 := q.Q4(s, p)
 			wantQ5 := q.Q5(s, p)
@@ -92,7 +93,13 @@ func TestParallelJoinQueriesMatchSerial(t *testing.T) {
 				t.Fatalf("serial baselines empty (Q7=%d Q8=%d Q9=%d rows): dataset too small to exercise the extended joins",
 					len(wantQ7), len(wantQ8), len(wantQ9))
 			}
+			if len(wantQ2) == 0 {
+				t.Fatalf("serial baseline empty (Q2=0 rows): dataset too small to exercise the join")
+			}
 			for _, workers := range joinWorkerCounts() {
+				if got := q.Q2Par(s, p, workers); !reflect.DeepEqual(got, wantQ2) {
+					t.Fatalf("Q2Par(workers=%d) diverges from Q2:\n got %+v\nwant %+v", workers, got, wantQ2)
+				}
 				if got := q.Q3Par(s, p, workers); !reflect.DeepEqual(got, wantQ3) {
 					t.Fatalf("Q3Par(workers=%d) diverges from Q3:\n got %+v\nwant %+v", workers, got, wantQ3)
 				}

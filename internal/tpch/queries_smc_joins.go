@@ -50,6 +50,155 @@ func mergeQ3Acc(dst, src *q3Acc) {
 	decimal.AddAssign(&dst.rev, &src.rev)
 }
 
+// q2Min is Q2's per-part minimum-cost state; pointer-free so it can
+// live in the query region.
+type q2Min struct {
+	cost decimal.Dec128
+	seen bool
+}
+
+// mergeQ2Min folds one worker's per-part minimum into the merged state:
+// the smaller cost wins, so merge order cannot change results.
+func mergeQ2Min(dst, src *q2Min) {
+	if src.seen && (!dst.seen || src.cost.Less(dst.cost)) {
+		*dst = *src
+	}
+}
+
+// q2MinBlock scans one partsupp block into a per-part minimum-cost
+// table: the compiled first-pass Q2 kernel (partsupp→part and
+// partsupp→supplier→nation→region reference joins), mirroring the
+// serial Q2's pass 1 filters exactly.
+func (q *SMCQueries) q2MinBlock(s *core.Session, blk *mem.Block, size int32, typeSuffix, regionName []byte, minCost *region.PartitionedTable[q2Min]) {
+	n := blk.Capacity()
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		ps := mem.Obj{Blk: blk, Slot: i}
+		pobj, err := q.deref(s, &q.frPSPart, ps)
+		if err != nil {
+			continue
+		}
+		if *(*int32)(pobj.Field(q.pSize)) != size {
+			continue
+		}
+		if !bytes.HasSuffix(objStr(pobj, q.pType), typeSuffix) {
+			continue
+		}
+		sobj, err := q.deref(s, &q.frPSSupp, ps)
+		if err != nil {
+			continue
+		}
+		nobj, err := q.deref(s, &q.frSNation, sobj)
+		if err != nil {
+			continue
+		}
+		robj, err := q.deref(s, &q.frNRegion, nobj)
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(objStr(robj, q.rName), regionName) {
+			continue
+		}
+		cost := *decAt(blk, i, q.psCost)
+		a := minCost.At(*(*int64)(pobj.Field(q.pKey)))
+		if !a.seen || cost.Less(a.cost) {
+			a.seen, a.cost = true, cost
+		}
+	}
+}
+
+// q2EmitBlock scans one partsupp block for suppliers achieving their
+// part's minimum cost, probing the merged first-pass table read-only:
+// the compiled second-pass Q2 kernel, mirroring the serial pass 2.
+func (q *SMCQueries) q2EmitBlock(s *core.Session, blk *mem.Block, regionName []byte, minCost *region.PartitionedTable[q2Min], out *[]Q2Row) {
+	n := blk.Capacity()
+	for i := 0; i < n; i++ {
+		if !blk.SlotIsValid(i) {
+			continue
+		}
+		ps := mem.Obj{Blk: blk, Slot: i}
+		pobj, err := q.deref(s, &q.frPSPart, ps)
+		if err != nil {
+			continue
+		}
+		pk := *(*int64)(pobj.Field(q.pKey))
+		mc := minCost.Get(pk)
+		if mc == nil || !mc.seen || *decAt(blk, i, q.psCost) != mc.cost {
+			continue
+		}
+		sobj, err := q.deref(s, &q.frPSSupp, ps)
+		if err != nil {
+			continue
+		}
+		nobj, err := q.deref(s, &q.frSNation, sobj)
+		if err != nil {
+			continue
+		}
+		robj, err := q.deref(s, &q.frNRegion, nobj)
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(objStr(robj, q.rName), regionName) {
+			continue
+		}
+		*out = append(*out, Q2Row{
+			AcctBal: *(*decimal.Dec128)(sobj.Field(q.sBal)),
+			SName:   string(objStr(sobj, q.sName)),
+			NName:   string(objStr(nobj, q.nName)),
+			PartKey: pk,
+			Mfgr:    string(objStr(pobj, q.pMfgr)),
+			Address: string(objStr(sobj, q.sAddr)),
+			Phone:   string(objStr(sobj, q.sPhone)),
+			Comment: string(objStr(sobj, q.sCmnt)),
+		})
+	}
+}
+
+// Q2Par is Q2 over the query pipeline: a Table stage over partsupp
+// builds the per-part minimum-cost state, then a second partsupp scan
+// emits the suppliers achieving it, probing the merged table read-only.
+// Results are identical to Q2 on a quiesced collection.
+func (q *SMCQueries) Q2Par(s *core.Session, p Params, workers int) []Q2Row {
+	rows, err := q.Q2ParCtx(context.Background(), s, p, workers)
+	if err != nil {
+		// Worker sessions were unavailable (slot exhaustion): degrade to
+		// the serial kernel rather than failing the query.
+		return q.Q2(s, p)
+	}
+	return rows
+}
+
+// Q2ParCtx is Q2Par bound to a context: admission-gated, cancelable at
+// block-claim granularity, never degrades to the serial driver.
+func (q *SMCQueries) Q2ParCtx(ctx context.Context, s *core.Session, p Params, workers int) ([]Q2Row, error) {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer pl.Close()
+	typeSuffix := []byte(p.Q2Type)
+	regionName := []byte(p.Q2Region)
+	minCost, err := query.Table(pl, q.db.PartSupps, query.AdaptiveSparseHint,
+		func(ws *core.Session, blk *mem.Block, t *region.PartitionedTable[q2Min]) {
+			q.q2MinBlock(ws, blk, p.Q2Size, typeSuffix, regionName, t)
+		}, mergeQ2Min)
+	if err != nil {
+		return nil, err
+	}
+	if minCost == nil {
+		return SortQ2(nil), nil
+	}
+	rows, err := query.Rows(pl, q.db.PartSupps, func(ws *core.Session, blk *mem.Block, out *[]Q2Row) {
+		q.q2EmitBlock(ws, blk, regionName, minCost, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SortQ2(rows), nil
+}
+
 // q3Block scans one lineitem block into a Q3 group table: the compiled
 // per-block join kernel (lineitem→order→customer), shared by the serial
 // and parallel drivers. s must be the session whose critical section

@@ -1,0 +1,112 @@
+package tpch
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decimal"
+	"repro/internal/types"
+)
+
+// TestSharedScanQ6Oracle: staggered concurrent Q6-window queries routed
+// through the scan-share layer — different windows, pushdown on and off,
+// some cancelled mid-flight — must each return the byte-identical sum of
+// their independent serial oracle, across many cycles, with the session
+// pool and epoch pins balanced afterwards. Run with -race in CI.
+func TestSharedScanQ6Oracle(t *testing.T) {
+	d := testDataset(t)
+	rt := core.MustRuntime(core.Options{HeapBackend: true})
+	defer rt.Close()
+	s := rt.MustSession()
+	defer s.Close()
+	sdb, err := LoadSMC(rt, s, d, core.RowIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSMCQueries(sdb)
+
+	dates := make([]types.Date, len(d.Lineitems))
+	for i := range d.Lineitems {
+		dates[i] = d.Lineitems[i].ShipDate
+	}
+	sort.Slice(dates, func(i, j int) bool { return dates[i] < dates[j] })
+	quantile := func(pct int) types.Date {
+		i := len(dates) * pct / 100
+		if i >= len(dates) {
+			i = len(dates) - 1
+		}
+		return dates[i]
+	}
+	windows := [][2]types.Date{
+		{dates[0], quantile(10)},
+		{dates[0], quantile(60)},
+		{dates[0], dates[len(dates)-1]},
+	}
+	oracles := make([]decimal.Dec128, len(windows))
+	for i, w := range windows {
+		oracles[i] = q.Q6WindowPar(s, w[0], w[1], 1, false)
+	}
+	if oracles[2] == (decimal.Dec128{}) {
+		t.Fatal("full-window oracle sum is zero — degenerate dataset")
+	}
+
+	cycles := 60
+	if testing.Short() {
+		cycles = 12
+	}
+	const queriesPerCycle = 5
+	type result struct {
+		cycle, i int
+		win      int
+		sum      decimal.Dec128
+		err      error
+	}
+	for c := 0; c < cycles; c++ {
+		results := make(chan result, queriesPerCycle)
+		for i := 0; i < queriesPerCycle; i++ {
+			go func(c, i int) {
+				qs := rt.MustSession()
+				defer qs.Close()
+				win := (c + i) % len(windows)
+				cctx := context.Background()
+				var cancel context.CancelFunc
+				if (c+i)%7 == 0 {
+					cctx, cancel = context.WithCancel(cctx)
+					go cancel() // racing cancel: detach or completion, both legal
+				}
+				sum, err := q.Q6WindowSharedCtx(cctx, qs, windows[win][0], windows[win][1], 2, i%2 == 0)
+				if cancel != nil {
+					cancel()
+				}
+				results <- result{c, i, win, sum, err}
+			}(c, i)
+		}
+		for i := 0; i < queriesPerCycle; i++ {
+			r := <-results
+			if r.err != nil {
+				if errors.Is(r.err, context.Canceled) {
+					continue // discarded; only leak-freedom matters
+				}
+				t.Fatalf("cycle %d query %d: %v", r.cycle, r.i, r.err)
+			}
+			if r.sum != oracles[r.win] {
+				t.Fatalf("cycle %d query %d window %d: sum %v diverges from serial oracle %v",
+					r.cycle, r.i, r.win, r.sum, oracles[r.win])
+			}
+		}
+	}
+	st := rt.StatsSnapshot()
+	if st.SharedPasses == 0 {
+		t.Fatal("oracle stress ran without launching a single shared pass")
+	}
+	if st.SessionsLeased != st.SessionsReturned {
+		t.Fatalf("session pool unbalanced after the stress: %d leased, %d returned",
+			st.SessionsLeased, st.SessionsReturned)
+	}
+	if st.EpochPins != 0 {
+		t.Fatalf("%d epoch pins leaked after the stress", st.EpochPins)
+	}
+}
