@@ -9,8 +9,9 @@ JOINS_OUT ?= BENCH_joins.json
 COMPACT_OUT ?= BENCH_compact.json
 PRUNE_OUT ?= BENCH_prune.json
 SHARE_OUT ?= BENCH_share.json
+CLUSTER_OUT ?= BENCH_cluster.json
 
-.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune bench-share benchdiff clean
+.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune bench-share bench-cluster benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,7 @@ test: build vet
 # maintainer stress tests (exactly-once and exact serial results under
 # churn + compaction) under the race detector.
 race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share|Cluster' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
 
 # Emit the parallel-scan scaling figure as BENCH_parallel.json for the
 # perf trajectory.
@@ -53,6 +54,12 @@ bench-prune:
 bench-share:
 	$(GO) run ./cmd/smcbench -fig share -sf $(SF) -reps $(REPS) -json-share $(SHARE_OUT)
 
+# Emit the clustered-compaction figure (steady-state pruned fractions
+# over churn cycles, clustered vs size-only maintenance, plus the
+# cross-edge semi-join pruning deltas for Q3/Q10) as BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/smcbench -fig cluster -sf $(SF) -reps $(REPS) -json-cluster $(CLUSTER_OUT)
+
 # Perf-regression gate: compare freshly emitted *.new.json figures
 # against the committed baselines (workers=1 points, >30% fails; skips
 # cleanly on a CPU-count mismatch). Run the bench targets with
@@ -63,8 +70,9 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_compact.json BENCH_compact.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_prune.json BENCH_prune.new.json
 	$(GO) run ./cmd/benchdiff -skip-missing BENCH_share.json BENCH_share.new.json
+	$(GO) run ./cmd/benchdiff -skip-missing BENCH_cluster.json BENCH_cluster.new.json
 
 clean:
 	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json BENCH_prune.json BENCH_share.json \
-		BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json BENCH_prune.new.json \
-		BENCH_share.new.json
+		BENCH_cluster.json BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json \
+		BENCH_prune.new.json BENCH_share.new.json BENCH_cluster.new.json

@@ -18,8 +18,14 @@
 // over 1..NumCPU move workers; -json-compact writes BENCH_compact.json),
 // prune (block-synopsis skip-scan: pruned vs unpruned Q6-style windowed
 // scans over selectivity × heap fragmentation; -json-prune writes
-// BENCH_prune.json). JSON output is stamped with GOMAXPROCS, NumCPU and
-// the Go version so curves are self-describing.
+// BENCH_prune.json), cluster (synopsis-aware clustered compaction vs
+// size-only packing over churn → maintenance cycles plus Q3/Q4/Q10
+// cross-edge key-set pruning; -json-cluster writes BENCH_cluster.json).
+// JSON output is stamped with GOMAXPROCS, NumCPU and the Go version so
+// curves are self-describing.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// figures (the heap profile is taken at exit, after a final GC).
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,7 +43,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share or 'all'")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share,cluster or 'all'")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
@@ -45,9 +53,44 @@ func main() {
 		compactPath = flag.String("json-compact", "", "write the 'compact' figure's result as JSON to this path")
 		prunePath   = flag.String("json-prune", "", "write the 'prune' figure's result as JSON to this path")
 		sharePath   = flag.String("json-share", "", "write the 'share' figure's result as JSON to this path")
+		clusterPath = flag.String("json-cluster", "", "write the 'cluster' figure's result as JSON to this path")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this path")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smcbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "smcbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smcbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "smcbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	opts := bench.Options{SF: *sf, Seed: *seed, Reps: *reps, HeapBackend: *heap}
 	// -workers applies to the 'par' and 'joins' figures; Figures 7/8 keep
@@ -63,7 +106,7 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
-	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share"}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share", "cluster"}
 	want := map[string]bool{}
 	if *fig == "all" {
 		for _, f := range allFigs {
@@ -239,6 +282,16 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *sharePath != "" {
 			writeJSONFile("share", *sharePath, r.WriteJSON)
+		}
+	}
+	if want["cluster"] {
+		r, err := bench.FigureCluster(opts)
+		if err != nil {
+			fail("cluster", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *clusterPath != "" {
+			writeJSONFile("cluster", *clusterPath, r.WriteJSON)
 		}
 	}
 }

@@ -221,4 +221,50 @@
 // — sums asserted identical, physical block visits recorded (the shared
 // batch stays ~1× one query's visits) — and the JSON joins the
 // benchdiff gate.
+//
+// # Clustering & cross-edge pruning
+//
+// Synopsis pruning decays under churn: upsert-style workloads re-add
+// rows into reclaimed slots heap-wide, so every block's widen-only
+// bounds creep toward the whole key domain and a compacted heap stops
+// skipping. Two mechanisms turn the decay back into a steady-state
+// guarantee:
+//
+//   - Clustered compaction: core.Collection.RegisterClusterKey names a
+//     registered synopsis column as the compaction sort key; under
+//     Options.CompactionPacking == core.PackCluster the planner sorts
+//     candidate blocks by their (stale-but-sound) bound ranges, bins
+//     key-adjacent runs into multi-target groups spanning up to 32
+//     targets' worth of rows, and the freeze phase deals each group's
+//     rows key-sorted across consecutive targets — every rebuilt block
+//     is one tight key-quantile slice. The synopsis contract
+//     (widen-on-insert, stale-on-remove, exact-on-rebuild) is
+//     untouched: clustering only changes which rows land together.
+//     Candidacy is synopsis-aware too: balanced churn refills holes in
+//     place, so full-but-bounds-stale blocks (span over 8x their fair
+//     share of the occupied domain) are rewritten even though their
+//     occupancy never crosses the threshold — without this, a single
+//     churn cycle after the first pass would erase the guarantee while
+//     the planner saw no work. PackSize and PackOrder survive as the
+//     packing oracles (Options.CompactionPacking).
+//   - Cross-edge semi-join pruning: a pipeline's first Table stage
+//     already computes which dimension keys qualify (e.g. Q3's
+//     qualifying orders); a query.Keys stage distills them into
+//     a mem.KeySetPredicate (sorted coalesced key ranges), and the
+//     probe-side scan evaluates it per block against the foreign-key
+//     column's bounds — blocks whose key range misses every qualifying
+//     run are pruned before any worker touches them. Q3Par/Q4Par/
+//     Q10Par ride it; kernels keep their residual probes, so rows stay
+//     byte-identical to the serial oracles. Effectiveness tracks
+//     key-date correlation (auto-increment OLTP feeds prune, dbgen's
+//     random orderkey mapping does not), which the cluster figure
+//     models by re-keying orders in date order. StatsSnapshot surfaces
+//     SynopsisOverlap (key-set admissions) and KeySetPruned.
+//
+// The `cluster` figure of cmd/smcbench (and `make bench-cluster`, which
+// writes BENCH_cluster.json) runs churn cycles against clustered vs
+// size-only maintenance — pruned fraction of a 1%-selectivity window
+// stays >= 0.90 after one clustered pass — plus the Q3/Q10 cross-edge
+// speedups on a date-correlated heap; the JSON joins the benchdiff
+// gate.
 package repro

@@ -294,6 +294,24 @@ func (c *Collection[T]) MustRegisterSynopses(names ...string) {
 	}
 }
 
+// RegisterClusterKey names one registered synopsis column as the
+// collection's compaction sort key: under Options.CompactionPacking ==
+// PackCluster, compaction groups form over key-adjacent blocks and
+// targets are rebuilt in key order, so the collection's synopsis bounds
+// recover to tight, near-disjoint ranges at every maintenance pass
+// instead of by accident. Register the synopsis first (RegisterSynopses);
+// without PackCluster the registration is inert.
+func (c *Collection[T]) RegisterClusterKey(name string) error {
+	return c.ctx.RegisterClusterKey(name)
+}
+
+// MustRegisterClusterKey is RegisterClusterKey, panicking on error.
+func (c *Collection[T]) MustRegisterClusterKey(name string) {
+	if err := c.ctx.RegisterClusterKey(name); err != nil {
+		panic(err)
+	}
+}
+
 // Predicate starts a scan predicate over the collection's registered
 // synopsis columns; chain the *Range methods and pass it to the *Pred
 // scan variants (or query.Where).

@@ -75,6 +75,11 @@ type Options struct {
 	// CompactionWorkers is the default move-phase worker count for
 	// compaction passes (default GOMAXPROCS; 1 = serial oracle path).
 	CompactionWorkers int
+	// CompactionPacking selects how compaction candidates are binned
+	// into groups: PackSize (default, first-fit decreasing), PackOrder
+	// (historical block-order oracle) or PackCluster (synopsis-clustered
+	// compaction; pair with Collection.RegisterClusterKey).
+	CompactionPacking mem.PackingMode
 	// MemoryBudget caps the off-heap bytes the runtime's block heap may
 	// hold (0 = unlimited). Allocations over the cap first wake the
 	// maintainer to reclaim, then backpressure briefly, then fail with
@@ -92,6 +97,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		ReclaimThreshold:    opts.ReclaimThreshold,
 		CompactionThreshold: opts.CompactionThreshold,
 		CompactionWorkers:   opts.CompactionWorkers,
+		CompactionPacking:   opts.CompactionPacking,
 		MemoryBudget:        opts.MemoryBudget,
 		HeapBackend:         opts.HeapBackend,
 	})
@@ -237,6 +243,16 @@ const (
 	RowIndirect = mem.RowIndirect
 	RowDirect   = mem.RowDirect
 	Columnar    = mem.Columnar
+)
+
+// PackingMode selects a runtime's compaction-group packing policy.
+type PackingMode = mem.PackingMode
+
+// Compaction packing-mode re-exports (Options.CompactionPacking).
+const (
+	PackSize    = mem.PackSize
+	PackOrder   = mem.PackOrder
+	PackCluster = mem.PackCluster
 )
 
 // registerCollection records the collection for diagnostics.

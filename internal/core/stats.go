@@ -76,6 +76,11 @@ type RuntimeStats struct {
 	// visited, and compaction targets whose bounds were rebuilt exactly.
 	BlocksPruned, BlocksScanned int64
 	SynopsisRebuilds            int64
+	// Cross-edge semi-join pruning (mem.KeySetPredicate): blocks pruned
+	// because no key range of a distilled key set overlapped their
+	// synopsis bounds (a subset of BlocksPruned), and blocks admitted
+	// with at least one overlapping key-set constraint.
+	KeySetPruned, SynopsisOverlap int64
 	// Cooperative scan sharing: shared passes launched, queries that
 	// attached to an already-running pass (leaders not counted), blocks
 	// visited by riders' private catch-up passes, and riders detached
@@ -151,6 +156,8 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 		BlocksPruned:     ms.BlocksPruned.Load(),
 		BlocksScanned:    ms.BlocksScanned.Load(),
 		SynopsisRebuilds: ms.SynopsisRebuilds.Load(),
+		KeySetPruned:     ms.KeySetPruned.Load(),
+		SynopsisOverlap:  ms.SynopsisOverlap.Load(),
 
 		SharedPasses:    ms.SharedPasses.Load(),
 		AttachedQueries: ms.AttachedQueries.Load(),

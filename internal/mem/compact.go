@@ -2,6 +2,7 @@ package mem
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,12 +22,18 @@ import (
 // (§5.2); enumerating queries pin groups through query counters, and the
 // compactor bails out of pinned groups after a timeout.
 
-// CompactionGroup is a set of low-occupancy blocks emptied into a single
-// target block (§5.2: a 30% threshold yields three blocks per group).
+// CompactionGroup is a set of low-occupancy blocks emptied into fresh
+// target blocks. Size-ordered packing keeps the paper's one-target shape
+// (§5.2: a 30% threshold yields three blocks per group); clustered
+// packing (PackCluster) spans several targets so the group's rows,
+// key-sorted across all sources, deal out into consecutive key-quantile
+// slices — the redistribution step that single-target groups cannot
+// perform (a lone target can only inherit the union of its sources'
+// ranges, so churn-scattered heaps would never re-cluster).
 type CompactionGroup struct {
-	ctx    *Context
-	blocks []*Block
-	target *Block
+	ctx     *Context
+	blocks  []*Block
+	targets []*Block
 	// pins is the paper's per-group query counter: enumerations that
 	// process the group's pre-relocation state hold a pin; the group is
 	// not moved while pinned.
@@ -43,11 +50,35 @@ const (
 	gAborted
 )
 
+// clusterGroupSpan is how many targets' worth of rows a clustered
+// (PackCluster) compaction bin may span. A single-target group can only
+// rebuild bounds equal to the union of its sources' ranges, so a
+// churn-scattered heap never re-clusters; dealing a key-sorted group
+// across N targets carves it into N disjoint key-quantile slices.
+// Worst case (every source bounds-wide, e.g. steady upsert scatter into
+// reclaimed slots heap-wide) each group still spans the whole domain,
+// so a point window admits one slice per group: the steady-state pruned
+// fraction is ~1-1/span. 32 keeps that above 95% while bounding a
+// group's transient target charge (span × block size) and the freeze
+// sort to a few MB.
+const clusterGroupSpan = 32
+
+// clusterStaleFactor is the bounds-staleness threshold for clustered
+// candidacy: a block becomes a re-clustering candidate — regardless of
+// occupancy — once its cluster-key span exceeds this many times its
+// fair share of the occupied domain. See compactionCandidates.
+const clusterStaleFactor = 8
+
 // Blocks returns the group's source blocks (diagnostics).
 func (g *CompactionGroup) Blocks() []*Block { return g.blocks }
 
-// Target returns the group's target block (diagnostics).
-func (g *CompactionGroup) Target() *Block { return g.target }
+// Target returns the group's first target block (diagnostics).
+func (g *CompactionGroup) Target() *Block { return g.targets[0] }
+
+// Targets returns the group's target blocks (diagnostics). Size-ordered
+// packing always produces exactly one; clustered packing one per
+// key-quantile slice.
+func (g *CompactionGroup) Targets() []*Block { return g.targets }
 
 // Relocation entry states.
 const (
@@ -295,13 +326,17 @@ func (m *Manager) CompactNowWorkersCtx(cctx context.Context, workers int) (int, 
 			b.reloc.Store(nil)
 			b.group.Store(nil)
 		}
-		g.target.targetOf.Store(nil)
+		for _, t := range g.targets {
+			t.targetOf.Store(nil)
+		}
 		if g.state.Load() != gAborted {
 			g.state.Store(gDone)
-			if g.target.syn != nil {
-				// The target's bounds were rebuilt exactly by the moves
-				// that filled it (doMove widens from an empty state).
-				m.stats.SynopsisRebuilds.Add(1)
+			for _, t := range g.targets {
+				if t.syn != nil && t.validCount.Load() > 0 {
+					// The target's bounds were rebuilt exactly by the moves
+					// that filled it (doMove widens from an empty state).
+					m.stats.SynopsisRebuilds.Add(1)
+				}
 			}
 		}
 	}
@@ -318,16 +353,11 @@ func (m *Manager) CompactNowWorkersCtx(cctx context.Context, workers int) (int, 
 }
 
 // NeedsCompaction reports whether any context has enough under-occupied
-// blocks to form a group. The background compactor polls this.
+// (or, under PackCluster, bounds-stale) blocks to form a group. The
+// background compactor polls this.
 func (m *Manager) NeedsCompaction() bool {
 	for _, ctx := range m.Contexts() {
-		n := 0
-		for _, b := range ctx.SnapshotBlocks() {
-			if m.isCompactionCandidate(b) {
-				n++
-			}
-		}
-		if n >= 2 {
+		if len(m.compactionCandidates(ctx, ctx.SnapshotBlocks())) >= 2 {
 			return true
 		}
 	}
@@ -342,26 +372,94 @@ func (m *Manager) isCompactionCandidate(b *Block) bool {
 		b.occupancy() < b.ctx.mgr.cfg.CompactionThreshold
 }
 
+// compactionCandidates collects a context's candidate blocks: the
+// under-occupied ones, plus — when the context clusters — full blocks
+// whose cluster-key bounds have gone stale-wide. The second class is
+// what keeps the steady-state pruning guarantee alive under balanced
+// churn: upsert-style workloads refill reclaimed slots in place, so
+// occupancy never drops below the threshold even as every block's
+// bounds creep toward the whole key domain. A block is bounds-stale
+// when its span exceeds clusterStaleFactor times its fair share of the
+// occupied domain (domain span scaled by the block's fraction of the
+// live rows) — a rewrite-invariant test: freshly dealt quantile slices
+// sit at roughly one fair share and are left alone, so a quiescent
+// clustered heap plans no work.
+func (m *Manager) compactionCandidates(ctx *Context, blocks []*Block) []*Block {
+	slot := ctx.clusterKeySlot()
+	var domain float64
+	var totalValid int64
+	if slot >= 0 {
+		var glo, ghi int64
+		for _, b := range blocks {
+			if b.syn == nil || b.validCount.Load() == 0 {
+				continue
+			}
+			lo, hi, ok := b.syn[slot].bounds()
+			if !ok {
+				continue
+			}
+			if totalValid == 0 || lo < glo {
+				glo = lo
+			}
+			if totalValid == 0 || hi > ghi {
+				ghi = hi
+			}
+			totalValid += int64(b.validCount.Load())
+		}
+		domain = float64(ghi) - float64(glo)
+	}
+	var cands []*Block
+	for _, b := range blocks {
+		if m.isCompactionCandidate(b) ||
+			(slot >= 0 && m.clusterStale(b, slot, domain, totalValid)) {
+			cands = append(cands, b)
+		}
+	}
+	return cands
+}
+
+// clusterStale reports whether a block's cluster-key bounds span more
+// than clusterStaleFactor times its fair share of the context's
+// occupied key domain. Factor slack absorbs non-uniform key densities:
+// sparse-region blocks legitimately span a few fair shares, and
+// flagging them would re-plan converged heaps forever.
+func (m *Manager) clusterStale(b *Block, slot int, domain float64, totalValid int64) bool {
+	if domain <= 0 || totalValid == 0 || b.syn == nil {
+		return false
+	}
+	if b.allocOwned.Load() || b.group.Load() != nil || b.targetOf.Load() != nil {
+		return false
+	}
+	valid := int64(b.validCount.Load())
+	if valid == 0 {
+		return false
+	}
+	lo, hi, ok := b.syn[slot].bounds()
+	if !ok {
+		return false
+	}
+	return float64(hi)-float64(lo) > clusterStaleFactor*domain*float64(valid)/float64(totalValid)
+}
+
 // planGroups selects candidate blocks per context and packs them into
-// groups whose combined live objects fit one fresh target block. Packing
-// is size-sorted (first-fit decreasing on valid-byte count): candidates
-// sort fullest-first and each lands in the first group bin with room, so
-// targets pack fuller, fewer groups form for the same reclaimable bytes,
-// and the parallel moving phase gets more evenly sized group work than
-// the old block-order greedy flush (which also orphaned large candidates
-// into singleton groups it then had to release). Each claimed block uses
-// the Dekker protocol that pairs with takeReclaimable: store the group
-// pointer first, then re-check allocation ownership; back off if a
-// session owns the block.
+// groups whose combined live objects fit one fresh target block. The
+// default packing is size-sorted (first-fit decreasing on valid-byte
+// count): candidates sort fullest-first and each lands in the first
+// group bin with room, so targets pack fuller, fewer groups form for the
+// same reclaimable bytes, and the parallel moving phase gets more evenly
+// sized group work than the old block-order greedy flush (which also
+// orphaned large candidates into singleton groups it then had to
+// release; kept as the PackOrder oracle). PackCluster sorts candidates
+// by their cluster-key bound ranges instead and packs key-adjacent —
+// targets then cover one narrow key range each, which is what turns
+// churn-staled synopsis pruning back into a steady-state guarantee.
+// Each claimed block uses the Dekker protocol that pairs with
+// takeReclaimable: store the group pointer first, then re-check
+// allocation ownership; back off if a session owns the block.
 func (m *Manager) planGroups() []*CompactionGroup {
 	var groups []*CompactionGroup
 	for _, ctx := range m.Contexts() {
-		var cands []*Block
-		for _, b := range ctx.SnapshotBlocks() {
-			if m.isCompactionCandidate(b) {
-				cands = append(cands, b)
-			}
-		}
+		cands := m.compactionCandidates(ctx, ctx.SnapshotBlocks())
 		if len(cands) < 2 {
 			continue
 		}
@@ -370,13 +468,16 @@ func (m *Manager) planGroups() []*CompactionGroup {
 			valid  int
 		}
 		var bins []*bin
-		if m.packInOrder {
-			// Historical packing, kept as the comparison oracle: one open
-			// bin in block order, closed (never revisited) on overflow.
+		// greedyAdjacent packs cands in their current order: one open bin,
+		// closed (never revisited) on overflow. PackOrder runs it over the
+		// block order with one target's capacity; PackCluster over the
+		// key-sorted order with a multi-target span, where neighbors hold
+		// adjacent key ranges and belong in one sort scope.
+		greedyAdjacent := func(capacity int) {
 			var cur *bin
 			for _, b := range cands {
 				v := int(b.validCount.Load())
-				if cur != nil && cur.valid+v > ctx.geo.capacity {
+				if cur != nil && cur.valid+v > capacity {
 					bins = append(bins, cur)
 					cur = nil
 				}
@@ -389,7 +490,40 @@ func (m *Manager) planGroups() []*CompactionGroup {
 			if cur != nil {
 				bins = append(bins, cur)
 			}
-		} else {
+		}
+		mode := m.cfg.CompactionPacking
+		if mode == PackCluster && ctx.clusterKeySlot() < 0 {
+			mode = PackSize // no cluster key registered: nothing to sort on
+		}
+		switch mode {
+		case PackOrder:
+			greedyAdjacent(ctx.geo.capacity)
+		case PackCluster:
+			// Sort candidates by their cluster-column bounds (stale-but-
+			// sound: a block's range covers every live key it holds), then
+			// pack key-adjacent runs into multi-target sort scopes. Bounds
+			// cannot be empty here — a candidate has validCount > 0, and
+			// every published row widened them — but an empty pair sorts
+			// last and stays sound anyway. Churn staleness makes the bound
+			// sort noisy; the redistribution across clusterGroupSpan
+			// targets is what restores tight slices regardless.
+			slot := ctx.clusterKeySlot()
+			key := func(b *Block) (int64, int64) {
+				if lo, hi, ok := b.syn[slot].bounds(); ok {
+					return lo, hi
+				}
+				return math.MaxInt64, math.MaxInt64
+			}
+			sort.SliceStable(cands, func(i, j int) bool {
+				ilo, ihi := key(cands[i])
+				jlo, jhi := key(cands[j])
+				if ilo != jlo {
+					return ilo < jlo
+				}
+				return ihi < jhi
+			})
+			greedyAdjacent(clusterGroupSpan * ctx.geo.capacity)
+		default: // PackSize
 			// Valid-byte count is validCount × slot stride; the stride is
 			// constant within a context, so the valid count orders bytes.
 			sort.SliceStable(cands, func(i, j int) bool {
@@ -426,14 +560,39 @@ func (m *Manager) planGroups() []*CompactionGroup {
 				g.blocks = append(g.blocks, b)
 			}
 			if len(g.blocks) >= 2 {
-				// Targets force-charge the budget: compaction is how the
-				// budget reclaims, so it must never starve itself.
-				if target, err := newCompactionTargetBlock(ctx); err == nil {
-					g.target = target
+				// One target per capacity's worth of live rows (exactly
+				// one outside PackCluster — the bin capacity enforces
+				// it). Targets force-charge the budget: compaction is
+				// how the budget reclaims, so it must never starve
+				// itself.
+				valid := 0
+				for _, b := range g.blocks {
+					valid += int(b.validCount.Load())
+				}
+				nt := (valid + ctx.geo.capacity - 1) / ctx.geo.capacity
+				if nt < 1 {
+					nt = 1
+				}
+				ok := true
+				for i := 0; i < nt; i++ {
+					target, err := newCompactionTargetBlock(ctx)
+					if err != nil {
+						ok = false
+						break
+					}
+					g.targets = append(g.targets, target)
 					target.targetOf.Store(g)
 					ctx.appendBlock(target)
+				}
+				if ok {
 					groups = append(groups, g)
 					continue
+				}
+				// Out of memory mid-way: the created targets stay in the
+				// context as ordinary empty blocks, only their target
+				// claim is dropped.
+				for _, t := range g.targets {
+					t.targetOf.Store(nil)
 				}
 			}
 			// Too small after ownership back-offs (or no memory for a
@@ -448,19 +607,37 @@ func (m *Manager) planGroups() []*CompactionGroup {
 
 // freezeGroup builds each block's relocation list and freezes the
 // scheduled objects (§5.1, freezing epoch). Target slots are assigned
-// sequentially in the target block.
+// sequentially in the target block; under a registered cluster key
+// (PackCluster) the sequence follows the cluster column's key order
+// instead of block/slot order, so the target comes out physically
+// key-sorted and a capacity cutoff drops the extreme keys — the rebuilt
+// bounds stay as tight as the group allows. The freeze protocol itself
+// is identical either way: publish each block's list, then CAS-freeze
+// exactly the scheduled incarnations.
 func (m *Manager) freezeGroup(g *CompactionGroup) {
-	next := int32(0)
-	for _, b := range g.blocks {
+	type sched struct {
+		blk  int // index into g.blocks
+		slot int32
+		inc  uint32
+		key  int64
+	}
+	clusterSlot := g.ctx.clusterKeySlot()
+	if g.targets[0].syn == nil {
+		clusterSlot = -1 // no bounds to rebuild; key order buys nothing
+	}
+	// Targets share one geometry; the group's room is their sum.
+	tcap := g.targets[0].capacity
+	capTotal := len(g.targets) * tcap
+	var pending []sched
+	for bi, b := range g.blocks {
 		if b.allocOwned.Load() {
 			panic("mem: freezing a session-owned block (claim protocol violated)")
 		}
-		list := &relocList{bySlot: make([]int32, b.capacity)}
 		for slot := 0; slot < b.capacity; slot++ {
 			if slotDirState(b.SlotDirWord(slot)) != slotValid {
 				continue
 			}
-			if int(next) >= g.target.capacity {
+			if clusterSlot < 0 && len(pending) >= capTotal {
 				break
 			}
 			cell := g.ctx.incCellFor(b, slot)
@@ -468,16 +645,47 @@ func (m *Manager) freezeGroup(g *CompactionGroup) {
 			if w&FlagMask != 0 {
 				continue // mid-transition; leave this slot alone
 			}
-			list.entries = append(list.entries, relocEntry{
-				slot:   int32(slot),
-				toSlot: next,
-				inc:    w,
-				toBlk:  g.target,
-				entry:  b.backEntry(slot),
-			})
-			list.bySlot[slot] = int32(len(list.entries))
-			next++
+			s := sched{blk: bi, slot: int32(slot), inc: w}
+			if clusterSlot >= 0 {
+				// Safe to read the field: the slot is valid and unfrozen,
+				// removals never touch field bytes, and publishes complete
+				// their writes before the directory flips to valid.
+				s.key = synKey(b, slot, g.ctx.syn.fields[clusterSlot])
+			}
+			pending = append(pending, s)
 		}
+	}
+	if clusterSlot >= 0 {
+		// Key order decides both the target layout and — when the group
+		// overflows the target — which rows stay behind (the highest
+		// keys). Stable sort keeps block/slot order within equal keys.
+		sort.SliceStable(pending, func(i, j int) bool {
+			return pending[i].key < pending[j].key
+		})
+		if len(pending) > capTotal {
+			pending = pending[:capTotal]
+		}
+	}
+	lists := make([]*relocList, len(g.blocks))
+	for bi, b := range g.blocks {
+		lists[bi] = &relocList{bySlot: make([]int32, b.capacity)}
+	}
+	for next, s := range pending {
+		b, list := g.blocks[s.blk], lists[s.blk]
+		// Deal the (key-ordered, under PackCluster) sequence into
+		// consecutive targets: target i takes rows [i*tcap, (i+1)*tcap),
+		// i.e. one key-quantile slice of the group.
+		list.entries = append(list.entries, relocEntry{
+			slot:   s.slot,
+			toSlot: int32(next % tcap),
+			inc:    s.inc,
+			toBlk:  g.targets[next/tcap],
+			entry:  b.backEntry(int(s.slot)),
+		})
+		list.bySlot[s.slot] = int32(len(list.entries))
+	}
+	for bi, b := range g.blocks {
+		list := lists[bi]
 		// Publish the list before setting any frozen bit: readers that
 		// observe a frozen incarnation resolve it through this list.
 		b.reloc.Store(list)
@@ -746,8 +954,8 @@ func (m *Manager) abortGroup(g *CompactionGroup) {
 		b.reloc.Store(nil)
 		b.group.Store(nil)
 	}
-	if g.target != nil {
-		g.target.targetOf.Store(nil)
+	for _, t := range g.targets {
+		t.targetOf.Store(nil)
 	}
 	g.state.Store(gAborted)
 	m.stats.GroupsAborted.Add(1)
@@ -762,7 +970,9 @@ func (m *Manager) abortRun(groups []*CompactionGroup) {
 	m.movingPhase.Store(false)
 	m.relocEpoch.Store(0)
 	for _, g := range groups {
-		g.target.targetOf.Store(nil)
+		for _, t := range g.targets {
+			t.targetOf.Store(nil)
+		}
 	}
 }
 

@@ -633,13 +633,14 @@ func TestBackgroundCompactor(t *testing.T) {
 // occupancies 60/50/40/30/20% of capacity — the shape where block-order
 // greedy packing orphans the fullest block into a released singleton
 // while size-sorted (first-fit decreasing) packing reclaims every block.
-func buildPackingHeap(t *testing.T) *harness {
+func buildPackingHeap(t *testing.T, packing PackingMode) *harness {
 	t.Helper()
 	h := newHarness(t, RowIndirect, Config{
 		BlockSize: 1 << 13,
 		// Every block below 95% occupancy is a candidate, so the packing
 		// policy — not candidate selection — decides the outcome.
 		CompactionThreshold: 0.95,
+		CompactionPacking:   packing,
 		HeapBackend:         true,
 	})
 	cap := h.ctx.BlockCapacity()
@@ -668,12 +669,11 @@ func buildPackingHeap(t *testing.T) *harness {
 // historical block-order greedy packing — and on this shape strictly
 // more bytes (the 60% block orphans under block order).
 func TestPlanGroupsSizeSortedPacking(t *testing.T) {
-	sorted := buildPackingHeap(t)
+	sorted := buildPackingHeap(t, PackSize)
 	if _, err := sorted.m.CompactNow(); err != nil {
 		t.Fatal(err)
 	}
-	legacy := buildPackingHeap(t)
-	legacy.m.packInOrder = true
+	legacy := buildPackingHeap(t, PackOrder)
 	if _, err := legacy.m.CompactNow(); err != nil {
 		t.Fatal(err)
 	}

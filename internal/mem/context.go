@@ -33,6 +33,12 @@ type Context struct {
 	// lock-free afterwards (registration is create-time only).
 	syn *synopsisSpec
 
+	// clusterSlot is the synopsis index of the registered cluster key
+	// (RegisterClusterKey), or -1. Under PackCluster the compaction
+	// planner bins this context's candidates by that column's bounds and
+	// the mover relocates group rows in that column's key order.
+	clusterSlot atomic.Int32
+
 	// shareGrp is the context's cooperative scan-sharing coordinator
 	// (share.go), created lazily on first Share call.
 	shareGrp atomic.Pointer[ShareGroup]
@@ -76,6 +82,7 @@ func newContext(m *Manager, id uint32, name string, sch *schema.Schema, layout L
 		layout: layout,
 		geo:    geo,
 	}
+	c.clusterSlot.Store(-1)
 	c.strings = newStringHeap(m, c)
 	return c, nil
 }

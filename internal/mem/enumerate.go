@@ -200,17 +200,19 @@ func (e *Enumerator) decidePre(g *CompactionGroup) bool {
 		return true
 	}
 	e.decisions[g] = false
-	// The target may have been created after our snapshot; make sure we
-	// visit it exactly once.
+	// The targets may have been created after our snapshot; make sure we
+	// visit each exactly once.
 	if e.inSnap == nil {
 		e.inSnap = make(map[*Block]bool, len(e.blocks))
 		for _, b := range e.blocks {
 			e.inSnap[b] = true
 		}
 	}
-	if !e.inSnap[g.target] {
-		e.blocks = append(e.blocks, g.target)
-		e.inSnap[g.target] = true
+	for _, t := range g.targets {
+		if !e.inSnap[t] {
+			e.blocks = append(e.blocks, t)
+			e.inSnap[t] = true
+		}
 	}
 	return false
 }

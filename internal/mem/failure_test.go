@@ -99,7 +99,9 @@ func TestForcedHelpPath(t *testing.T) {
 			b.reloc.Store(nil)
 			b.group.Store(nil)
 		}
-		g.target.targetOf.Store(nil)
+		for _, tb := range g.targets {
+			tb.targetOf.Store(nil)
+		}
 	}
 }
 

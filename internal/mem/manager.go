@@ -98,6 +98,50 @@ func (l Layout) String() string {
 	return fmt.Sprintf("Layout(%d)", uint8(l))
 }
 
+// PackingMode selects how planGroups bins compaction candidates into
+// groups (one rebuilt target block per capacity's worth of surviving
+// rows; exactly one outside PackCluster).
+type PackingMode uint8
+
+const (
+	// PackSize is the default: size-sorted first-fit decreasing on valid
+	// count. Targets pack fuller and fewer groups form for the same
+	// reclaimable bytes, but each target mixes whatever key ranges its
+	// sources happened to hold.
+	PackSize PackingMode = iota
+	// PackOrder is the historical block-order greedy packing: one open
+	// bin in enumeration order, closed on overflow. Kept as the
+	// comparison oracle for the packing tests.
+	PackOrder
+	// PackCluster bins candidates by their cluster-key synopsis range
+	// (Context.RegisterClusterKey): candidates sort by key bounds and
+	// pack key-adjacent into multi-target groups, and the moving phase
+	// deals each group's rows, key-sorted, into consecutive targets —
+	// one key-quantile slice per target. Rebuilt targets come out with
+	// tight, near-disjoint bound ranges even from a fully scattered
+	// heap, so churn-staled pruning recovers to a steady-state floor
+	// instead of by accident. Candidacy is synopsis-aware under this
+	// mode: full blocks whose bounds have gone stale-wide are rewritten
+	// regardless of occupancy (see Manager.compactionCandidates), which
+	// keeps the floor holding under balanced upsert churn that refills
+	// reclaimed slots in place. Contexts without a registered cluster
+	// key fall back to PackSize.
+	PackCluster
+)
+
+// String names the packing mode for diagnostics and test labels.
+func (p PackingMode) String() string {
+	switch p {
+	case PackSize:
+		return "size"
+	case PackOrder:
+		return "order"
+	case PackCluster:
+		return "cluster"
+	}
+	return fmt.Sprintf("PackingMode(%d)", uint8(p))
+}
+
 // Config tunes a Manager.
 type Config struct {
 	// BlockSize is the size of each memory block in bytes; must be a
@@ -120,6 +164,10 @@ type Config struct {
 	// compaction pass fans its groups out over (default GOMAXPROCS).
 	// 1 selects the serial moving phase, kept as the oracle.
 	CompactionWorkers int
+	// CompactionPacking selects how compaction candidates are binned
+	// into groups: PackSize (default), PackOrder (historical oracle) or
+	// PackCluster (synopsis-clustered; see PackingMode).
+	CompactionPacking PackingMode
 	// HeapBackend forces the portable heap-slab off-heap backend.
 	HeapBackend bool
 	// MemoryBudget caps the manager's block-heap footprint in bytes
@@ -199,11 +247,6 @@ type Manager struct {
 	// allocation backpressure); always non-nil, unlimited by default.
 	budget *Budget
 
-	// packInOrder disables planGroups' size-sorted packing and restores
-	// the historical block-order greedy packing. Test-only knob (the
-	// packing comparison test flips it); production always sorts.
-	packInOrder bool
-
 	stats Stats
 }
 
@@ -270,6 +313,15 @@ type Stats struct {
 	BlocksPruned     atomic.Int64
 	BlocksScanned    atomic.Int64
 	SynopsisRebuilds atomic.Int64
+
+	// Cross-edge semi-join pruning (KeySetPredicate): blocks pruned
+	// because no key-set range survived inside their bounds (a subset of
+	// BlocksPruned), and admitted blocks whose bounds a key-set
+	// constraint did overlap — the residual work the key set could not
+	// remove. KeySetPruned / (KeySetPruned + SynopsisOverlap) is the
+	// cross-edge pruning rate of a key-set-constrained scan.
+	KeySetPruned    atomic.Int64
+	SynopsisOverlap atomic.Int64
 
 	// Cooperative scan sharing (share.go): shared passes launched,
 	// queries that attached to an already-running pass (leaders are not

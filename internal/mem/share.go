@@ -319,10 +319,13 @@ func (p *sharePass) addRider(pred *ScanPredicate, attach func(slots int) func(wo
 		// so BlocksScanned keeps meaning "blocks actually read".
 		r.bitmap = make([]bool, len(p.full))
 		for i, b := range p.full {
-			if pred.matchBlock(b) {
+			if ok, keySet := pred.matchBlock(b); ok {
 				r.bitmap[i] = true
 			} else if !leader {
 				p.ctx.mgr.stats.BlocksPruned.Add(1)
+				if keySet {
+					p.ctx.mgr.stats.KeySetPruned.Add(1)
+				}
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/decimal"
@@ -122,6 +123,38 @@ func (c *Context) RegisterSynopses(names ...string) error {
 	return nil
 }
 
+// RegisterClusterKey names one registered synopsis column as the
+// context's compaction sort key. Under Config.CompactionPacking ==
+// PackCluster, the compaction planner bins this context's candidate
+// blocks by the column's bound ranges (key-adjacent blocks share a
+// group) and the mover fills each target in key order, so rebuilt
+// targets come out with tight, near-disjoint bound ranges. The synopsis
+// maintenance contract is untouched: clustering only changes which rows
+// land together, never what the bounds may claim. Without PackCluster
+// the registration is inert. Registering again replaces the key.
+func (c *Context) RegisterClusterKey(name string) error {
+	f, ok := c.sch.Field(name)
+	if !ok {
+		return fmt.Errorf("mem: %s has no field %q", c.sch.Name, name)
+	}
+	slot := c.synopsisSlot(f)
+	if slot < 0 {
+		return fmt.Errorf("mem: %s.%s: cluster key needs a registered synopsis (RegisterSynopses first)", c.sch.Name, name)
+	}
+	c.clusterSlot.Store(int32(slot))
+	return nil
+}
+
+// clusterKeySlot resolves the synopsis index the compaction planner
+// should cluster on, or -1 when clustering is off for this context
+// (packing mode not PackCluster, or no registered cluster key).
+func (c *Context) clusterKeySlot() int {
+	if c.mgr.cfg.CompactionPacking != PackCluster {
+		return -1
+	}
+	return int(c.clusterSlot.Load())
+}
+
 // synopsisSlot resolves a registered column's synopsis index, or -1.
 func (c *Context) synopsisSlot(f *schema.Field) int {
 	if c.syn == nil {
@@ -209,7 +242,73 @@ type ScanPredicate struct {
 type predCon struct {
 	slot   int   // index into Block.syn
 	lo, hi int64 // inclusive key-space interval
+	// ks refines the interval with a sorted-range key set (cross-edge
+	// semi-join pruning): the block is admitted only when some key-set
+	// range intersects its bounds, not merely the envelope [lo, hi].
+	ks *KeySetPredicate
 }
+
+// KeySetPredicate is a set of int64 synopsis keys distilled from an
+// earlier pipeline stage (e.g. the order keys surviving a date cut),
+// stored as sorted disjoint inclusive ranges with adjacent keys
+// coalesced. Attached to a ScanPredicate via InKeySet, it prunes the
+// next stage's blocks across a reference edge: a block whose key-column
+// bounds contain no surviving range provably holds no row that can join,
+// so the coordinator never claims it. Like every synopsis check it is
+// sound, never exact — kernels keep evaluating the real join per row.
+//
+// The structure is immutable after construction and safe for concurrent
+// use by any number of scans.
+type KeySetPredicate struct {
+	lo, hi []int64 // parallel slices of inclusive range bounds
+	keys   int     // distinct keys folded in
+}
+
+// NewKeySetPredicate builds a key-set predicate from the (unsorted,
+// possibly duplicated) keys of a completed stage. An empty key set is
+// valid and matches no block — the stage it came from produced nothing,
+// so the next stage has nothing to find.
+func NewKeySetPredicate(keys []int64) *KeySetPredicate {
+	ks := &KeySetPredicate{}
+	if len(keys) == 0 {
+		return ks
+	}
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, k := range sorted {
+		if i > 0 && k == sorted[i-1] {
+			continue
+		}
+		ks.keys++
+		if n := len(ks.hi); n > 0 && k == ks.hi[n-1]+1 {
+			ks.hi[n-1] = k // extend the open range over the adjacent key
+			continue
+		}
+		ks.lo = append(ks.lo, k)
+		ks.hi = append(ks.hi, k)
+	}
+	return ks
+}
+
+// Empty reports whether the set holds no keys (matches no block).
+func (ks *KeySetPredicate) Empty() bool { return len(ks.lo) == 0 }
+
+// Keys returns the number of distinct keys in the set.
+func (ks *KeySetPredicate) Keys() int { return ks.keys }
+
+// Ranges returns the number of coalesced ranges the set stores.
+func (ks *KeySetPredicate) Ranges() int { return len(ks.lo) }
+
+// Overlaps reports whether any range intersects [lo, hi]. O(log ranges):
+// binary-search the first range ending at or after lo, then check it
+// starts at or before hi.
+func (ks *KeySetPredicate) Overlaps(lo, hi int64) bool {
+	i := sort.Search(len(ks.hi), func(i int) bool { return ks.hi[i] >= lo })
+	return i < len(ks.lo) && ks.lo[i] <= hi
+}
+
+// Contains reports whether k is in the set.
+func (ks *KeySetPredicate) Contains(k int64) bool { return ks.Overlaps(k, k) }
 
 // Predicate starts a scan predicate over this context's registered
 // synopsis columns.
@@ -252,30 +351,60 @@ func (p *ScanPredicate) DecimalRange(name string, lo, hi decimal.Dec128) *ScanPr
 	return p.addCon(name, decimalKey(lo), decimalKey(hi))
 }
 
+// InKeySet constrains an int64/int32/date column to a key set distilled
+// from an earlier pipeline stage (cross-edge semi-join pruning; see
+// KeySetPredicate). The interval envelope [first, last] is checked
+// first, then the set's ranges. An empty set matches no block: the
+// producing stage found nothing, so neither can this one.
+func (p *ScanPredicate) InKeySet(name string, ks *KeySetPredicate) *ScanPredicate {
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64) // empty envelope
+	if !ks.Empty() {
+		lo, hi = ks.lo[0], ks.hi[len(ks.hi)-1]
+	}
+	p.addCon(name, lo, hi)
+	p.cons[len(p.cons)-1].ks = ks
+	return p
+}
+
 // matchBlock reports whether the block's synopsis bounds can intersect
-// every constraint. Blocks with empty bounds (no row ever published)
-// never match a constrained predicate — the same bag-semantics window as
-// the validCount==0 fast path.
-func (p *ScanPredicate) matchBlock(b *Block) bool {
+// every constraint, and — for the pruning counters — whether the
+// decision involved a key-set constraint: on a false return, keySet
+// means the failing constraint carried one; on true, it means at least
+// one key-set constraint was checked (and overlapped). Blocks with
+// empty bounds (no row ever published) never match a constrained
+// predicate — the same bag-semantics window as the validCount==0 fast
+// path.
+func (p *ScanPredicate) matchBlock(b *Block) (ok, keySet bool) {
 	if p == nil || len(p.cons) == 0 {
-		return true
+		return true, false
 	}
 	if b.syn == nil {
-		return true // context predates registration (cannot happen; stay sound)
+		return true, false // context predates registration (cannot happen; stay sound)
 	}
+	hadKeySet := false
 	for i := range p.cons {
 		cn := &p.cons[i]
 		lo, hi, ok := b.syn[cn.slot].bounds()
 		if !ok || hi < cn.lo || lo > cn.hi {
-			return false
+			return false, cn.ks != nil
+		}
+		if cn.ks != nil {
+			if !cn.ks.Overlaps(lo, hi) {
+				return false, true
+			}
+			hadKeySet = true
 		}
 	}
-	return true
+	return true, hadKeySet
 }
 
 // admitBlock is the shared scan-side gate: the empty-block fast path
 // plus the synopsis check, with pruning counters maintained only for
-// constrained scans (unpredicated scans pay one nil check).
+// constrained scans (unpredicated scans pay one nil check). Key-set
+// pruning keeps its own pair: KeySetPruned counts prunes attributable
+// to a key-set constraint (a subset of BlocksPruned), SynopsisOverlap
+// counts admitted blocks a key-set constraint overlapped — the residual
+// scan work the key set could not remove.
 func (p *ScanPredicate) admitBlock(b *Block) bool {
 	if b.validCount.Load() == 0 {
 		return false
@@ -283,11 +412,18 @@ func (p *ScanPredicate) admitBlock(b *Block) bool {
 	if p == nil || len(p.cons) == 0 {
 		return true
 	}
-	if !p.matchBlock(b) {
+	ok, keySet := p.matchBlock(b)
+	if !ok {
 		p.ctx.mgr.stats.BlocksPruned.Add(1)
+		if keySet {
+			p.ctx.mgr.stats.KeySetPruned.Add(1)
+		}
 		return false
 	}
 	p.ctx.mgr.stats.BlocksScanned.Add(1)
+	if keySet {
+		p.ctx.mgr.stats.SynopsisOverlap.Add(1)
+	}
 	return true
 }
 

@@ -17,10 +17,22 @@ import (
 // (registration must precede the first block, so it cannot be bolted
 // onto an already-loaded harness).
 func newSynHarness(t *testing.T, layout Layout) *harness {
+	return newSynHarnessPacked(t, layout, PackSize)
+}
+
+// newSynHarnessPacked is newSynHarness under an explicit compaction
+// packing mode; PackCluster additionally registers ID as the cluster
+// key, so maintenance passes re-sort by it.
+func newSynHarnessPacked(t *testing.T, layout Layout, packing PackingMode) *harness {
 	t.Helper()
-	h := newHarness(t, layout, Config{BlockSize: 1 << 13, HeapBackend: true})
+	h := newHarness(t, layout, Config{BlockSize: 1 << 13, HeapBackend: true, CompactionPacking: packing})
 	if err := h.ctx.RegisterSynopses("ID"); err != nil {
 		t.Fatal(err)
+	}
+	if packing == PackCluster {
+		if err := h.ctx.RegisterClusterKey("ID"); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return h
 }
@@ -189,71 +201,75 @@ func TestSynopsisCompactionRebuildTightens(t *testing.T) {
 // TestQuickSynopsisSoundness is the property test for the soundness
 // invariant: after any interleaving of add, remove, epoch advancement
 // and compaction, every live row's value lies within its block's
-// synopsis bounds.
+// synopsis bounds. Runs under both the default size packing and
+// clustered packing (where compaction additionally redistributes by
+// key across several targets) — the soundness contract is identical.
 func TestQuickSynopsisSoundness(t *testing.T) {
 	for _, layout := range allLayouts() {
-		layout := layout
-		t.Run(layout.String(), func(t *testing.T) {
-			f := func(seed int64) bool {
-				rng := rand.New(rand.NewSource(seed))
-				h := newSynHarness(t, layout)
-				var live []types.Ref
-				nextID := int64(0)
-				check := func() bool {
-					for _, b := range h.ctx.SnapshotBlocks() {
-						for slot := 0; slot < b.Capacity(); slot++ {
-							if !b.SlotIsValid(slot) {
-								continue
+		for _, packing := range []PackingMode{PackSize, PackCluster} {
+			layout, packing := layout, packing
+			t.Run(layout.String()+"/"+packing.String(), func(t *testing.T) {
+				f := func(seed int64) bool {
+					rng := rand.New(rand.NewSource(seed))
+					h := newSynHarnessPacked(t, layout, packing)
+					var live []types.Ref
+					nextID := int64(0)
+					check := func() bool {
+						for _, b := range h.ctx.SnapshotBlocks() {
+							for slot := 0; slot < b.Capacity(); slot++ {
+								if !b.SlotIsValid(slot) {
+									continue
+								}
+								v := *(*int64)(b.FieldPtr(slot, h.idF))
+								lo, hi, ok := b.SynopsisBounds("ID")
+								if !ok || v < lo || v > hi {
+									t.Logf("block %d: live row %d outside bounds [%d,%d] (ok=%v)", b.ID(), v, lo, hi, ok)
+									return false
+								}
 							}
-							v := *(*int64)(b.FieldPtr(slot, h.idF))
-							lo, hi, ok := b.SynopsisBounds("ID")
-							if !ok || v < lo || v > hi {
-								t.Logf("block %d: live row %d outside bounds [%d,%d] (ok=%v)", b.ID(), v, lo, hi, ok)
+						}
+						return true
+					}
+					for op := 0; op < 300; op++ {
+						switch r := rng.Intn(12); {
+						case r < 6 || len(live) == 0:
+							// Spread values over a wide domain so stale bounds
+							// and exact rebuilds are distinguishable.
+							id := nextID*1_000_003 - 500_000
+							nextID++
+							live = append(live, h.add(t, h.s, id, "q"))
+						case r < 9:
+							i := rng.Intn(len(live))
+							if err := h.remove(h.s, live[i]); err != nil {
+								t.Logf("remove: %v", err)
+								return false
+							}
+							live = append(live[:i], live[i+1:]...)
+						case r < 10:
+							h.m.TryAdvanceEpoch()
+						default:
+							// Release the allocation claim so blocks can form
+							// groups, then compact.
+							h.s.allocBlocks[h.ctx.id] = nil
+							for _, b := range h.ctx.SnapshotBlocks() {
+								b.allocOwned.Store(false)
+							}
+							if _, err := h.m.CompactNow(); err != nil {
+								t.Logf("compact: %v", err)
 								return false
 							}
 						}
-					}
-					return true
-				}
-				for op := 0; op < 300; op++ {
-					switch r := rng.Intn(12); {
-					case r < 6 || len(live) == 0:
-						// Spread values over a wide domain so stale bounds
-						// and exact rebuilds are distinguishable.
-						id := nextID*1_000_003 - 500_000
-						nextID++
-						live = append(live, h.add(t, h.s, id, "q"))
-					case r < 9:
-						i := rng.Intn(len(live))
-						if err := h.remove(h.s, live[i]); err != nil {
-							t.Logf("remove: %v", err)
-							return false
-						}
-						live = append(live[:i], live[i+1:]...)
-					case r < 10:
-						h.m.TryAdvanceEpoch()
-					default:
-						// Release the allocation claim so blocks can form
-						// groups, then compact.
-						h.s.allocBlocks[h.ctx.id] = nil
-						for _, b := range h.ctx.SnapshotBlocks() {
-							b.allocOwned.Store(false)
-						}
-						if _, err := h.m.CompactNow(); err != nil {
-							t.Logf("compact: %v", err)
+						if op%50 == 0 && !check() {
 							return false
 						}
 					}
-					if op%50 == 0 && !check() {
-						return false
-					}
+					return check()
 				}
-				return check()
-			}
-			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
-				t.Fatal(err)
-			}
-		})
+				if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
 	}
 }
 

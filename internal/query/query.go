@@ -418,6 +418,26 @@ func Rows[R any](p *Pipeline, src Source,
 	return out, nil
 }
 
+// Keys runs a key-distillation stage for cross-edge semi-join pruning:
+// the source's blocks shard across the pipeline's workers, each emitting
+// the synopsis-domain keys of its qualifying rows into a private buffer,
+// and the union compiles into a mem.KeySetPredicate (sorted, deduped,
+// adjacent keys coalesced into ranges). Combine the result with the next
+// edge's predicate via ScanPredicate.InKeySet so blocks whose synopsis
+// bounds overlap no surviving key range are never claimed. The returned
+// predicate is never nil; when no worker emitted a key it is Empty (and
+// InKeySet over it prunes every block, matching semi-join semantics).
+// emit runs inside the worker's critical section.
+func Keys(p *Pipeline, src Source,
+	emit func(ws *core.Session, blk *mem.Block, out *[]int64),
+) (*mem.KeySetPredicate, error) {
+	keys, err := Rows[int64](p, src, emit)
+	if err != nil {
+		return nil, err
+	}
+	return mem.NewKeySetPredicate(keys), nil
+}
+
 // RowsUnordered runs a streaming finishing stage: like Rows, the
 // source's blocks shard across the pipeline's workers and emit fills a
 // per-block row buffer, but each block's rows are handed to sink as soon

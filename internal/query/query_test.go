@@ -288,6 +288,66 @@ func TestParallelPipelineRows(t *testing.T) {
 	}
 }
 
+// TestParallelPipelineKeys: the key-distillation stage must return a
+// key-set predicate containing exactly the emitted keys — the semi-join
+// edge Q3/Q4/Q10 thread between pipeline stages. An empty distillation
+// must yield the never-overlapping (prune-everything) set, not nil.
+func TestParallelPipelineKeys(t *testing.T) {
+	rt := testRuntime(t)
+	s := rt.MustSession()
+	defer s.Close()
+	coll := core.MustCollection[row](rt, "keys", core.RowIndirect)
+	const n = 2500
+	for i := 0; i < n; i++ {
+		coll.MustAdd(s, &row{Key: int64(i), Val: int64(i * 2)})
+	}
+	sch := coll.Schema()
+	key := sch.MustField("Key")
+	pool := region.NewArenaPool(nil, 0, 0)
+	defer pool.Close()
+	for _, workers := range []int{1, 3} {
+		p := query.New(s, pool, workers)
+		ks, err := query.Keys(p, coll, func(_ *core.Session, blk *mem.Block, out *[]int64) {
+			for i := 0; i < blk.Capacity(); i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				// Runs of four adjacent keys with gaps: coalescable but
+				// not one interval.
+				if k := *(*int64)(blk.FieldPtr(i, key)); k%5 != 4 {
+					*out = append(*out, k)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n - n/5; ks.Keys() != want {
+			t.Fatalf("workers=%d: distilled %d keys, want %d", workers, ks.Keys(), want)
+		}
+		for i := 0; i < n; i++ {
+			if got := ks.Contains(int64(i)); got != (i%5 != 4) {
+				t.Fatalf("workers=%d: Contains(%d) = %v", workers, i, got)
+			}
+		}
+		// Adjacent multiples-of-5 coalesce into far fewer ranges than keys.
+		if ks.Ranges() >= ks.Keys() {
+			t.Fatalf("workers=%d: %d ranges for %d keys (no coalescing)", workers, ks.Ranges(), ks.Keys())
+		}
+		empty, err := query.Keys(p, coll, func(*core.Session, *mem.Block, *[]int64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty == nil || !empty.Empty() {
+			t.Fatalf("workers=%d: empty distillation returned %v", workers, empty)
+		}
+		if empty.Overlaps(0, n) {
+			t.Fatalf("workers=%d: empty key set overlaps", workers)
+		}
+		p.Close()
+	}
+}
+
 // TestParallelPipelineRowsUnordered: the streaming finishing stage
 // delivers exactly the rows Rows would, block batch by block batch, with
 // serialized sink calls; a sink error stops the scan and surfaces.

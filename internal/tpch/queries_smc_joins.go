@@ -470,9 +470,32 @@ func (q *SMCQueries) Q3ParCtx(ctx context.Context, s *core.Session, p Params, wo
 	}
 	defer pl.Close()
 	segment := []byte(p.Q3Segment)
+	// Cross-edge semi-join pruning: distill the keys of orders passing
+	// the order-date cut (the join's build side) into a key-set predicate
+	// over the lineitem blocks' OrderKey synopses. The orders scan itself
+	// skips blocks via the OrderDate pushdown; lineitem blocks whose
+	// order-key bounds miss every surviving key range are never claimed.
+	// The kernel keeps its full residuals, so rows stay byte-identical to
+	// the unpruned oracle.
+	opred := q.db.Orders.Predicate().DateRange("OrderDate", dateMin, p.Q3Date-1)
+	oks, err := query.Keys(pl, query.Where(q.db.Orders, opred),
+		func(_ *core.Session, blk *mem.Block, out *[]int64) {
+			n := blk.Capacity()
+			for i := 0; i < n; i++ {
+				if blk.SlotIsValid(i) && dateAt(blk, i, q.oDate) < p.Q3Date {
+					*out = append(*out, i64At(blk, i, q.oKey))
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
 	// Pushdown: shipdate > date (the join-side order-date cut stays a
-	// residual — it lives on a referenced object, not this scan's block).
-	pred := q.db.Lineitems.Predicate().DateRange("ShipDate", p.Q3Date+1, dateMax)
+	// residual — it lives on a referenced object, not this scan's block —
+	// but its distilled key set prunes at block granularity).
+	pred := q.db.Lineitems.Predicate().
+		DateRange("ShipDate", p.Q3Date+1, dateMax).
+		InKeySet("OrderKey", oks)
 	// Group state is per-order: cardinality scales with the input, so the
 	// worker tables take an adaptive hint over the static one — the
 	// sparse variant, since the segment/date predicate qualifies a small
@@ -531,8 +554,19 @@ func (q *SMCQueries) Q4ParCtx(ctx context.Context, s *core.Session, p Params, wo
 	}
 	counts := make(map[string]int64)
 	if late != nil && late.Len() > 0 {
+		// Cross-edge pruning: the late-lineitem key set is exactly the
+		// semi-join's probe domain, so orders blocks whose Key bounds miss
+		// every late-key range are never claimed — on top of the order-date
+		// window pushdown.
+		lateKeys := make([]int64, 0, late.Len())
+		late.Range(func(k int64, _ *struct{}) bool {
+			lateKeys = append(lateKeys, k)
+			return true
+		})
 		// Pushdown: orderdate in [Q4Date, hi) onto the orders scan.
-		pred := q.db.Orders.Predicate().DateRange("OrderDate", p.Q4Date, hi-1)
+		pred := q.db.Orders.Predicate().
+			DateRange("OrderDate", p.Q4Date, hi-1).
+			InKeySet("Key", mem.NewKeySetPredicate(lateKeys))
 		merged, err := query.Accum(pl, query.Where(q.db.Orders, pred),
 			func(_ int, _ *core.Session, blk *mem.Block, acc *map[string]int64) {
 				if *acc == nil {
@@ -614,9 +648,31 @@ func (q *SMCQueries) Q10ParCtx(ctx context.Context, s *core.Session, p Params, w
 	}
 	defer pl.Close()
 	lo, hi := p.Q10Date, p.Q10Date.AddMonths(3)
+	// Cross-edge semi-join pruning, as in Q3ParCtx: the keys of orders
+	// inside the one-quarter window prune lineitem blocks by their
+	// OrderKey synopsis bounds.
+	opred := q.db.Orders.Predicate().DateRange("OrderDate", lo, hi-1)
+	oks, err := query.Keys(pl, query.Where(q.db.Orders, opred),
+		func(_ *core.Session, blk *mem.Block, out *[]int64) {
+			n := blk.Capacity()
+			for i := 0; i < n; i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				if od := dateAt(blk, i, q.oDate); od >= lo && od < hi {
+					*out = append(*out, i64At(blk, i, q.oKey))
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
 	// Pushdown: returnflag == 'R' as a one-point interval (the order-date
-	// window is join-side, so it stays residual).
-	pred := q.db.Lineitems.Predicate().Int32Range("ReturnFlag", 'R', 'R')
+	// window is join-side, so it stays residual — but its distilled key
+	// set prunes at block granularity).
+	pred := q.db.Lineitems.Predicate().
+		Int32Range("ReturnFlag", 'R', 'R').
+		InKeySet("OrderKey", oks)
 	// Per-customer group state behind a one-quarter window: sparse
 	// adaptive hint, as in Q3Par.
 	merged, err := query.Table(pl, query.Where(q.db.Lineitems, pred), query.AdaptiveSparseHint,

@@ -147,10 +147,24 @@ func NewSMCDB(rt *core.Runtime, layout core.Layout) (*SMCDB, error) {
 	// discount/quantity intervals, Q10's return-flag equality and Q4's
 	// order-date window. Registered at construction time, before any row
 	// exists, so every block in the collections' lifetime carries bounds.
-	if err = db.Lineitems.RegisterSynopses("ShipDate", "Discount", "Quantity", "ReturnFlag"); err != nil {
+	if err = db.Lineitems.RegisterSynopses("ShipDate", "Discount", "Quantity", "ReturnFlag", "OrderKey"); err != nil {
 		return nil, err
 	}
-	if err = db.Orders.RegisterSynopses("OrderDate"); err != nil {
+	if err = db.Orders.RegisterSynopses("OrderDate", "Key"); err != nil {
+		return nil, err
+	}
+	// OrderKey/Key synopses serve cross-edge semi-join pruning: Q3/Q4/Q10
+	// distill an order-key set from their first pipeline stage and skip
+	// lineitem (resp. orders) blocks whose key bounds miss it entirely.
+	//
+	// Cluster keys steer synopsis-aware compaction (inert unless the
+	// runtime runs with core.PackCluster): maintenance re-sorts surviving
+	// rows by the dominant scan dimension, so churned heaps recover tight,
+	// near-disjoint per-block bounds instead of ever-widening ones.
+	if err = db.Lineitems.RegisterClusterKey("ShipDate"); err != nil {
+		return nil, err
+	}
+	if err = db.Orders.RegisterClusterKey("OrderDate"); err != nil {
 		return nil, err
 	}
 	return db, nil
