@@ -2,16 +2,33 @@ GO ?= go
 SF ?= 0.05
 REPS ?= 5
 
-# Figure outputs; CI overrides these to *.new.json so the benchdiff gate
-# can compare them against the committed baselines.
-PAR_OUT ?= BENCH_parallel.json
-JOINS_OUT ?= BENCH_joins.json
-COMPACT_OUT ?= BENCH_compact.json
-PRUNE_OUT ?= BENCH_prune.json
-SHARE_OUT ?= BENCH_share.json
-CLUSTER_OUT ?= BENCH_cluster.json
+# SUFFIX distinguishes fresh figure emissions from committed baselines:
+# CI runs the bench targets with SUFFIX=.new, then `make benchdiff`
+# compares BENCH_<stem>.json against BENCH_<stem>.new.json. The *_OUT
+# variables remain overridable per figure.
+SUFFIX ?=
 
-.PHONY: build vet test race-stress bench bench-joins bench-compact bench-prune bench-share bench-cluster benchdiff clean
+# Pinned lint/scan tool versions (module semver; staticcheck v0.6.1 is
+# the 2025.1.1 release). `make lint` installs exactly these; CI caches
+# ~/go/bin keyed on the Makefile hash, so a version bump here rebuilds
+# the tools and nothing else ever re-downloads them.
+STATICCHECK_VERSION ?= v0.6.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Figure output stems, in bench/benchdiff/clean order.
+FIG_STEMS := parallel joins compact prune share cluster serve
+
+PAR_OUT ?= BENCH_parallel$(SUFFIX).json
+JOINS_OUT ?= BENCH_joins$(SUFFIX).json
+COMPACT_OUT ?= BENCH_compact$(SUFFIX).json
+PRUNE_OUT ?= BENCH_prune$(SUFFIX).json
+SHARE_OUT ?= BENCH_share$(SUFFIX).json
+CLUSTER_OUT ?= BENCH_cluster$(SUFFIX).json
+SERVE_OUT ?= BENCH_serve$(SUFFIX).json
+
+.PHONY: build vet test lint race-stress serve-smoke \
+	bench bench-par bench-joins bench-compact bench-prune bench-share bench-cluster bench-serve \
+	benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -22,57 +39,62 @@ vet:
 test: build vet
 	$(GO) test ./...
 
-# The parallel-scan, pipeline, parallel-join, parallel-compaction and
-# maintainer stress tests (exactly-once and exact serial results under
-# churn + compaction) under the race detector.
-race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share|Cluster' ./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region
+# Pinned static analysis + vulnerability scan (plus gofmt, which needs
+# no install). CI calls this instead of re-typing tool invocations.
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	"$$($(GO) env GOPATH)/bin/staticcheck" ./...
+	"$$($(GO) env GOPATH)/bin/govulncheck" ./...
 
-# Emit the parallel-scan scaling figure as BENCH_parallel.json for the
-# perf trajectory.
-bench:
+# The parallel-scan, pipeline, parallel-join, parallel-compaction,
+# maintainer and HTTP-front-door stress tests (exactly-once and exact
+# serial results under churn + compaction + request storms) under the
+# race detector.
+race-stress:
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share|Cluster|Serve' \
+		./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region ./internal/serve
+
+# End-to-end smoke of the smcserve front door: boot on a small SF, curl
+# a parameterized Q6 and /stats, assert the served sum equals the
+# serial oracle and that a client-abandoned request leaks nothing.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# bench-<fig> emits one figure's JSON; `make bench` keeps its historical
+# meaning (the parallel-scan scaling figure).
+bench: bench-par
+
+bench-par:
 	$(GO) run ./cmd/smcbench -fig par -sf $(SF) -reps $(REPS) -json $(PAR_OUT)
 
-# Emit the parallel-join scaling figure (Q3/Q5/Q7/Q8/Q9/Q10 over the
-# unified query-pipeline layer) as BENCH_joins.json.
 bench-joins:
 	$(GO) run ./cmd/smcbench -fig joins -sf $(SF) -reps $(REPS) -json-joins $(JOINS_OUT)
 
-# Emit the parallel-compaction figure (reclamation throughput and Q1/Q6
-# interference over 1..NumCPU move workers) as BENCH_compact.json.
 bench-compact:
 	$(GO) run ./cmd/smcbench -fig compact -sf $(SF) -reps $(REPS) -json-compact $(COMPACT_OUT)
 
-# Emit the skip-scan pruning figure (pruned vs unpruned Q6-style window
-# scans over selectivity × heap fragmentation) as BENCH_prune.json.
 bench-prune:
 	$(GO) run ./cmd/smcbench -fig prune -sf $(SF) -reps $(REPS) -json-prune $(PRUNE_OUT)
 
-# Emit the cooperative scan-sharing figure (shared vs independent
-# N-concurrent Q6-style window scans, with block-visit accounting) as
-# BENCH_share.json.
 bench-share:
 	$(GO) run ./cmd/smcbench -fig share -sf $(SF) -reps $(REPS) -json-share $(SHARE_OUT)
 
-# Emit the clustered-compaction figure (steady-state pruned fractions
-# over churn cycles, clustered vs size-only maintenance, plus the
-# cross-edge semi-join pruning deltas for Q3/Q10) as BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/smcbench -fig cluster -sf $(SF) -reps $(REPS) -json-cluster $(CLUSTER_OUT)
 
+bench-serve:
+	$(GO) run ./cmd/smcbench -fig serve -sf $(SF) -reps $(REPS) -json-serve $(SERVE_OUT)
+
 # Perf-regression gate: compare freshly emitted *.new.json figures
 # against the committed baselines (workers=1 points, >30% fails; skips
-# cleanly on a CPU-count mismatch). Run the bench targets with
-# *_OUT=...new.json first — see .github/workflows/ci.yml.
+# cleanly on a CPU-count or SF mismatch). Run the bench targets with
+# SUFFIX=.new first — see .github/workflows/ci.yml.
 benchdiff:
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_parallel.json BENCH_parallel.new.json
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_joins.json BENCH_joins.new.json
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_compact.json BENCH_compact.new.json
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_prune.json BENCH_prune.new.json
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_share.json BENCH_share.new.json
-	$(GO) run ./cmd/benchdiff -skip-missing BENCH_cluster.json BENCH_cluster.new.json
+	@for s in $(FIG_STEMS); do \
+		$(GO) run ./cmd/benchdiff -skip-missing BENCH_$$s.json BENCH_$$s.new.json || exit 1; \
+	done
 
 clean:
-	rm -f BENCH_parallel.json BENCH_joins.json BENCH_compact.json BENCH_prune.json BENCH_share.json \
-		BENCH_cluster.json BENCH_parallel.new.json BENCH_joins.new.json BENCH_compact.new.json \
-		BENCH_prune.new.json BENCH_share.new.json BENCH_cluster.new.json
+	rm -f $(foreach s,$(FIG_STEMS),BENCH_$(s).json BENCH_$(s).new.json)

@@ -20,7 +20,10 @@
 // scans over selectivity × heap fragmentation; -json-prune writes
 // BENCH_prune.json), cluster (synopsis-aware clustered compaction vs
 // size-only packing over churn → maintenance cycles plus Q3/Q4/Q10
-// cross-edge key-set pruning; -json-cluster writes BENCH_cluster.json).
+// cross-edge key-set pruning; -json-cluster writes BENCH_cluster.json),
+// serve (the HTTP front door under 1..512 concurrent clients, every
+// served sum asserted against the serial oracle; -json-serve writes
+// BENCH_serve.json).
 // JSON output is stamped with GOMAXPROCS, NumCPU and the Go version so
 // curves are self-describing.
 //
@@ -43,7 +46,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share,cluster or 'all'")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share,cluster,serve or 'all'")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
@@ -54,6 +57,7 @@ func main() {
 		prunePath   = flag.String("json-prune", "", "write the 'prune' figure's result as JSON to this path")
 		sharePath   = flag.String("json-share", "", "write the 'share' figure's result as JSON to this path")
 		clusterPath = flag.String("json-cluster", "", "write the 'cluster' figure's result as JSON to this path")
+		servePath   = flag.String("json-serve", "", "write the 'serve' figure's result as JSON to this path")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
@@ -106,7 +110,7 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
-	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share", "cluster"}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share", "cluster", "serve"}
 	want := map[string]bool{}
 	if *fig == "all" {
 		for _, f := range allFigs {
@@ -292,6 +296,16 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *clusterPath != "" {
 			writeJSONFile("cluster", *clusterPath, r.WriteJSON)
+		}
+	}
+	if want["serve"] {
+		r, err := bench.FigureServe(opts)
+		if err != nil {
+			fail("serve", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *servePath != "" {
+			writeJSONFile("serve", *servePath, r.WriteJSON)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+// Command smcserve is the query service front door: it generates a
+// TPC-H dataset at the requested scale factor, loads it into
+// self-managed collections, starts the background Maintainer, and
+// serves parameterized queries over HTTP (internal/serve).
+//
+// Endpoints: POST /query/{q1,q3,q6,q6window,q10} (typed JSON params;
+// `{}` selects the TPC-H validation defaults), POST /query/q6window/rows
+// (chunked NDJSON row stream), GET /queries (schema-derived wire
+// contracts), GET /stats (core.Runtime.StatsSnapshot), GET /healthz
+// (ready once the Maintainer is up). Per-request knobs ride the query
+// string: ?workers=N&timeout_ms=M.
+//
+//	smcserve -addr :8642 -sf 0.05 -max-concurrent 64
+//
+// -oracle q{1,3,6,10} runs the serial (un-served) driver on the same
+// dataset and prints its result instead of serving: the CI smoke
+// compares a served response against this process-independent oracle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/serve"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8642", "listen address")
+		sf            = flag.Float64("sf", 0.05, "TPC-H scale factor")
+		seed          = flag.Uint64("seed", 42, "generator seed")
+		layoutName    = flag.String("layout", "rowindirect", "collection layout: rowindirect, rowdirect, columnar")
+		maxConc       = flag.Int("max-concurrent", 64, "admission slots (concurrent queries)")
+		admitWait     = flag.Duration("admit-wait", 100*time.Millisecond, "bounded admission wait before a 429")
+		defTimeout    = flag.Duration("timeout", 10*time.Second, "default per-request query deadline")
+		defWorkers    = flag.Int("workers", 1, "default per-query scan fan-out")
+		budget        = flag.Int64("budget", 0, "off-heap memory budget in bytes (0 = unlimited)")
+		maintInterval = flag.Duration("maintain-interval", 250*time.Millisecond, "maintainer poll interval")
+		oracle        = flag.String("oracle", "", "print the serial oracle result for q1|q3|q6|q10 and exit (no server)")
+	)
+	flag.Parse()
+
+	var layout core.Layout
+	switch *layoutName {
+	case "rowindirect":
+		layout = core.RowIndirect
+	case "rowdirect":
+		layout = core.RowDirect
+	case "columnar":
+		layout = core.Columnar
+	default:
+		fmt.Fprintf(os.Stderr, "smcserve: unknown -layout %q\n", *layoutName)
+		os.Exit(2)
+	}
+
+	rt, err := core.NewRuntime(core.Options{
+		MemoryBudget:      *budget,
+		CompactionPacking: core.PackCluster,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smcserve: runtime: %v\n", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	fmt.Fprintf(os.Stderr, "smcserve: generating TPC-H SF=%v (seed %d)...\n", *sf, *seed)
+	data := tpch.Generate(*sf, *seed)
+	s := rt.MustSession()
+	db, err := tpch.LoadSMC(rt, s, data, layout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smcserve: load: %v\n", err)
+		os.Exit(1)
+	}
+	q := tpch.NewSMCQueries(db)
+
+	if *oracle != "" {
+		runOracle(*oracle, q, s)
+		return
+	}
+
+	mt := rt.StartMaintainer(mem.MaintainerConfig{Interval: *maintInterval})
+	defer mt.Stop()
+
+	srv := serve.New(rt, q, mt, serve.Config{
+		MaxConcurrent:  *maxConc,
+		AdmitWait:      *admitWait,
+		DefaultTimeout: *defTimeout,
+		DefaultWorkers: *defWorkers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (their
+	// contexts keep running), then close the runtime.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "smcserve: shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(idle)
+	}()
+
+	fmt.Fprintf(os.Stderr, "smcserve: serving %d lineitems on %s (layout %s, %d slots)\n",
+		len(data.Lineitems), *addr, *layoutName, *maxConc)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "smcserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-idle
+}
+
+// runOracle prints the serial driver's result for one query at the
+// TPC-H validation parameters. Q6 prints the bare sum (the smoke greps
+// it against the served envelope); the row queries print one row per
+// line.
+func runOracle(name string, q *tpch.SMCQueries, s *core.Session) {
+	p := tpch.DefaultParams()
+	switch name {
+	case "q1":
+		for _, r := range q.Q1(s, p) {
+			fmt.Printf("%+v\n", r)
+		}
+	case "q3":
+		for _, r := range q.Q3(s, p) {
+			fmt.Printf("%+v\n", r)
+		}
+	case "q6":
+		fmt.Println(q.Q6(s, p))
+	case "q10":
+		for _, r := range q.Q10(s, p) {
+			fmt.Printf("%+v\n", r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "smcserve: unknown -oracle %q (want q1|q3|q6|q10)\n", name)
+		os.Exit(2)
+	}
+}

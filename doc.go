@@ -267,4 +267,46 @@
 // stays >= 0.90 after one clustered pass — plus the Q3/Q10 cross-edge
 // speedups on a date-correlated heap; the JSON joins the benchdiff
 // gate.
+//
+// # Serving
+//
+// internal/serve and cmd/smcserve put an HTTP front door on the
+// engine: the query-dominated collection as a service, every layer
+// above reachable from curl. Endpoints: POST /query/{q1,q3,q6,
+// q6window,q10} take typed JSON params (`{}` selects the TPC-H
+// validation defaults; ?workers=N&timeout_ms=M ride the query string),
+// POST /query/q6window/rows streams qualifying rows as chunked NDJSON
+// with an integrity trailer ({"done":true,"rows":N} — its absence
+// means the stream died), GET /queries publishes each endpoint's
+// request/response contract, GET /stats serves
+// core.Runtime.StatsSnapshot and GET /healthz gates readiness on the
+// Maintainer running. Wire contracts are derived from the Go param/
+// response structs by internal/schema's JSON-schema deriver at
+// registration time — the same derive-from-the-type, fail-at-
+// construction move the tabular Schema makes for off-heap layouts —
+// and dates/decimals travel as formatted strings, never JSON numbers.
+//
+// A request's context flows straight into the engine (query.NewCtx via
+// the *ParCtx drivers), so client disconnects and per-request
+// deadlines cancel at block-claim granularity; concurrent q6window
+// requests ride the cooperative scan-share group. Admission is a
+// bounded-wait slot gate in front of the session pool: a full server
+// answers 429 (Retry-After) after Config.AdmitWait instead of piling
+// goroutines onto LeaseSession, and mem.Budget.Admit fails typed
+// within its bounded wait even under a long request deadline. The
+// error model maps engine outcomes to statuses: serve.ErrSaturated →
+// 429, mem.ErrBudgetExceeded → 503 (both with Retry-After),
+// context.DeadlineExceeded → 504, client-canceled → 499, validation →
+// 400; every error body is one serve.ErrorEnvelope. The admission
+// counters (requests/admitted/saturated/canceled/in-flight) surface
+// through StatsSnapshot.Serve, and the storm test plus
+// scripts/serve_smoke.sh assert the ledgers balance after canceled and
+// rejected requests — a dead client strands no session, arena or
+// epoch pin.
+//
+// The `serve` figure of cmd/smcbench (and `make bench-serve`, which
+// writes BENCH_serve.json) drives the served q6window path with
+// 1/8/64/512 concurrent HTTP clients — every response sum asserted
+// identical to the serial oracle — reporting p50/p99/qps; the JSON
+// joins the benchdiff gate on the low-concurrency medians.
 package repro

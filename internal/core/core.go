@@ -48,6 +48,7 @@ type Runtime struct {
 	mu      sync.Mutex
 	colls   []namedColl
 	pools   []namedPool   // arena pools registered for stats (stats.go)
+	server  ServeMetrics  // front-door admission counters (stats.go)
 	pending []*refBinding // ref fields awaiting their target collection
 }
 
@@ -129,6 +130,29 @@ func (rt *Runtime) NewSession() (*Session, error) {
 		return nil, err
 	}
 	return &Session{ms: ms}, nil
+}
+
+// LeaseSession returns a session from the manager's idle pool (or
+// registers a fresh one when the pool is empty). Pair with
+// ReturnSession. A request handler serving thousands of short queries
+// leases instead of registering — session slots are a fixed global
+// resource, and the pool's hit counters make per-request session churn
+// observable in StatsSnapshot.
+func (rt *Runtime) LeaseSession() (*Session, error) {
+	ms, err := rt.mgr.LeaseSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{ms: ms}, nil
+}
+
+// ReturnSession parks a leased session for reuse. The session must not
+// be inside a critical section.
+func (rt *Runtime) ReturnSession(s *Session) {
+	if s == nil {
+		return
+	}
+	rt.mgr.ReturnSession(s.ms)
 }
 
 // MustSession is NewSession, panicking on error.

@@ -23,6 +23,33 @@ type poolReturns interface {
 	Returns() int64
 }
 
+// ServeCounters is the admission-control activity of a serving front
+// door (internal/serve implements it; the interface keeps core free of
+// an HTTP dependency). The serve layer bounds concurrent query
+// execution with its own gate so a request storm cannot pile goroutines
+// onto the session pool — these counters are how that gate shows up in
+// the one stats snapshot a process exports.
+type ServeCounters struct {
+	// Requests counts query requests that reached admission; Admitted is
+	// how many passed the gate, Saturated how many were turned away with
+	// typed backpressure (HTTP 429) after the bounded admission wait.
+	Requests, Admitted, Saturated int64
+	// Canceled counts admitted requests whose context was canceled (client
+	// gone or per-request deadline) before the query finished.
+	Canceled int64
+	// AdmitWaitNanos is cumulative time requests spent blocked at the
+	// admission gate (both eventually-admitted and saturated).
+	AdmitWaitNanos int64
+	// InFlight is the number of requests currently holding an admission
+	// slot; 0 when the server is idle (a stuck slot is a leak).
+	InFlight int64
+}
+
+// ServeMetrics is the surface a front door registers with the runtime.
+type ServeMetrics interface {
+	ServeCounters() ServeCounters
+}
+
 // ArenaPoolStats is one registered pool's point-in-time metrics.
 type ArenaPoolStats struct {
 	// Name identifies the pool (e.g. "tpch.SMCQueries").
@@ -88,6 +115,9 @@ type RuntimeStats struct {
 	// counted once per pass, not once per attached query.
 	SharedPasses, AttachedQueries int64
 	CatchUpBlocks, Detaches       int64
+	// Serve is the registered front door's admission activity (zero when
+	// no server is registered).
+	Serve ServeCounters
 	// Per-registered-pool arena lease metrics, in registration order.
 	ArenaPools []ArenaPoolStats
 }
@@ -121,10 +151,19 @@ func (rt *Runtime) RegisterArenaPool(name string, p PoolMetrics) {
 	rt.mu.Unlock()
 }
 
+// RegisterServer points the runtime's stats surface at a serving front
+// door's admission counters. At most one server registers per runtime
+// (a second registration replaces the first).
+func (rt *Runtime) RegisterServer(m ServeMetrics) {
+	rt.mu.Lock()
+	rt.server = m
+	rt.mu.Unlock()
+}
+
 // StatsSnapshot captures the runtime's query-memory counters: the
 // memory manager's session-pool hit/miss and block/compaction counters
 // plus every registered arena pool's lease and retained-footprint
-// metrics.
+// metrics and the registered front door's admission activity.
 func (rt *Runtime) StatsSnapshot() RuntimeStats {
 	ms := rt.mgr.Stats()
 	bc := rt.mgr.Budget().Counters()
@@ -167,7 +206,11 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 	rt.mu.Lock()
 	pools := make([]namedPool, len(rt.pools))
 	copy(pools, rt.pools)
+	server := rt.server
 	rt.mu.Unlock()
+	if server != nil {
+		out.Serve = server.ServeCounters()
+	}
 	out.ArenaPools = make([]ArenaPoolStats, 0, len(pools))
 	for _, np := range pools {
 		leases, reuses := np.p.Stats()

@@ -1,0 +1,27 @@
+package decimal
+
+import "fmt"
+
+// JSON wire form: decimals travel as quoted strings ("123.4500"), never
+// as JSON numbers — float64 cannot represent every Dec128 exactly, and a
+// served sum must survive a client round-trip byte-identical. The serve
+// layer's schemas declare the field {"type":"string","format":"decimal"}.
+
+// MarshalJSON encodes the decimal as a quoted literal with all four
+// fractional digits (the String form, which Parse accepts back).
+func (d Dec128) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a quoted decimal literal.
+func (d *Dec128) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("decimal: JSON value %s is not a string", b)
+	}
+	v, err := Parse(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}

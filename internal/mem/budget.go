@@ -175,11 +175,14 @@ func (b *Budget) reserveBlock(n int64) error {
 }
 
 // Admit gates one new query admission on the budget: free when under
-// the limit, otherwise it triggers reclamation and blocks — bounded by
-// the context's deadline, or budgetAdmitWait when the context carries
-// none — until use drops under the limit. It returns ctx's error when
-// the caller gave up first and ErrBudgetExceeded when the bounded wait
-// elapsed; admission holds no resource, so there is nothing to release.
+// the limit, otherwise it triggers reclamation and blocks — at most
+// budgetAdmitWait, or less when the context expires first — until use
+// drops under the limit. It returns ctx's error when the caller gave
+// up first and ErrBudgetExceeded when the bounded wait elapsed, so an
+// over-budget admission fails typed and promptly even under a long
+// request deadline (the serve layer maps it to a retryable 503 rather
+// than queueing the request for its whole timeout); admission holds no
+// resource, so there is nothing to release.
 func (b *Budget) Admit(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -193,12 +196,9 @@ func (b *Budget) Admit(ctx context.Context) error {
 	}
 	start := time.Now()
 	defer func() { b.waitNanos.Add(time.Since(start).Nanoseconds()) }()
-	var bound <-chan time.Time
-	if _, ok := ctx.Deadline(); !ok {
-		t := time.NewTimer(budgetAdmitWait)
-		defer t.Stop()
-		bound = t.C
-	}
+	t := time.NewTimer(budgetAdmitWait)
+	defer t.Stop()
+	bound := t.C
 	for {
 		ch := b.waitChan()
 		b.reclaim()

@@ -1,0 +1,133 @@
+package schema
+
+// JSON-schema derivation: the serve layer registers each parameterized
+// query's request and response as plain Go structs, and this file
+// reflects them into JSON Schema documents — the same "derive the wire
+// contract from the Go type, fail fast at registration" move the tabular
+// Schema makes for off-heap layouts, applied to the HTTP surface. The
+// derived documents are served from /queries so clients can discover
+// parameter names, types and formats without reading Go source.
+//
+// The mapping is deliberately small: the wire types the front door needs
+// are bools, integers, floats, strings, types.Date (string, format
+// "date"), decimal.Dec128 (string, format "decimal" — decimals never
+// travel as JSON numbers), nested structs, and slices of any of those.
+// Field names honor `json:"..."` tags, including "-" and ",omitempty".
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// JSONSchema is a minimal JSON Schema (draft-07 subset) document.
+type JSONSchema struct {
+	Type string `json:"type"`
+	// Format refines string types: "date" (YYYY-MM-DD) and "decimal"
+	// (fixed-point literal, four fractional digits).
+	Format string `json:"format,omitempty"`
+	// Properties and Required describe object types.
+	Properties map[string]*JSONSchema `json:"properties,omitempty"`
+	Required   []string               `json:"required,omitempty"`
+	// Items describes array element types.
+	Items *JSONSchema `json:"items,omitempty"`
+}
+
+// JSONOf derives the JSON Schema for a Go type used on the HTTP wire.
+func JSONOf(t reflect.Type) (*JSONSchema, error) {
+	return jsonOf(t, make(map[reflect.Type]bool))
+}
+
+// MustJSONOf is JSONOf, panicking on error. Endpoint registration uses
+// it so an unservable request/response type fails at construction, not
+// on the first request.
+func MustJSONOf(t reflect.Type) *JSONSchema {
+	s, err := JSONOf(t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func jsonOf(t reflect.Type, seen map[reflect.Type]bool) (*JSONSchema, error) {
+	switch t {
+	case dec128Type:
+		return &JSONSchema{Type: "string", Format: "decimal"}, nil
+	case dateType:
+		return &JSONSchema{Type: "string", Format: "date"}, nil
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return &JSONSchema{Type: "boolean"}, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return &JSONSchema{Type: "integer"}, nil
+	case reflect.Float32, reflect.Float64:
+		return &JSONSchema{Type: "number"}, nil
+	case reflect.String:
+		return &JSONSchema{Type: "string"}, nil
+	case reflect.Pointer:
+		// Pointers model wire optionality (encoding/json emits null or
+		// the value); the schema is the pointee's. The seen set still
+		// catches recursion through pointer fields.
+		return jsonOf(t.Elem(), seen)
+	case reflect.Slice, reflect.Array:
+		el, err := jsonOf(t.Elem(), seen)
+		if err != nil {
+			return nil, err
+		}
+		return &JSONSchema{Type: "array", Items: el}, nil
+	case reflect.Struct:
+		if seen[t] {
+			return nil, fmt.Errorf("schema: recursive type %v cannot be a wire schema", t)
+		}
+		seen[t] = true
+		defer delete(seen, t)
+		obj := &JSONSchema{Type: "object", Properties: map[string]*JSONSchema{}}
+		for i := 0; i < t.NumField(); i++ {
+			sf := t.Field(i)
+			if !sf.IsExported() || sf.Anonymous {
+				return nil, fmt.Errorf("schema: %v.%s: wire types must have exported, non-embedded fields", t, sf.Name)
+			}
+			name, optional, skip := jsonFieldName(sf)
+			if skip {
+				continue
+			}
+			fs, err := jsonOf(sf.Type, seen)
+			if err != nil {
+				return nil, fmt.Errorf("%v.%s: %w", t, sf.Name, err)
+			}
+			obj.Properties[name] = fs
+			if !optional {
+				obj.Required = append(obj.Required, name)
+			}
+		}
+		return obj, nil
+	default:
+		return nil, fmt.Errorf("schema: %v cannot travel on the wire", t)
+	}
+}
+
+// jsonFieldName resolves a struct field's wire name the way
+// encoding/json does: `json:"name,omitempty"` tags win, "-" drops the
+// field, omitempty marks it optional (absent from Required).
+func jsonFieldName(sf reflect.StructField) (name string, optional, skip bool) {
+	name = sf.Name
+	tag, ok := sf.Tag.Lookup("json")
+	if !ok {
+		return name, false, false
+	}
+	parts := strings.Split(tag, ",")
+	if parts[0] == "-" && len(parts) == 1 {
+		return "", false, true
+	}
+	if parts[0] != "" {
+		name = parts[0]
+	}
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			optional = true
+		}
+	}
+	return name, optional, false
+}

@@ -1,0 +1,208 @@
+package schema_test
+
+// Round-trip coverage for the serving wire contract: the JSON-schema
+// deriver over the actual serve request/response types, and the
+// Date/Dec128 marshalers those schemas promise (strings with formats
+// "date"/"decimal" — never JSON numbers). External test package so it
+// can import internal/serve without a cycle.
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/decimal"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// TestJSONSchemaWireFormats pins the leaf mappings: Date and Dec128 are
+// strings with formats, and both marshal/unmarshal through exactly the
+// representation the schema advertises.
+func TestJSONSchemaWireFormats(t *testing.T) {
+	ds := schema.MustJSONOf(reflect.TypeOf(types.Date(0)))
+	if ds.Type != "string" || ds.Format != "date" {
+		t.Fatalf("Date schema = %+v, want string/date", ds)
+	}
+	cs := schema.MustJSONOf(reflect.TypeOf(decimal.Dec128{}))
+	if cs.Type != "string" || cs.Format != "decimal" {
+		t.Fatalf("Dec128 schema = %+v, want string/decimal", cs)
+	}
+
+	d := types.MustDate("1994-01-01")
+	b, err := json.Marshal(d)
+	if err != nil || string(b) != `"1994-01-01"` {
+		t.Fatalf("Date marshal = %s, %v", b, err)
+	}
+	var d2 types.Date
+	if err := json.Unmarshal(b, &d2); err != nil || d2 != d {
+		t.Fatalf("Date round-trip = %v, %v (want %v)", d2, err, d)
+	}
+	if err := json.Unmarshal([]byte(`19940101`), &d2); err == nil {
+		t.Fatal("Date must reject JSON numbers")
+	}
+
+	c := decimal.MustParse("123.4567")
+	b, err = json.Marshal(c)
+	if err != nil || string(b) != `"123.4567"` {
+		t.Fatalf("Dec128 marshal = %s, %v", b, err)
+	}
+	var c2 decimal.Dec128
+	if err := json.Unmarshal(b, &c2); err != nil || c2 != c {
+		t.Fatalf("Dec128 round-trip = %v, %v (want %v)", c2, err, c)
+	}
+	if err := json.Unmarshal([]byte(`123.4567`), &c2); err == nil {
+		t.Fatal("Dec128 must reject JSON numbers — float64 cannot hold it exactly")
+	}
+	neg := decimal.MustParse("-0.0500")
+	b, _ = json.Marshal(neg)
+	var neg2 decimal.Dec128
+	if err := json.Unmarshal(b, &neg2); err != nil || neg2 != neg {
+		t.Fatalf("negative Dec128 round-trip = %v via %s, want %v", neg2, b, neg)
+	}
+}
+
+// TestJSONSchemaServeParams derives schemas for every serve params type
+// and checks the documents match what a client would need: property
+// names from json tags, omitempty fields absent from Required, typed
+// formats on dates and decimals.
+func TestJSONSchemaServeParams(t *testing.T) {
+	q6w := schema.MustJSONOf(reflect.TypeOf(serve.Q6WindowParams{}))
+	if q6w.Type != "object" {
+		t.Fatalf("Q6WindowParams schema type = %q", q6w.Type)
+	}
+	var names []string
+	for n := range q6w.Properties {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	want := []string{"hi", "lo", "no_pushdown", "reps"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Q6WindowParams properties = %v, want %v", names, want)
+	}
+	if len(q6w.Required) != 0 {
+		t.Fatalf("all Q6WindowParams fields are omitempty; Required = %v", q6w.Required)
+	}
+	if p := q6w.Properties["lo"]; p.Type != "string" || p.Format != "date" {
+		t.Fatalf("lo schema = %+v", p)
+	}
+	if p := q6w.Properties["reps"]; p.Type != "integer" {
+		t.Fatalf("reps schema = %+v", p)
+	}
+
+	q6 := schema.MustJSONOf(reflect.TypeOf(serve.Q6Params{}))
+	if p := q6.Properties["discount"]; p.Type != "string" || p.Format != "decimal" {
+		t.Fatalf("discount schema = %+v", p)
+	}
+}
+
+// TestJSONSchemaServeResponses covers the response side: the sum
+// envelope, a buffered row set (array-of-object with per-field
+// formats), the error envelope, and the stream trailer.
+func TestJSONSchemaServeResponses(t *testing.T) {
+	sum := schema.MustJSONOf(reflect.TypeOf(serve.SumResponse{}))
+	if p := sum.Properties["sum"]; p == nil || p.Format != "decimal" {
+		t.Fatalf("SumResponse.sum schema = %+v", p)
+	}
+	if !reflect.DeepEqual(sum.Required, []string{"sum"}) {
+		t.Fatalf("SumResponse required = %v", sum.Required)
+	}
+
+	rows := schema.MustJSONOf(reflect.TypeOf(serve.RowsResponse[tpch.Q6WindowHit]{}))
+	rp := rows.Properties["rows"]
+	if rp == nil || rp.Type != "array" || rp.Items == nil || rp.Items.Type != "object" {
+		t.Fatalf("RowsResponse.rows schema = %+v", rp)
+	}
+	if p := rp.Items.Properties["ship_date"]; p == nil || p.Format != "date" {
+		t.Fatalf("Q6WindowHit.ship_date schema = %+v", p)
+	}
+	if p := rp.Items.Properties["revenue"]; p == nil || p.Format != "decimal" {
+		t.Fatalf("Q6WindowHit.revenue schema = %+v", p)
+	}
+
+	env := schema.MustJSONOf(reflect.TypeOf(serve.ErrorEnvelope{}))
+	ep := env.Properties["error"]
+	if ep == nil || ep.Type != "object" || ep.Properties["code"] == nil {
+		t.Fatalf("ErrorEnvelope schema = %+v", env)
+	}
+
+	tr := schema.MustJSONOf(reflect.TypeOf(serve.StreamTrailer{}))
+	if p := tr.Properties["done"]; p == nil || p.Type != "boolean" {
+		t.Fatalf("StreamTrailer.done schema = %+v", tr)
+	}
+}
+
+// TestJSONSchemaRoundTripValues re-encodes real serve values and checks
+// the bytes validate structurally against the derived schema: every
+// emitted key is a declared property, every Required key is present.
+func TestJSONSchemaRoundTripValues(t *testing.T) {
+	check := func(name string, v any) {
+		t.Helper()
+		s := schema.MustJSONOf(reflect.TypeOf(v))
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("%s: not an object: %v", name, err)
+		}
+		for k := range m {
+			if s.Properties[k] == nil {
+				t.Errorf("%s: emitted key %q not in schema", name, k)
+			}
+		}
+		for _, r := range s.Required {
+			if _, ok := m[r]; !ok {
+				t.Errorf("%s: required key %q absent from %s", name, r, b)
+			}
+		}
+	}
+	check("SumResponse", serve.SumResponse{Sum: decimal.MustParse("7.0000")})
+	check("Q6WindowParams", serve.Q6WindowParams{
+		Lo: types.MustDate("1994-01-01"), Hi: types.MustDate("1995-06-30"), Reps: 3,
+	})
+	check("ErrorEnvelope", serve.ErrorEnvelope{Error: serve.APIError{
+		Code: "saturated", Message: "no slot", Status: 429,
+	}})
+	check("StreamTrailer", serve.StreamTrailer{Done: true, Rows: 42})
+	check("Q6WindowHit", tpch.Q6WindowHit{
+		OrderKey: 7, ShipDate: types.MustDate("1994-02-03"), Revenue: decimal.MustParse("10.5000"),
+	})
+}
+
+// TestJSONSchemaRejects pins the deriver's refusals: recursive types,
+// unexported fields, embedded fields, and unservable kinds fail loudly
+// at registration time.
+func TestJSONSchemaRejects(t *testing.T) {
+	type recursive struct {
+		Next []recursive `json:"next"`
+	}
+	// Slices break the seen-set cycle only per-branch; a truly recursive
+	// struct must error rather than loop.
+	type selfRef struct {
+		Inner *selfRef `json:"inner"`
+	}
+	type hidden struct {
+		Exported int `json:"x"`
+		hidden   int
+	}
+	type chanField struct {
+		C chan int `json:"c"`
+	}
+	if _, err := schema.JSONOf(reflect.TypeOf(recursive{})); err == nil {
+		t.Error("recursive slice type must be rejected")
+	}
+	if _, err := schema.JSONOf(reflect.TypeOf(selfRef{})); err == nil {
+		t.Error("self-referential pointer type must be rejected")
+	}
+	if _, err := schema.JSONOf(reflect.TypeOf(hidden{})); err == nil {
+		t.Error("unexported field must be rejected")
+	}
+	if _, err := schema.JSONOf(reflect.TypeOf(chanField{})); err == nil {
+		t.Error("chan field must be rejected")
+	}
+}

@@ -438,3 +438,87 @@ func (q *SMCQueries) Q6ParCtx(ctx context.Context, s *core.Session, p Params, wo
 	}
 	return out.sum, nil
 }
+
+// Q6WindowHit is one qualifying lineitem of a windowed revenue scan:
+// the streaming row shape the serve layer's chunked-row endpoint emits.
+type Q6WindowHit struct {
+	OrderKey int64          `json:"order_key"`
+	ShipDate types.Date     `json:"ship_date"`
+	Revenue  decimal.Dec128 `json:"revenue"`
+}
+
+// Q6WindowRowsCtx streams the individual qualifying rows of a Q6-style
+// windowed revenue scan (ship date in [lo, hi]) through sink as blocks
+// finish, via query.RowsUnordered: per-worker row batches are handed
+// over as soon as their block completes, in no deterministic order, and
+// the batch slice is reused for the worker's next block — consume or
+// copy inside the call. The revenue of every streamed hit sums (in any
+// order; decimal addition is exact) to exactly Q6WindowParCtx's result
+// over the same window, which is how the serve tests and the CI smoke
+// pin the chunked response to the serial oracle. A sink error or ctx
+// cancellation stops the scan within one block's work per worker.
+func (q *SMCQueries) Q6WindowRowsCtx(ctx context.Context, s *core.Session, lo, hi types.Date, workers int, pushdown bool, sink func(rows []Q6WindowHit) error) error {
+	pl, err := query.NewCtx(ctx, s, q.arenas, workers)
+	if err != nil {
+		return err
+	}
+	defer pl.Close()
+	columnar := q.db.Layout == core.Columnar
+	src := query.Source(q.db.Lineitems)
+	if pushdown {
+		src = query.Where(q.db.Lineitems, q.db.Lineitems.Predicate().DateRange("ShipDate", lo, hi))
+	}
+	return query.RowsUnordered(pl, src,
+		func(_ *core.Session, blk *mem.Block, out *[]Q6WindowHit) {
+			n := blk.Capacity()
+			if columnar {
+				shipBase := blk.ColBase(q.lShip)
+				extBase := blk.ColBase(q.lExt)
+				discBase := blk.ColBase(q.lDisc)
+				keyBase := blk.ColBase(q.lOrderKey)
+				for i := 0; i < n; i++ {
+					if !blk.SlotIsValid(i) {
+						continue
+					}
+					ship := *(*types.Date)(unsafe.Add(shipBase, uintptr(i)*4))
+					if ship < lo || ship > hi {
+						continue
+					}
+					ext := (*decimal.Dec128)(unsafe.Add(extBase, uintptr(i)*16))
+					dsc := (*decimal.Dec128)(unsafe.Add(discBase, uintptr(i)*16))
+					var rev decimal.Dec128
+					decimal.MulAdd(&rev, ext, dsc)
+					*out = append(*out, Q6WindowHit{
+						OrderKey: *(*int64)(unsafe.Add(keyBase, uintptr(i)*8)),
+						ShipDate: ship,
+						Revenue:  rev,
+					})
+				}
+				return
+			}
+			shipOff := q.lShip.Offset
+			extOff := q.lExt.Offset
+			discOff := q.lDisc.Offset
+			keyOff := q.lOrderKey.Offset
+			for i := 0; i < n; i++ {
+				if !blk.SlotIsValid(i) {
+					continue
+				}
+				base := blk.SlotData(i)
+				ship := *(*types.Date)(unsafe.Add(base, shipOff))
+				if ship < lo || ship > hi {
+					continue
+				}
+				ext := (*decimal.Dec128)(unsafe.Add(base, extOff))
+				dsc := (*decimal.Dec128)(unsafe.Add(base, discOff))
+				var rev decimal.Dec128
+				decimal.MulAdd(&rev, ext, dsc)
+				*out = append(*out, Q6WindowHit{
+					OrderKey: *(*int64)(unsafe.Add(base, keyOff)),
+					ShipDate: ship,
+					Revenue:  rev,
+				})
+			}
+		},
+		sink)
+}

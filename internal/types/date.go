@@ -113,6 +113,26 @@ func (d Date) String() string {
 	return fmt.Sprintf("%04d-%02d-%02d", y, m, dd)
 }
 
+// MarshalJSON encodes the date as a quoted YYYY-MM-DD string, the wire
+// representation the serve layer's request/response schemas declare
+// ({"type":"string","format":"date"}).
+func (d Date) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a quoted YYYY-MM-DD string.
+func (d *Date) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("types: date JSON value %s is not a string", b)
+	}
+	v, err := ParseDate(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
 // ParseDate parses a YYYY-MM-DD string.
 func ParseDate(s string) (Date, error) {
 	var y, m, d int
