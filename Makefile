@@ -16,7 +16,7 @@ STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 # Figure output stems, in bench/benchdiff/clean order.
-FIG_STEMS := parallel joins compact prune share cluster serve
+FIG_STEMS := parallel joins compact prune share cluster serve govern
 
 PAR_OUT ?= BENCH_parallel$(SUFFIX).json
 JOINS_OUT ?= BENCH_joins$(SUFFIX).json
@@ -25,9 +25,10 @@ PRUNE_OUT ?= BENCH_prune$(SUFFIX).json
 SHARE_OUT ?= BENCH_share$(SUFFIX).json
 CLUSTER_OUT ?= BENCH_cluster$(SUFFIX).json
 SERVE_OUT ?= BENCH_serve$(SUFFIX).json
+GOVERN_OUT ?= BENCH_govern$(SUFFIX).json
 
 .PHONY: build vet test lint race-stress serve-smoke \
-	bench bench-par bench-joins bench-compact bench-prune bench-share bench-cluster bench-serve \
+	bench bench-par bench-joins bench-compact bench-prune bench-share bench-cluster bench-serve bench-govern \
 	benchdiff clean
 
 build:
@@ -53,7 +54,7 @@ lint:
 # serial results under churn + compaction + request storms) under the
 # race detector.
 race-stress:
-	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share|Cluster|Serve' \
+	$(GO) test -race -run 'Parallel|Maintainer|Compact|Pruned|Fault|Cancel|Budget|Share|Cluster|Serve|Govern' \
 		./internal/mem ./internal/core ./internal/query ./internal/tpch ./internal/region ./internal/serve
 
 # End-to-end smoke of the smcserve front door: boot on a small SF, curl
@@ -86,6 +87,9 @@ bench-cluster:
 
 bench-serve:
 	$(GO) run ./cmd/smcbench -fig serve -sf $(SF) -reps $(REPS) -json-serve $(SERVE_OUT)
+
+bench-govern:
+	$(GO) run ./cmd/smcbench -fig govern -sf $(SF) -reps $(REPS) -json-govern $(GOVERN_OUT)
 
 # Perf-regression gate: compare freshly emitted *.new.json figures
 # against the committed baselines (workers=1 points, >30% fails; skips

@@ -23,7 +23,11 @@
 // cross-edge key-set pruning; -json-cluster writes BENCH_cluster.json),
 // serve (the HTTP front door under 1..512 concurrent clients, every
 // served sum asserted against the serial oracle; -json-serve writes
-// BENCH_serve.json).
+// BENCH_serve.json), govern (adaptive memory governance: the served
+// q6window path under budgets swept from unbounded down to 0.9x the
+// measured working set — zero OOMs, typed 503s only, the degradation
+// ladder's trims visible in the counters; -json-govern writes
+// BENCH_govern.json).
 // JSON output is stamped with GOMAXPROCS, NumCPU and the Go version so
 // curves are self-describing.
 //
@@ -46,7 +50,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share,cluster,serve or 'all'")
+		fig         = flag.String("fig", "all", "comma-separated figures: 6,7,8,9,10,11,12,13,linq,ext,ablation,par,joins,compact,prune,share,cluster,serve,govern or 'all'")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		reps        = flag.Int("reps", 3, "repetitions per measurement (median)")
@@ -58,6 +62,7 @@ func main() {
 		sharePath   = flag.String("json-share", "", "write the 'share' figure's result as JSON to this path")
 		clusterPath = flag.String("json-cluster", "", "write the 'cluster' figure's result as JSON to this path")
 		servePath   = flag.String("json-serve", "", "write the 'serve' figure's result as JSON to this path")
+		governPath  = flag.String("json-govern", "", "write the 'govern' figure's result as JSON to this path")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 		workers     = flag.String("workers", "", "comma-separated worker counts for the 'par'/'joins'/'compact' figures (default 1,2,4..NumCPU)")
@@ -110,7 +115,7 @@ func main() {
 			parWorkers = append(parWorkers, n)
 		}
 	}
-	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share", "cluster", "serve"}
+	allFigs := []string{"6", "7", "8", "9", "10", "11", "12", "13", "linq", "ext", "ablation", "par", "joins", "compact", "prune", "share", "cluster", "serve", "govern"}
 	want := map[string]bool{}
 	if *fig == "all" {
 		for _, f := range allFigs {
@@ -306,6 +311,16 @@ func main() {
 		r.Render().Render(os.Stdout)
 		if *servePath != "" {
 			writeJSONFile("serve", *servePath, r.WriteJSON)
+		}
+	}
+	if want["govern"] {
+		r, err := bench.FigureGovern(opts)
+		if err != nil {
+			fail("govern", err)
+		}
+		r.Render().Render(os.Stdout)
+		if *governPath != "" {
+			writeJSONFile("govern", *governPath, r.WriteJSON)
 		}
 	}
 }

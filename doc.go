@@ -309,4 +309,59 @@
 // 1/8/64/512 concurrent HTTP clients — every response sum asserted
 // identical to the serial oracle — reporting p50/p99/qps; the JSON
 // joins the benchdiff gate on the low-concurrency medians.
+//
+// # Memory governance
+//
+// Runtime.SetMemoryBudget had a narrow meaning — a cap on block-heap
+// reservations — while three other consumers grew beside it: parked
+// arenas in the region pools, idle pooled sessions pinning their
+// allocation blocks, and per-block synopses. mem.Governor makes the
+// budget mean one thing process-wide: the governed total is heap +
+// retained arenas + synopses (pinned session bytes are reported, not
+// double counted — they live inside the heap term), and admission
+// (query.NewCtx via Budget.Admit) is charged against that total.
+//
+// Pressure is a level, not a flag: healthy below 75% of the limit,
+// tight at 75%, critical at 90%. Under pressure a rebalance pass —
+// piggybacked on the Maintainer's tick and on allocation-side reclaim
+// waits, single-flight, never a dedicated thread — walks a fixed
+// degradation ladder, cheapest reclamation first:
+//
+//  1. Shrink the arena pools' retained footprint (halve the retain
+//     bound when tight, zero it when critical) and TrimTo the parked
+//     arenas under the new bound — idle memory nobody is using.
+//  2. Trim the idle session pool (to a quarter when tight, empty when
+//     critical), closing sessions whose allocation blocks would
+//     otherwise stay pinned against compaction.
+//  3. Wake the Maintainer (only when a pass actually freed something —
+//     trimmed sessions abandon blocks, new compaction candidates), so
+//     compaction-for-reclamation starts without waiting out a poll
+//     tick.
+//  4. Queue admissions: Budget.Admit's bounded wait scales with the
+//     level (1x/2x/4x AdmitWait), buying the ladder time to reclaim
+//     before anyone is refused.
+//  5. Only then fail typed: mem.ErrBudgetExceeded, never an OOM.
+//
+// When pressure clears, the pass restores the base bounds and the
+// pools refill on demand. Every rung is counted (GovernorSnapshot:
+// rebalances, restores, transitions, arena bytes freed, sessions
+// trimmed) and surfaced through StatsSnapshot.Governor and /stats; the
+// reclaim rate feeds an EWMA whose deficit/rate quotient becomes the
+// Retry-After on 429/503 responses, clamped to [1s, 30s]. /healthz
+// stays 200 under pressure — degraded-but-serving, with the level in
+// the body — and 503 only when the Maintainer is down; serve admission
+// adds optional per-client-class quotas (X-Client-Class against
+// Config.ClassQuotas) so one class saturates before starving the rest.
+// fault.PointGovernRebalance and PointGovernPressure let the
+// robustness suites abort rebalance passes and count transitions; the
+// storm test runs 1000 pressure/churn/trim cycles under -race and
+// asserts the byte ledgers balance to the block.
+//
+// The `govern` figure of cmd/smcbench (and `make bench-govern`, which
+// writes BENCH_govern.json) sweeps the served q6window path at budgets
+// of unbounded/2x/1.25x/0.9x the measured working set: p50/p99,
+// rejected fraction, and the ladder counters per step — zero OOMs,
+// every refusal a typed 503 with a reclaim-derived Retry-After, and
+// arenas/sessions demonstrably shrink before the first admission
+// fails; the JSON joins the benchdiff gate.
 package repro

@@ -6,6 +6,8 @@ package core
 // so a serving process can export a single stats struct instead of
 // crawling per-query-object pools.
 
+import "repro/internal/mem"
+
 // PoolMetrics is the metrics surface an arena pool exposes to the
 // runtime (region.ArenaPool implements it; the interface keeps core free
 // of a region dependency).
@@ -34,6 +36,10 @@ type ServeCounters struct {
 	// how many passed the gate, Saturated how many were turned away with
 	// typed backpressure (HTTP 429) after the bounded admission wait.
 	Requests, Admitted, Saturated int64
+	// ClassLimited is the subset of Saturated refused at a per-client-
+	// class quota (the multi-tenant isolation gate) rather than the
+	// global slot gate.
+	ClassLimited int64
 	// Canceled counts admitted requests whose context was canceled (client
 	// gone or per-request deadline) before the query finished.
 	Canceled int64
@@ -115,6 +121,13 @@ type RuntimeStats struct {
 	// counted once per pass, not once per attached query.
 	SharedPasses, AttachedQueries int64
 	CatchUpBlocks, Detaches       int64
+	// WideAttaches counts shared-pass boardings admitted only because
+	// the arrival-rate heuristic widened the attach window under storm.
+	WideAttaches int64
+	// Governor is the adaptive memory-governance section: per-consumer
+	// byte accounting against the one budget, the pressure level, and
+	// the degradation-ladder counters (mem.Governor).
+	Governor mem.GovernorSnapshot
 	// Serve is the registered front door's admission activity (zero when
 	// no server is registered).
 	Serve ServeCounters
@@ -149,6 +162,12 @@ func (rt *Runtime) RegisterArenaPool(name string, p PoolMetrics) {
 	rt.mu.Lock()
 	rt.pools = append(rt.pools, namedPool{name, p})
 	rt.mu.Unlock()
+	// Pools that expose retain-bound control join the memory governor's
+	// degradation ladder: their retained footprint counts against the
+	// governed total and is the first thing trimmed under pressure.
+	if gp, ok := p.(mem.GovernedPool); ok {
+		rt.mgr.Governor().RegisterPool(name, gp)
+	}
 }
 
 // RegisterServer points the runtime's stats surface at a serving front
@@ -202,6 +221,9 @@ func (rt *Runtime) StatsSnapshot() RuntimeStats {
 		AttachedQueries: ms.AttachedQueries.Load(),
 		CatchUpBlocks:   ms.CatchUpBlocks.Load(),
 		Detaches:        ms.Detaches.Load(),
+		WideAttaches:    ms.WideAttaches.Load(),
+
+		Governor: rt.mgr.Governor().Snapshot(),
 	}
 	rt.mu.Lock()
 	pools := make([]namedPool, len(rt.pools))

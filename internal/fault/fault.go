@@ -160,4 +160,12 @@ const (
 	// a pass, riding one, or falling back to a private scan); an Err rule
 	// fails the query before it joins anything.
 	PointShareAttach = "mem.share.attach"
+	// PointGovernRebalance hits at the top of every governor rebalance
+	// pass; an Err rule aborts the pass (counted, retried on the next
+	// pressure signal) without touching any consumer.
+	PointGovernRebalance = "mem.govern.rebalance"
+	// PointGovernPressure hits on every observed pressure-level
+	// transition (Healthy/Tight/Critical), after the new level is
+	// published.
+	PointGovernPressure = "mem.govern.pressure"
 )

@@ -82,10 +82,38 @@ func (b *Budget) Limit() int64 { return b.limit.Load() }
 // Used returns the block bytes currently reserved against the budget.
 func (b *Budget) Used() int64 { return b.used.Load() }
 
-// overLimit reports whether use has reached the limit.
+// overLimit reports whether block-heap use has reached the limit (the
+// allocation-path check; block reservations stay heap-vs-limit).
 func (b *Budget) overLimit() bool {
 	l := b.limit.Load()
 	return l > 0 && b.used.Load() >= l
+}
+
+// overGoverned reports whether the governed total — heap plus arena
+// retention plus synopses — has reached the limit. Admission gates on
+// this wider total so that shrinking retained pools genuinely relieves
+// admission pressure: a budget sized below heap+slack rebalances the
+// slack away instead of rejecting queries forever.
+func (b *Budget) overGoverned() bool {
+	l := b.limit.Load()
+	if l <= 0 {
+		return false
+	}
+	if b.used.Load() >= l {
+		return true
+	}
+	if g := b.m.governor; g != nil {
+		return g.GovernedUsed() >= l
+	}
+	return false
+}
+
+// admitBound is the pressure-derived cap on one admission's queue time.
+func (b *Budget) admitBound() time.Duration {
+	if g := b.m.governor; g != nil {
+		return g.AdmitWait()
+	}
+	return budgetAdmitWait
 }
 
 // waitChan returns the current broadcast generation.
@@ -128,9 +156,13 @@ func (b *Budget) tryReserve(n int64) bool {
 // the budget against its own remedy.
 func (b *Budget) forceReserve(n int64) { b.used.Add(n) }
 
-// release returns n bytes to the budget and wakes waiters.
+// release returns n bytes to the budget, feeds the governor's
+// reclaim-rate estimator, and wakes waiters.
 func (b *Budget) release(n int64) {
 	b.used.Add(-n)
+	if g := b.m.governor; g != nil {
+		g.noteReleased(n)
+	}
 	if b.limit.Load() > 0 {
 		b.broadcast()
 	}
@@ -138,11 +170,16 @@ func (b *Budget) release(n int64) {
 
 // reclaim nudges every reclamation path that can run off the allocator's
 // foot: wake the Maintainer for a compaction-for-reclamation pass, try a
-// lazy epoch advance, and drain ripe graves now.
+// lazy epoch advance, drain ripe graves now, and run the governor's
+// rebalance ladder (arena-retention and session-pool trims) — so the
+// cheaper consumers shrink before any admission fails.
 func (b *Budget) reclaim() {
 	b.m.signalAllocPressure()
 	b.m.TryAdvanceEpoch()
 	b.m.drainGraveyard()
+	if g := b.m.governor; g != nil {
+		_ = g.rebalance()
+	}
 }
 
 // reserveBlock reserves one block's bytes for allocation, applying the
@@ -174,15 +211,20 @@ func (b *Budget) reserveBlock(n int64) error {
 	}
 }
 
-// Admit gates one new query admission on the budget: free when under
-// the limit, otherwise it triggers reclamation and blocks — at most
-// budgetAdmitWait, or less when the context expires first — until use
-// drops under the limit. It returns ctx's error when the caller gave
-// up first and ErrBudgetExceeded when the bounded wait elapsed, so an
-// over-budget admission fails typed and promptly even under a long
-// request deadline (the serve layer maps it to a retryable 503 rather
+// Admit gates one new query admission on the governed byte total (heap
+// plus arena retention plus synopses — see overGoverned): free when
+// under the limit, otherwise it triggers reclamation (including the
+// governor's rebalance ladder) and blocks — at most the governor's
+// pressure-derived admitBound, or less when the context expires first —
+// until the governed total drops under the limit. It returns ctx's
+// error when the caller gave up first and ErrBudgetExceeded when the
+// bounded wait elapsed, so an over-budget admission fails typed and
+// promptly even under a long request deadline (the serve layer maps it
+// to a retryable 503 with a reclaim-rate-derived Retry-After rather
 // than queueing the request for its whole timeout); admission holds no
-// resource, so there is nothing to release.
+// resource, so there is nothing to release. The reclaim inside the wait
+// loop runs before the bound can expire, so the ladder's trims always
+// precede a typed admission failure.
 func (b *Budget) Admit(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -190,19 +232,19 @@ func (b *Budget) Admit(ctx context.Context) error {
 	if err := context.Cause(ctx); err != nil {
 		return err
 	}
-	if !b.overLimit() {
+	if !b.overGoverned() {
 		b.admitted.Add(1)
 		return nil
 	}
 	start := time.Now()
 	defer func() { b.waitNanos.Add(time.Since(start).Nanoseconds()) }()
-	t := time.NewTimer(budgetAdmitWait)
+	t := time.NewTimer(b.admitBound())
 	defer t.Stop()
 	bound := t.C
 	for {
 		ch := b.waitChan()
 		b.reclaim()
-		if !b.overLimit() {
+		if !b.overGoverned() {
 			b.admitted.Add(1)
 			return nil
 		}

@@ -1,0 +1,409 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Adaptive memory governance. The process has four memory consumers —
+// the block heap (Budget), every registered arena pool's retained idle
+// set, the parked worker-session pool (whose sessions pin allocation
+// blocks against compaction), and the per-block synopses — and one byte
+// budget. A static split between them loses as soon as the workload
+// shifts, so the Governor rebalances instead: it accounts all four
+// against the one limit and, under rising pressure, walks a degradation
+// ladder that gives bytes back before any admission fails:
+//
+//  1. Shrink arena-pool retention: every registered pool's retain bound
+//     is lowered (half at Tight, zero at Critical) and already-parked
+//     arenas are trimmed immediately.
+//  2. Trim the idle session pool: parked sessions are closed, which
+//     abandons their allocation blocks — turning pinned slack into
+//     compaction candidates.
+//  3. Wake the Maintainer for a compaction-for-reclamation pass.
+//  4. Queue admissions (Budget.Admit) with pressure-derived bounded
+//     waits instead of the flat default.
+//  5. Only when all of that cannot bring the governed total under the
+//     limit does an admission fail with the typed ErrBudgetExceeded.
+//
+// When pressure clears the ladder unwinds: bounds are restored to their
+// registered bases and the pools refill on demand. Every transition is
+// observable — the pressure level (Healthy/Tight/Critical) and the
+// per-consumer byte accounting surface through Snapshot into
+// core.RuntimeStats, and the serve layer derives Retry-After from the
+// governor's measured reclaim rate.
+//
+// The session pool's pinned bytes are reported but not added to the
+// governed total: its allocation blocks are already charged to the
+// block-heap Budget, and double counting would manufacture pressure.
+
+// PressureLevel classifies how close the governed total is to the
+// limit: Healthy below governTightFrac, Tight from there, Critical from
+// governCriticalFrac. An unlimited budget is always Healthy.
+type PressureLevel int32
+
+// Pressure levels, in escalation order.
+const (
+	Healthy PressureLevel = iota
+	Tight
+	Critical
+)
+
+// String names the level for /stats and test labels.
+func (l PressureLevel) String() string {
+	switch l {
+	case Healthy:
+		return "healthy"
+	case Tight:
+		return "tight"
+	case Critical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+const (
+	// governTightFrac / governCriticalFrac are the governed-total
+	// fractions of the limit at which pressure escalates.
+	governTightFrac    = 0.75
+	governCriticalFrac = 0.90
+
+	// governTightSessions is how many parked sessions survive a Tight
+	// trim (Critical drains the pool entirely).
+	governTightSessions = maxPooledSessions / 4
+
+	// Retry-After clamps: the deficit/reclaim-rate estimate is advisory,
+	// so it must never tell a client "now" while over budget nor banish
+	// it for minutes.
+	minRetryAfter = 1 * time.Second
+	maxRetryAfter = 30 * time.Second
+
+	// governRateSample is the minimum interval between reclaim-rate
+	// samples folded into the EWMA.
+	governRateSample = 50 * time.Millisecond
+)
+
+// GovernedPool is the surface an arena pool exposes to the governor
+// (region.ArenaPool implements it; the interface keeps mem free of a
+// region dependency).
+type GovernedPool interface {
+	// RetainedBytes reports the idle footprint currently parked.
+	RetainedBytes() int64
+	// RetainBound reports the current retained-footprint bound.
+	RetainBound() int64
+	// SetRetainBound replaces the bound (gates future returns).
+	SetRetainBound(int64)
+	// TrimTo releases parked arenas down to target bytes, returning the
+	// bytes freed.
+	TrimTo(target int64) int64
+}
+
+// governedPool is one registered pool plus the base bound restored when
+// pressure clears.
+type governedPool struct {
+	name string
+	pool GovernedPool
+	base int64
+}
+
+// Governor is a Manager's adaptive memory-governance control loop; see
+// the package-level comment above. Always non-nil (Manager.Governor);
+// with an unlimited budget it is a passive accountant.
+type Governor struct {
+	m *Manager
+
+	mu    sync.Mutex
+	pools []governedPool
+
+	level    atomic.Int32 // PressureLevel last published
+	degraded atomic.Bool  // ladder engaged; bounds below base
+	inflight atomic.Bool  // single-flight rebalance gate
+
+	// Reclaim-rate estimator: lifetime bytes given back (budget releases
+	// plus governor arena trims), sampled into an EWMA of bytes/second.
+	released   atomic.Int64
+	rateMu     sync.Mutex
+	rateNanos  int64
+	rateBase   int64
+	rateBytesS float64
+
+	rebalances     atomic.Int64
+	rebalanceFails atomic.Int64
+	restores       atomic.Int64
+	transitions    atomic.Int64
+	arenaFreed     atomic.Int64
+	sessTrimmed    atomic.Int64
+}
+
+func newGovernor(m *Manager) *Governor { return &Governor{m: m} }
+
+// Governor returns the manager's memory governor.
+func (m *Manager) Governor() *Governor { return m.governor }
+
+// RegisterPool adds an arena pool to the governed set, recording its
+// current retain bound as the base restored when pressure clears.
+// Registration is append-only, mirroring core.RegisterArenaPool.
+func (g *Governor) RegisterPool(name string, p GovernedPool) {
+	g.mu.Lock()
+	g.pools = append(g.pools, governedPool{name: name, pool: p, base: p.RetainBound()})
+	g.mu.Unlock()
+}
+
+// snapshotPools copies the registered set.
+func (g *Governor) snapshotPools() []governedPool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]governedPool, len(g.pools))
+	copy(out, g.pools)
+	return out
+}
+
+// ArenaRetained sums the registered pools' parked footprints.
+func (g *Governor) ArenaRetained() int64 {
+	var n int64
+	for _, gp := range g.snapshotPools() {
+		n += gp.pool.RetainedBytes()
+	}
+	return n
+}
+
+// GovernedUsed is the byte total the governor holds against the limit:
+// block heap + arena retention + synopses. Session-pinned blocks are
+// inside the heap term already (see the package comment).
+func (g *Governor) GovernedUsed() int64 {
+	return g.m.budget.Used() + g.ArenaRetained() + g.m.synopsisFootprint()
+}
+
+// computeLevel classifies the current governed total.
+func (g *Governor) computeLevel() PressureLevel {
+	l := g.m.budget.Limit()
+	if l <= 0 {
+		return Healthy
+	}
+	u := float64(g.GovernedUsed())
+	switch {
+	case u >= governCriticalFrac*float64(l):
+		return Critical
+	case u >= governTightFrac*float64(l):
+		return Tight
+	}
+	return Healthy
+}
+
+// refreshLevel recomputes and publishes the pressure level, counting
+// transitions and firing the injection point on each.
+func (g *Governor) refreshLevel() PressureLevel {
+	lvl := g.computeLevel()
+	if old := PressureLevel(g.level.Swap(int32(lvl))); old != lvl {
+		g.transitions.Add(1)
+		fault.Point(fault.PointGovernPressure)
+	}
+	return lvl
+}
+
+// Level recomputes and returns the current pressure level.
+func (g *Governor) Level() PressureLevel { return g.refreshLevel() }
+
+// noteReleased feeds the reclaim-rate estimator; Budget.release and the
+// governor's own arena trims call it.
+func (g *Governor) noteReleased(n int64) { g.released.Add(n) }
+
+// reclaimRate returns the EWMA bytes/second the system has been giving
+// back, folding in a fresh sample when enough time has passed.
+func (g *Governor) reclaimRate() float64 {
+	now := time.Now().UnixNano()
+	total := g.released.Load()
+	g.rateMu.Lock()
+	defer g.rateMu.Unlock()
+	if g.rateNanos == 0 {
+		g.rateNanos, g.rateBase = now, total
+		return g.rateBytesS
+	}
+	if dt := now - g.rateNanos; dt >= int64(governRateSample) {
+		inst := float64(total-g.rateBase) / (float64(dt) / float64(time.Second))
+		g.rateBytesS = 0.5*g.rateBytesS + 0.5*inst
+		g.rateNanos, g.rateBase = now, total
+	}
+	return g.rateBytesS
+}
+
+// RetryAfter derives a client backoff from the governed deficit and the
+// measured reclaim rate, clamped to [minRetryAfter, maxRetryAfter]: a
+// deficit the system is draining fast earns a short retry, a stalled
+// reclaim path earns the max.
+func (g *Governor) RetryAfter() time.Duration {
+	l := g.m.budget.Limit()
+	if l <= 0 {
+		return minRetryAfter
+	}
+	deficit := g.GovernedUsed() - l
+	if deficit <= 0 {
+		return minRetryAfter
+	}
+	rate := g.reclaimRate()
+	if rate <= 0 {
+		return maxRetryAfter
+	}
+	d := time.Duration(float64(deficit) / rate * float64(time.Second))
+	return min(max(d, minRetryAfter), maxRetryAfter)
+}
+
+// AdmitWait is the pressure-derived bound on how long one admission may
+// queue before failing typed: the flat default while Healthy, stretched
+// under pressure so admissions queue through a reclamation cycle instead
+// of failing into a retry storm.
+func (g *Governor) AdmitWait() time.Duration {
+	switch PressureLevel(g.level.Load()) {
+	case Critical:
+		return 4 * budgetAdmitWait
+	case Tight:
+		return 2 * budgetAdmitWait
+	}
+	return budgetAdmitWait
+}
+
+// Rebalance runs one ladder pass: reclassify pressure, shrink or
+// restore the governed consumers accordingly, and wake the Maintainer.
+// Single-flight (concurrent callers return immediately) and cheap when
+// Healthy and not degraded, so the budget's reclaim path can call it on
+// every pressure event. The fault.PointGovernRebalance Err rule aborts
+// the pass before it touches any consumer — counted, retried on the
+// next pressure signal, never inconsistent.
+func (g *Governor) Rebalance() error { return g.rebalance() }
+
+func (g *Governor) rebalance() error {
+	if !g.inflight.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer g.inflight.Store(false)
+	if err := fault.Check(fault.PointGovernRebalance); err != nil {
+		g.rebalanceFails.Add(1)
+		return err
+	}
+	lvl := g.refreshLevel()
+	g.rebalances.Add(1)
+	var freed int64
+	var trimmed int
+	switch lvl {
+	case Healthy:
+		if g.degraded.CompareAndSwap(true, false) {
+			for _, gp := range g.snapshotPools() {
+				gp.pool.SetRetainBound(gp.base)
+			}
+			g.restores.Add(1)
+		}
+		return nil
+	case Tight:
+		freed = g.shrinkPools(2)
+		trimmed = g.m.TrimSessionPool(governTightSessions)
+	case Critical:
+		freed = g.shrinkPools(0)
+		trimmed = g.m.TrimSessionPool(0)
+	}
+	g.sessTrimmed.Add(int64(trimmed))
+	g.degraded.Store(true)
+	// Wake the Maintainer only when this pass actually gave something
+	// back (trimmed sessions abandon blocks — new compaction candidates).
+	// An unconditional wake here would self-perpetuate: the woken
+	// maintainer's tick rebalances, which would wake it again, spinning
+	// the maintenance loop for as long as pressure lasts.
+	if freed > 0 || trimmed > 0 {
+		g.m.signalAllocPressure()
+	}
+	if freed > 0 {
+		g.arenaFreed.Add(freed)
+		g.noteReleased(freed)
+		// The governed total just dropped without a budget release;
+		// admission waiters must re-check against the new total.
+		g.m.budget.broadcast()
+	}
+	return nil
+}
+
+// shrinkPools lowers every pool's retain bound to base/div (0 for
+// div==0) and trims parked arenas down to it, returning bytes freed.
+func (g *Governor) shrinkPools(div int64) int64 {
+	var freed int64
+	for _, gp := range g.snapshotPools() {
+		target := int64(0)
+		if div > 0 {
+			target = gp.base / div
+		}
+		gp.pool.SetRetainBound(target)
+		freed += gp.pool.TrimTo(target)
+	}
+	return freed
+}
+
+// tick is the Maintainer's periodic governance hook: reclassify, keep
+// the ladder engaged while pressure lasts, and unwind it (restore pool
+// bounds) once pressure clears — including after the limit itself was
+// raised or removed.
+func (g *Governor) tick() {
+	if g.m.budget.Limit() <= 0 {
+		if g.degraded.Load() {
+			_ = g.rebalance()
+		}
+		return
+	}
+	if g.refreshLevel() != Healthy || g.degraded.Load() {
+		_ = g.rebalance()
+	}
+}
+
+// GovernorSnapshot is a point-in-time view of the governed accounting,
+// surfaced through core.RuntimeStats (the /stats Governor section).
+type GovernorSnapshot struct {
+	// Level is the pressure level ("healthy", "tight", "critical").
+	Level string
+	// Limit is the byte budget (0 = unlimited); GovernedUsed the total
+	// held against it, split into the per-consumer terms below.
+	Limit, GovernedUsed int64
+	// HeapUsed is the block-heap reservation; ArenaRetained the parked
+	// arena footprint across registered pools; SynopsisBytes the
+	// per-block bounds estimate.
+	HeapUsed, ArenaRetained, SynopsisBytes int64
+	// PooledSessions / SessionPinnedBytes describe the idle session
+	// pool: sessions parked, and the allocation-block bytes they pin
+	// against compaction (reported, not double counted — those bytes are
+	// inside HeapUsed).
+	PooledSessions, SessionPinnedBytes int64
+	// Ladder activity: rebalance passes run, passes aborted by fault
+	// injection, restores after pressure cleared, observed level
+	// transitions, arena bytes trimmed, and sessions closed by trims.
+	Rebalances, RebalanceFails, Restores int64
+	Transitions                          int64
+	ArenaBytesFreed, SessionsTrimmed     int64
+	// ReclaimBytesPerSec is the measured reclaim-rate EWMA behind
+	// Retry-After.
+	ReclaimBytesPerSec float64
+}
+
+// Snapshot captures the governor's accounting and counters, refreshing
+// the pressure level as a side effect.
+func (g *Governor) Snapshot() GovernorSnapshot {
+	heap := g.m.budget.Used()
+	arena := g.ArenaRetained()
+	syn := g.m.synopsisFootprint()
+	sessions, pinned := g.m.sessionPoolFootprint()
+	return GovernorSnapshot{
+		Level:              g.refreshLevel().String(),
+		Limit:              g.m.budget.Limit(),
+		GovernedUsed:       heap + arena + syn,
+		HeapUsed:           heap,
+		ArenaRetained:      arena,
+		SynopsisBytes:      syn,
+		PooledSessions:     int64(sessions),
+		SessionPinnedBytes: pinned,
+		Rebalances:         g.rebalances.Load(),
+		RebalanceFails:     g.rebalanceFails.Load(),
+		Restores:           g.restores.Load(),
+		Transitions:        g.transitions.Load(),
+		ArenaBytesFreed:    g.arenaFreed.Load(),
+		SessionsTrimmed:    g.sessTrimmed.Load(),
+		ReclaimBytesPerSec: g.reclaimRate(),
+	}
+}

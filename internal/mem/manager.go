@@ -247,6 +247,10 @@ type Manager struct {
 	// allocation backpressure); always non-nil, unlimited by default.
 	budget *Budget
 
+	// governor is the adaptive memory-governance control loop over the
+	// budget and the registered arena pools (govern.go); always non-nil.
+	governor *Governor
+
 	stats Stats
 }
 
@@ -333,6 +337,11 @@ type Stats struct {
 	AttachedQueries atomic.Int64
 	CatchUpBlocks   atomic.Int64
 	Detaches        atomic.Int64
+
+	// WideAttaches counts shared-pass attaches admitted only because the
+	// arrival-rate heuristic had widened the attach window past the fixed
+	// first-half default (share.go).
+	WideAttaches atomic.Int64
 }
 
 // NewManager builds a Manager from the configuration.
@@ -360,6 +369,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		ep:    epoch.NewManager(),
 	}
 	m.budget = newBudget(m, c.MemoryBudget)
+	m.governor = newGovernor(m)
 	empty := make([]*Block, 0)
 	m.blocks.Store(&empty)
 	t, err := newIndirectTable(m.alloc)
@@ -604,6 +614,44 @@ func (m *Manager) ReturnSession(s *Session) {
 	}
 	m.sessMu.Unlock()
 	_ = s.Close()
+}
+
+// TrimSessionPool closes parked idle sessions beyond keep, returning
+// how many were closed. Closing a parked session abandons its
+// allocation blocks, which turns session-pinned slack into compaction
+// candidates — the governor's ladder uses this under memory pressure.
+func (m *Manager) TrimSessionPool(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	m.sessMu.Lock()
+	var drain []*Session
+	if len(m.sessPool) > keep {
+		drain = append(drain, m.sessPool[keep:]...)
+		m.sessPool = m.sessPool[:keep]
+	}
+	m.sessMu.Unlock()
+	for _, s := range drain {
+		_ = s.Close()
+	}
+	return len(drain)
+}
+
+// sessionPoolFootprint reports how many sessions are parked idle and the
+// allocation-block bytes they pin against compaction. Parked sessions
+// are unowned, so reading their alloc maps under sessMu is race-free
+// (lease/return transfer ownership under the same lock).
+func (m *Manager) sessionPoolFootprint() (sessions int, pinnedBytes int64) {
+	m.sessMu.Lock()
+	defer m.sessMu.Unlock()
+	for _, s := range m.sessPool {
+		for _, b := range s.allocBlocks {
+			if b != nil {
+				pinnedBytes += int64(m.cfg.BlockSize)
+			}
+		}
+	}
+	return len(m.sessPool), pinnedBytes
 }
 
 // SetSessionPooling toggles worker-session pooling (on by default); when

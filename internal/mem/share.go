@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -67,7 +68,25 @@ import (
 // have been claimed. Past the window a query runs a private scan — a
 // rider that attached near the end would re-scan almost everything in
 // catch-up, paying more memory traffic than an independent scan.
-const shareAttachWindowDen = 2
+//
+// The first-half heuristic is the zero-stats default. Under a request
+// storm the group tracks its recent arrival rate (noteArrival) and
+// widens the window to three quarters: with arrivals landing every few
+// milliseconds, a late rider's catch-up is amortized across many more
+// saved private passes, so trading extra catch-up traffic for one more
+// shared boarding wins. The window narrows back to the default as soon
+// as a bucket goes quiet.
+const (
+	shareAttachWindowDen = 2
+	// Widened window: cursor*Den <= len(shared)*Num, i.e. three quarters.
+	shareAttachWideNum = 3
+	shareAttachWideDen = 4
+	// shareRateBucket is the arrival-rate sampling bucket;
+	// shareStormArrivals is the per-bucket arrival count that marks a
+	// storm and widens the window.
+	shareRateBucket    = 100 * time.Millisecond
+	shareStormArrivals = 8
+)
 
 // ShareGroup coordinates cooperative scan sharing over one context. At
 // most one shared pass runs at a time; queries arriving while it is
@@ -79,6 +98,46 @@ type ShareGroup struct {
 	mu  sync.Mutex
 	cur *sharePass
 	gen int64 // passes launched; diagnostic generation counter
+
+	// Arrival-rate tracking for the adaptive attach window: arrivals are
+	// counted into shareRateBucket-sized buckets; the previous completed
+	// bucket (and the current one) decide whether the window widens.
+	// Best-effort atomics — a lost count under a racing rotation only
+	// delays the widening by one bucket.
+	rateStart atomic.Int64 // bucket start, unix nanos; 0 = unstarted
+	rateN     atomic.Int64 // arrivals in the current bucket
+	ratePrevN atomic.Int64 // arrivals in the last completed bucket
+}
+
+// noteArrival counts one Scan arrival into the current rate bucket,
+// rotating buckets as time passes.
+func (g *ShareGroup) noteArrival() {
+	now := time.Now().UnixNano()
+	start := g.rateStart.Load()
+	if start == 0 {
+		g.rateStart.CompareAndSwap(0, now)
+		start = g.rateStart.Load()
+	}
+	if age := now - start; age >= int64(shareRateBucket) {
+		if g.rateStart.CompareAndSwap(start, now) {
+			n := g.rateN.Swap(0)
+			if age >= 2*int64(shareRateBucket) {
+				n = 0 // the bucket that just closed was already stale
+			}
+			g.ratePrevN.Store(n)
+		}
+	}
+	g.rateN.Add(1)
+}
+
+// attachWindow resolves the current attach-window fraction as num/den:
+// the fixed first-half default, or three quarters while the recent
+// arrival rate says a storm is boarding.
+func (g *ShareGroup) attachWindow() (num, den int64, widened bool) {
+	if g.ratePrevN.Load() >= shareStormArrivals || g.rateN.Load() >= shareStormArrivals {
+		return shareAttachWideNum, shareAttachWideDen, true
+	}
+	return 1, shareAttachWindowDen, false
 }
 
 // Share returns the context's share group, creating it on first use.
@@ -168,6 +227,7 @@ func (g *ShareGroup) Scan(cctx context.Context, s *Session, workers int, pred *S
 	if err := fault.Check(fault.PointShareAttach); err != nil {
 		return err
 	}
+	g.noteArrival()
 
 	g.mu.Lock()
 	if p := g.cur; p != nil {
@@ -283,7 +343,9 @@ func (p *sharePass) tryAttach(pred *ScanPredicate, attach func(slots int) func(w
 	if p.stop.Load() || p.passErr.Load() != nil {
 		return nil
 	}
-	if p.cursor.Load()*shareAttachWindowDen > int64(len(p.shared)) {
+	num, den, widened := p.grp.attachWindow()
+	cur := p.cursor.Load()
+	if cur*den > int64(len(p.shared))*num {
 		return nil
 	}
 	// Hold the pass open through this rider's catch-up; a pass whose
@@ -296,6 +358,11 @@ func (p *sharePass) tryAttach(pred *ScanPredicate, attach func(slots int) func(w
 		if p.refs.CompareAndSwap(n, n+1) {
 			break
 		}
+	}
+	if widened && cur*shareAttachWindowDen > int64(len(p.shared)) {
+		// Admitted only because the storm heuristic widened the window
+		// past the fixed first-half default.
+		p.ctx.mgr.stats.WideAttaches.Add(1)
 	}
 	return p.addRider(pred, attach, false)
 }

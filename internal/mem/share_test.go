@@ -752,3 +752,140 @@ func TestSharedScanChurnStress(t *testing.T) {
 	}
 	assertScanQuiesced(t, h)
 }
+
+// TestShareAttachWindowAdaptsToArrivalRate: the attach window is the
+// fixed first half at rest, widens to three quarters once a rate bucket
+// sees a storm's worth of arrivals, survives one bucket rotation on the
+// previous bucket's evidence, and narrows back after two quiet buckets.
+// Bucket boundaries are simulated by rewinding rateStart, so the test
+// never sleeps through real 100ms buckets.
+func TestShareAttachWindowAdaptsToArrivalRate(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	g := h.ctx.Share()
+	if num, den, wide := g.attachWindow(); num != 1 || den != shareAttachWindowDen || wide {
+		t.Fatalf("zero-stats window = %d/%d widened=%v, want 1/%d narrow", num, den, wide, shareAttachWindowDen)
+	}
+	for i := 0; i < shareStormArrivals; i++ {
+		g.noteArrival()
+	}
+	if num, den, wide := g.attachWindow(); num != shareAttachWideNum || den != shareAttachWideDen || !wide {
+		t.Fatalf("storm window = %d/%d widened=%v, want %d/%d widened", num, den, wide, shareAttachWideNum, shareAttachWideDen)
+	}
+	// One bucket rotation: the storm bucket becomes the previous bucket
+	// and keeps the window wide.
+	g.rateStart.Store(time.Now().UnixNano() - int64(shareRateBucket) - 1)
+	g.noteArrival()
+	if prev := g.ratePrevN.Load(); prev < shareStormArrivals {
+		t.Fatalf("rotation carried %d arrivals into the previous bucket, want >= %d", prev, shareStormArrivals)
+	}
+	if _, _, wide := g.attachWindow(); !wide {
+		t.Fatal("window narrowed immediately after the storm bucket closed")
+	}
+	// Two quiet buckets: the closing bucket is already stale, so the
+	// previous-bucket evidence is dropped and the window narrows.
+	g.rateStart.Store(time.Now().UnixNano() - 2*int64(shareRateBucket) - 1)
+	g.noteArrival()
+	if num, den, wide := g.attachWindow(); num != 1 || den != shareAttachWindowDen || wide {
+		t.Fatalf("post-quiet window = %d/%d widened=%v, want 1/%d narrow", num, den, wide, shareAttachWindowDen)
+	}
+	assertScanQuiesced(t, h)
+}
+
+// TestSharedScanWideAttachPastHalf: with the storm window armed, a rider
+// arriving after the pass crossed the fixed half boundary still boards
+// (and WideAttaches counts it); the same cursor would have been rejected
+// by the narrow window. The leader is parked inside block 4 of 8, so the
+// cursor sits at 5: past 8/2, within 3*8/4.
+func TestSharedScanWideAttachPastHalf(t *testing.T) {
+	h := newHarness(t, RowIndirect, Config{BlockSize: 1 << 13, HeapBackend: true})
+	const nBlocks = 8
+	n := h.ctx.BlockCapacity() * nBlocks
+	want := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		h.add(t, h.s, int64(i), "v")
+		want[int64(i)] = 1
+	}
+	const parkCursor = 5 // kernel parked inside block 4
+	if parkCursor*shareAttachWindowDen <= nBlocks {
+		t.Fatalf("park point %d is inside the narrow window for %d blocks; the test would not exercise widening", parkCursor, nBlocks)
+	}
+	if parkCursor*shareAttachWideDen > nBlocks*shareAttachWideNum {
+		t.Fatalf("park point %d is outside even the widened window for %d blocks", parkCursor, nBlocks)
+	}
+	st := h.m.Stats()
+	attached0 := st.AttachedQueries.Load()
+	wide0 := st.WideAttaches.Load()
+	catchup0 := st.CatchUpBlocks.Load()
+
+	// Arm the storm before the leader starts so the window is already
+	// wide when the late rider knocks.
+	g := h.ctx.Share()
+	for i := 0; i < shareStormArrivals; i++ {
+		g.noteArrival()
+	}
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	var calls atomic.Int64
+	var mu sync.Mutex
+	leaderSeen := make(map[int64]int)
+	leaderErr := make(chan error, 1)
+	go func() {
+		leaderErr <- g.Scan(nil, h.s, 1, nil, func(slots int) func(int, *Session, *Block) error {
+			return func(_ int, _ *Session, b *Block) error {
+				if calls.Add(1) == parkCursor {
+					close(parked)
+					<-release
+				}
+				mu.Lock()
+				for slot := 0; slot < b.capacity; slot++ {
+					if b.SlotIsValid(slot) {
+						leaderSeen[*(*int64)(b.FieldPtr(slot, h.idF))]++
+					}
+				}
+				mu.Unlock()
+				return nil
+			}
+		})
+	}()
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the park cursor")
+	}
+
+	var riderMu sync.Mutex
+	riderSeen := make(map[int64]int)
+	riderErr, rs := attachRider(t, h, func(slots int) func(int, *Session, *Block) error {
+		return func(_ int, _ *Session, b *Block) error {
+			riderMu.Lock()
+			for slot := 0; slot < b.capacity; slot++ {
+				if b.SlotIsValid(slot) {
+					riderSeen[*(*int64)(b.FieldPtr(slot, h.idF))]++
+				}
+			}
+			riderMu.Unlock()
+			return nil
+		}
+	}, nil)
+	defer rs.Close()
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-riderErr; err != nil {
+		t.Fatalf("rider: %v", err)
+	}
+	assertExactlyOnce(t, leaderSeen, want, "leader")
+	assertExactlyOnce(t, riderSeen, want, "rider")
+	if got := st.AttachedQueries.Load() - attached0; got != 1 {
+		t.Fatalf("AttachedQueries moved by %d, want 1", got)
+	}
+	if got := st.WideAttaches.Load() - wide0; got != 1 {
+		t.Fatalf("WideAttaches moved by %d, want 1: the attach past the half boundary must be credited to the widened window", got)
+	}
+	if st.CatchUpBlocks.Load() == catchup0 {
+		t.Fatal("rider attached past half but CatchUpBlocks never moved")
+	}
+	assertScanQuiesced(t, h)
+}

@@ -155,6 +155,22 @@ func (c *Context) clusterKeySlot() int {
 	return int(c.clusterSlot.Load())
 }
 
+// synopsisFootprint estimates the bytes held by per-block synopses
+// across all contexts: two 8-byte bounds per registered column per
+// block. It is the fourth consumer term in the governor's accounting
+// (govern.go) — small next to the heap, but counted so a synopsis-heavy
+// schema cannot silently eat the budget.
+func (m *Manager) synopsisFootprint() int64 {
+	var n int64
+	for _, c := range m.Contexts() {
+		if c.syn == nil {
+			continue
+		}
+		n += int64(c.Blocks()) * int64(len(c.syn.fields)) * 16
+	}
+	return n
+}
+
 // synopsisSlot resolves a registered column's synopsis index, or -1.
 func (c *Context) synopsisSlot(f *schema.Field) int {
 	if c.syn == nil {

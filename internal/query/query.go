@@ -193,10 +193,13 @@ func New(s *core.Session, pool *region.ArenaPool, workers int) *Pipeline {
 }
 
 // NewCtx is New bound to a context, with budget admission control: when
-// the runtime's memory budget is over its limit the call waits (bounded
-// by the context deadline, or briefly when there is none) for
-// reclamation to make room, returning mem.ErrBudgetExceeded when it
-// cannot — load-shedding happens before the query leases anything.
+// the runtime's governed memory total (block heap plus arena retention
+// plus synopses) is over its limit the call queues — bounded by the
+// context deadline, or by the governor's pressure-derived wait when
+// there is none — while the degradation ladder (arena trims, session-
+// pool trims, compaction-for-reclamation) makes room, returning
+// mem.ErrBudgetExceeded only when all of that could not — load-shedding
+// happens before the query leases anything.
 // Every stage of the returned pipeline observes ctx at block-claim
 // granularity; a canceled stage returns the cancellation cause after
 // all its workers unwind, and Close still returns every leased arena.

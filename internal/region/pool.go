@@ -98,6 +98,46 @@ func (p *ArenaPool) RetainedBytes() int64 {
 	return p.idleBytes
 }
 
+// RetainBound reports the current retained-footprint bound.
+func (p *ArenaPool) RetainBound() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bound
+}
+
+// SetRetainBound replaces the retained-footprint bound. It only gates
+// future Returns — pair it with TrimTo to shed already-parked arenas.
+// The memory governor lowers the bound under pressure and restores it
+// when pressure clears; a negative bound retains nothing.
+func (p *ArenaPool) SetRetainBound(bound int64) {
+	p.mu.Lock()
+	p.bound = bound
+	p.mu.Unlock()
+}
+
+// TrimTo releases idle arenas (newest-parked first) until the retained
+// footprint is at most target, returning the bytes freed. Leased arenas
+// are untouched; the pool stays usable.
+func (p *ArenaPool) TrimTo(target int64) (freed int64) {
+	if target < 0 {
+		target = 0
+	}
+	p.mu.Lock()
+	var drop []*Arena
+	for len(p.idle) > 0 && p.idleBytes > target {
+		a := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		p.idleBytes -= a.Footprint()
+		freed += a.Footprint()
+		drop = append(drop, a)
+	}
+	p.mu.Unlock()
+	for _, a := range drop {
+		a.Release()
+	}
+	return freed
+}
+
 // Stats reports lifetime lease and reuse counts.
 func (p *ArenaPool) Stats() (leases, reuses int64) {
 	p.mu.Lock()

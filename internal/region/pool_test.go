@@ -51,6 +51,75 @@ func TestArenaPoolBoundsRetainedFootprint(t *testing.T) {
 	}
 }
 
+// TestArenaPoolTrimToReleasesIdle: TrimTo sheds parked arenas down to
+// the target and reports the bytes freed; leased arenas are untouched
+// and the pool stays usable.
+func TestArenaPoolTrimToReleasesIdle(t *testing.T) {
+	const chunk = 1024
+	p := NewArenaPool(nil, chunk, 8*chunk)
+	defer p.Close()
+	arenas := make([]*Arena, 4)
+	for i := range arenas {
+		arenas[i] = p.Lease()
+		arenas[i].Alloc(512, 8)
+	}
+	leased := p.Lease()
+	leased.Alloc(512, 8)
+	for _, a := range arenas {
+		p.Return(a)
+	}
+	if got := p.RetainedBytes(); got != 4*chunk {
+		t.Fatalf("retained = %d, want %d", got, 4*chunk)
+	}
+	if freed := p.TrimTo(chunk); freed != 3*chunk {
+		t.Fatalf("TrimTo(%d) freed %d, want %d", chunk, freed, 3*chunk)
+	}
+	if got := p.RetainedBytes(); got != chunk {
+		t.Fatalf("retained after trim = %d, want %d", got, chunk)
+	}
+	if freed := p.TrimTo(chunk); freed != 0 {
+		t.Fatalf("idempotent trim freed %d, want 0", freed)
+	}
+	// Negative targets clamp to zero (the governor's Critical trim).
+	if freed := p.TrimTo(-1); freed != chunk {
+		t.Fatalf("TrimTo(-1) freed %d, want %d", freed, chunk)
+	}
+	if got := p.RetainedBytes(); got != 0 {
+		t.Fatalf("retained after full trim = %d, want 0", got)
+	}
+	// The leased arena was never the pool's to release.
+	p.Return(leased)
+	if got := p.RetainedBytes(); got != chunk {
+		t.Fatalf("retained after returning leased arena = %d, want %d", got, chunk)
+	}
+}
+
+// TestArenaPoolRetainBoundGatesReturns: lowering the bound via
+// SetRetainBound gates future returns (the governor pairs it with
+// TrimTo); restoring the base bound lets the pool refill on demand.
+func TestArenaPoolRetainBoundGatesReturns(t *testing.T) {
+	const chunk = 1024
+	p := NewArenaPool(nil, chunk, 4*chunk)
+	defer p.Close()
+	if got := p.RetainBound(); got != 4*chunk {
+		t.Fatalf("RetainBound = %d, want %d", got, 4*chunk)
+	}
+	p.SetRetainBound(0)
+	a := p.Lease()
+	a.Alloc(512, 8)
+	p.Return(a)
+	if got := p.RetainedBytes(); got != 0 {
+		t.Fatalf("zero bound parked %d bytes", got)
+	}
+	p.SetRetainBound(4 * chunk)
+	b := p.Lease()
+	b.Alloc(512, 8)
+	p.Return(b)
+	if got := p.RetainedBytes(); got != chunk {
+		t.Fatalf("restored bound retained %d, want %d", got, chunk)
+	}
+}
+
 func TestArenaPoolReturnNil(t *testing.T) {
 	p := NewArenaPool(nil, 0, 0)
 	defer p.Close()

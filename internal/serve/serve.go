@@ -19,6 +19,19 @@
 // exhaustion. Gate activity is surfaced through
 // core.Runtime.StatsSnapshot (core.ServeCounters).
 //
+// Multi-tenant isolation: Config.ClassQuotas optionally bounds each
+// client class (the X-Client-Class request header) to its own slot
+// count inside the global gate. A greedy class exhausts its quota and
+// eats 429s while every other class keeps its latency; classless
+// requests see only the global gate.
+//
+// Backpressure statuses (429/503) carry a Retry-After derived from the
+// memory governor's measured reclaim rate (mem.Governor.RetryAfter,
+// clamped to [1s, 30s]), so a client backs off for roughly as long as
+// the governed deficit needs to drain. /healthz distinguishes
+// degraded-but-serving — memory pressure Tight/Critical, still 200,
+// level in the body — from not-ready 503 (Maintainer down).
+//
 // Error model (engine error → HTTP status):
 //
 //	serve.ErrSaturated        → 429 code "saturated"    (admission gate full past the bounded wait)
@@ -73,7 +86,17 @@ type Config struct {
 	// carries no workers knob; MaxWorkers caps it. Defaults 1 /
 	// GOMAXPROCS.
 	DefaultWorkers, MaxWorkers int
+	// ClassQuotas optionally caps concurrent queries per client class
+	// (the X-Client-Class request header): a request whose class cannot
+	// take one of its quota slots within AdmitWait gets the typed 429
+	// without touching the global gate. Classes not listed here (and
+	// classless requests) see only the global gate.
+	ClassQuotas map[string]int
 }
+
+// classHeader names the request header carrying the client class the
+// per-class admission quotas key on.
+const classHeader = "X-Client-Class"
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
@@ -106,12 +129,15 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	sem chan struct{}
+	// classSem holds one quota semaphore per configured client class.
+	classSem map[string]chan struct{}
 
 	specs []*Spec
 
 	requests, admitted, saturated atomic.Int64
 	canceled, admitWaitNanos      atomic.Int64
 	inFlight                      atomic.Int64
+	classLimited                  atomic.Int64
 }
 
 // New builds a Server over the given runtime and compiled query object,
@@ -129,6 +155,14 @@ func New(rt *core.Runtime, q *tpch.SMCQueries, mt *mem.Maintainer, cfg Config) *
 		mux: http.NewServeMux(),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	if len(s.cfg.ClassQuotas) > 0 {
+		s.classSem = make(map[string]chan struct{}, len(s.cfg.ClassQuotas))
+		for class, n := range s.cfg.ClassQuotas {
+			if n > 0 {
+				s.classSem[class] = make(chan struct{}, n)
+			}
+		}
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/queries", s.handleQueries)
@@ -147,6 +181,7 @@ func (s *Server) ServeCounters() core.ServeCounters {
 		Requests:       s.requests.Load(),
 		Admitted:       s.admitted.Load(),
 		Saturated:      s.saturated.Load(),
+		ClassLimited:   s.classLimited.Load(),
 		Canceled:       s.canceled.Load(),
 		AdmitWaitNanos: s.admitWaitNanos.Load(),
 		InFlight:       s.inFlight.Load(),
@@ -162,38 +197,81 @@ func (s *Server) register(sp *Spec) {
 	})
 }
 
-// admit takes an admission slot, waiting at most cfg.AdmitWait. The
-// returned release func must be called exactly once. A nil release
+// admit takes an admission slot, waiting at most cfg.AdmitWait. When
+// the request's class carries a quota, its class slot is taken first —
+// a greedy class saturates its own quota (counted in ClassLimited) and
+// never reaches the global gate, so other classes keep their latency.
+// The returned release func must be called exactly once. A nil release
 // means the request was not admitted and err tells why (ErrSaturated or
 // the request context's cause).
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
+func (s *Server) admit(ctx context.Context, class string) (release func(), err error) {
 	s.requests.Add(1)
 	start := time.Now()
 	defer func() { s.admitWaitNanos.Add(time.Since(start).Nanoseconds()) }()
-	release = func() {
-		s.inFlight.Add(-1)
-		<-s.sem
-	}
-	select {
-	case s.sem <- struct{}{}:
+	if q := s.classSem[class]; q != nil {
+		if err := s.acquire(ctx, q); err != nil {
+			if errors.Is(err, ErrSaturated) {
+				s.classLimited.Add(1)
+				s.saturated.Add(1)
+			} else {
+				s.canceled.Add(1)
+			}
+			return nil, err
+		}
+		defer func() {
+			if release == nil {
+				<-q // global gate refused: give the class slot back
+			}
+		}()
+		if err := s.acquire(ctx, s.sem); err != nil {
+			if errors.Is(err, ErrSaturated) {
+				s.saturated.Add(1)
+			} else {
+				s.canceled.Add(1)
+			}
+			return nil, err
+		}
 		s.admitted.Add(1)
 		s.inFlight.Add(1)
-		return release, nil
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+			<-q
+		}, nil
+	}
+	if err := s.acquire(ctx, s.sem); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.saturated.Add(1)
+		} else {
+			s.canceled.Add(1)
+		}
+		return nil, err
+	}
+	s.admitted.Add(1)
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// acquire takes one slot from sem within cfg.AdmitWait, or reports
+// ErrSaturated / the context's cause.
+func (s *Server) acquire(ctx context.Context, sem chan struct{}) error {
+	select {
+	case sem <- struct{}{}:
+		return nil
 	default:
 	}
 	t := time.NewTimer(s.cfg.AdmitWait)
 	defer t.Stop()
 	select {
-	case s.sem <- struct{}{}:
-		s.admitted.Add(1)
-		s.inFlight.Add(1)
-		return release, nil
+	case sem <- struct{}{}:
+		return nil
 	case <-ctx.Done():
-		s.canceled.Add(1)
-		return nil, context.Cause(ctx)
+		return context.Cause(ctx)
 	case <-t.C:
-		s.saturated.Add(1)
-		return nil, ErrSaturated
+		return ErrSaturated
 	}
 }
 
@@ -232,7 +310,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, sp *Spec) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	release, err := s.admit(r.Context())
+	release, err := s.admit(r.Context(), r.Header.Get(classHeader))
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -311,12 +389,28 @@ type StreamTrailer struct {
 	Error *APIError `json:"error,omitempty"`
 }
 
+// HealthResponse is the /healthz body. Not-ready (Maintainer down) is
+// a 503; memory pressure is NOT — a governed heap under pressure is
+// degraded but serving, so the body reports the pressure level and the
+// status stays 200 (a load balancer must not drain a replica for doing
+// exactly what the degradation ladder is for).
+type HealthResponse struct {
+	OK       bool   `json:"ok"`
+	Pressure string `json:"pressure"`
+	Degraded bool   `json:"degraded"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.mt == nil || !s.mt.Running() {
 		writeError(w, http.StatusServiceUnavailable, "not_ready", "maintainer not running")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	lvl := s.rt.Manager().Governor().Level()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:       true,
+		Pressure: lvl.String(),
+		Degraded: lvl != mem.Healthy,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -379,13 +473,23 @@ func statusOf(err error) (int, string) {
 }
 
 // writeQueryError writes the typed envelope for an engine error,
-// attaching Retry-After to the backpressure statuses.
+// attaching Retry-After to the backpressure statuses. The value is not
+// a constant: the memory governor derives it from the governed deficit
+// and the measured reclaim rate (clamped to [1s, 30s]), so clients back
+// off for about as long as reclamation actually needs.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	status, code := statusOf(err)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	}
 	writeError(w, status, code, err.Error())
+}
+
+// retryAfterSeconds renders the governor's backoff as whole seconds
+// (ceiling, so a sub-second estimate still says 1).
+func (s *Server) retryAfterSeconds() string {
+	d := s.rt.Manager().Governor().RetryAfter()
+	return strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10)
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -310,6 +311,173 @@ func TestServeSaturationBackpressure(t *testing.T) {
 		t.Error("Saturated counter not surfaced through StatsSnapshot")
 	}
 	<-hold
+}
+
+// postClass is post with an X-Client-Class header, returning the status
+// code and the response headers.
+func (e *testEnv) postClass(t *testing.T, path, class, body string, out any) (int, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, e.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set("X-Client-Class", class)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// TestServeClassQuotas pins the multi-tenant isolation gate: a greedy
+// class exhausts its own quota and eats typed 429s while a classless
+// request sails through the global gate, and the refusals surface as
+// ClassLimited in StatsSnapshot.
+func TestServeClassQuotas(t *testing.T) {
+	e := newEnv(t, 0.001, serve.Config{
+		MaxConcurrent: 4,
+		AdmitWait:     20 * time.Millisecond,
+		ClassQuotas:   map[string]int{"batch": 1},
+	})
+
+	// Occupy batch's only quota slot with a long request.
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		e.postClass(t, "/query/q6window?timeout_ms=2000", "batch", `{"reps":1000000}`, nil)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.rt.StatsSnapshot().Serve.InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("long batch request never took its quota slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second batch request: refused at the class gate with the typed 429.
+	var env serve.ErrorEnvelope
+	code, hdr := e.postClass(t, "/query/q6", "batch", `{}`, &env)
+	if code != http.StatusTooManyRequests || env.Error.Code != "saturated" {
+		t.Fatalf("greedy class: status %d code %q", code, env.Error.Code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("class-limited 429 missing Retry-After")
+	}
+
+	// A classless request is isolated from batch's greed: global slots
+	// remain (only 1 of 4 is held), so it runs.
+	if code, _ := e.postClass(t, "/query/q6", "", `{}`, nil); code != http.StatusOK {
+		t.Errorf("classless request under class pressure: status %d", code)
+	}
+	st := e.rt.StatsSnapshot().Serve
+	if st.ClassLimited == 0 {
+		t.Error("ClassLimited not surfaced through StatsSnapshot")
+	}
+	if st.ClassLimited > st.Saturated {
+		t.Errorf("ClassLimited %d not a subset of Saturated %d", st.ClassLimited, st.Saturated)
+	}
+	<-hold
+
+	// With the quota slot free again, batch is served.
+	if code, _ := e.postClass(t, "/query/q6", "batch", `{}`, nil); code != http.StatusOK {
+		t.Errorf("batch after slot freed: status %d", code)
+	}
+}
+
+// TestServeHealthzDegradedButServing pins the pressure-aware /healthz
+// contract: memory pressure keeps the status 200 (degraded but serving,
+// level in the body) — only a dead Maintainer is a 503. The /stats
+// Governor section carries the same accounting.
+func TestServeHealthzDegradedButServing(t *testing.T) {
+	e := newEnv(t, 0.001, serve.Config{})
+
+	var hr serve.HealthResponse
+	resp, err := http.Get(e.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !hr.OK || hr.Degraded || hr.Pressure != "healthy" {
+		t.Fatalf("unpressured healthz: status %d body %+v", resp.StatusCode, hr)
+	}
+
+	// A 1-byte budget puts the governed total at Critical: still 200.
+	e.rt.SetMemoryBudget(1)
+	defer e.rt.SetMemoryBudget(0)
+	hr = serve.HealthResponse{}
+	resp, err = http.Get(e.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pressured healthz drained the replica: status %d", resp.StatusCode)
+	}
+	if !hr.OK || !hr.Degraded || hr.Pressure != "critical" {
+		t.Errorf("pressured healthz body = %+v, want ok+degraded+critical", hr)
+	}
+
+	var stats core.RuntimeStats
+	resp, err = http.Get(e.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Governor.Level != "critical" || stats.Governor.Limit != 1 {
+		t.Errorf("stats Governor section = %+v, want critical at limit 1", stats.Governor)
+	}
+	if stats.Governor.GovernedUsed < stats.Governor.HeapUsed {
+		t.Errorf("governed total %d below heap term %d", stats.Governor.GovernedUsed, stats.Governor.HeapUsed)
+	}
+}
+
+// TestServeRetryAfterDerivedBounds pins the wire form of the governor-
+// derived backoff: an integer second count inside the [1s, 30s] clamp on
+// every budget 503.
+func TestServeRetryAfterDerivedBounds(t *testing.T) {
+	e := newEnv(t, 0.001, serve.Config{})
+	e.rt.SetMemoryBudget(1)
+	defer e.rt.SetMemoryBudget(0)
+
+	req, _ := http.NewRequest(http.MethodPost, e.ts.URL+"/query/q6window?timeout_ms=60000", strings.NewReader(`{}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env serve.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != "budget_exceeded" {
+		t.Fatalf("status %d code %q, want 503 budget_exceeded", resp.StatusCode, env.Error.Code)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer second count: %v", ra, err)
+	}
+	if secs < 1 || secs > 30 {
+		t.Errorf("Retry-After %d outside the [1, 30] clamp", secs)
+	}
 }
 
 // TestServeHealthzStatsQueries covers the operational endpoints:
